@@ -1,0 +1,62 @@
+// Command madbench regenerates the reproduction's tables: one experiment
+// per claim of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	madbench               # run every experiment, full size
+//	madbench -quick        # reduced workloads (seconds, not minutes)
+//	madbench -run E1,E3    # a subset
+//	madbench -list         # list experiments and the claims they test
+//	madbench -seed 7       # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"newmad/internal/exp"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced workloads")
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Uint64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	selected := exp.All()
+	if *run != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := exp.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "madbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    claim: %s\n\n", e.Claim)
+		for _, t := range e.Run(cfg) {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("    (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

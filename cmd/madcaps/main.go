@@ -1,0 +1,24 @@
+// Command madcaps dumps the driver capability database that parameterizes
+// the optimization engine — the per-technology records every strategy
+// decision consults.
+package main
+
+import (
+	"fmt"
+
+	"newmad/internal/caps"
+)
+
+func main() {
+	fmt.Println("driver capability database (see internal/caps):")
+	fmt.Println()
+	for _, name := range caps.Names() {
+		c, _ := caps.Lookup(name)
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Println()
+	fmt.Println("columns: α = per-request post overhead; wire = one-way latency;")
+	fmt.Println("bw = link bandwidth; pio = programmed-I/O size limit; iov = gather")
+	fmt.Println("entries per send (1 = aggregation must copy); agg = max eager frame;")
+	fmt.Println("rndv = rendezvous threshold; ch = virtualized send channels.")
+}

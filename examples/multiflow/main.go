@@ -1,0 +1,83 @@
+// Multiflow: the paper's headline effect, live. Eight independent flows
+// submit small eager messages; the run is repeated with the previous-
+// Madeleine baseline (fifo) and with the cross-flow aggregating engine,
+// and the frame counts and completion times are compared.
+//
+//	go run ./examples/multiflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/workload"
+)
+
+const (
+	flows   = 8
+	perFlow = 32
+	msgSize = 64
+)
+
+func run(bundleName string) (end simnet.Time, frames uint64) {
+	profile := caps.MX
+	profile.Channels = 1 // a single send unit makes the backlog visible
+
+	cluster, err := drivers.NewCluster(2, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engines := map[packet.NodeID]*core.Engine{}
+	for n := packet.NodeID(0); n < 2; n++ {
+		bundle, err := strategy.New(bundleName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := core.New(n, core.Options{
+			Bundle:  bundle,
+			Runtime: cluster.Eng,
+			Rails:   []drivers.Driver{cluster.Driver(n, "mx")},
+			Deliver: func(proto.Deliverable) {},
+			Stats:   cluster.Stats,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[n] = eng
+	}
+	wl := workload.NewDriver(cluster.Eng, engines, 1)
+	for f := 0; f < flows; f++ {
+		wl.Add(workload.FlowSpec{
+			Flow: packet.FlowID(f + 1), Src: 0, Dst: 1,
+			Class:   packet.ClassSmall,
+			Size:    workload.Fixed(msgSize),
+			Arrival: workload.BackToBack{},
+			Count:   perFlow,
+		})
+	}
+	end = cluster.Eng.Run()
+	return end, cluster.Stats.CounterValue("nic.tx.frames")
+}
+
+func main() {
+	fmt.Printf("workload: %d flows × %d messages × %d B to one peer (MX, 1 channel)\n\n",
+		flows, perFlow, msgSize)
+
+	fifoEnd, fifoFrames := run("fifo")
+	fmt.Printf("fifo (previous Madeleine):  %4d frames, done at %v\n", fifoFrames, fifoEnd)
+
+	aggEnd, aggFrames := run("aggregate")
+	fmt.Printf("aggregate (this paper):     %4d frames, done at %v\n", aggFrames, aggEnd)
+
+	fmt.Printf("\ncross-flow aggregation: %.1fx fewer network transactions, %.2fx faster\n",
+		float64(fifoFrames)/float64(aggFrames), float64(fifoEnd)/float64(aggEnd))
+	fmt.Println("\n(the gain comes from amortizing the per-request overhead α over many")
+	fmt.Println(" small packets collected from several independent flows — §4 of the paper)")
+}

@@ -1,0 +1,91 @@
+// Multirail: heterogeneous load balancing. One node owns both a
+// Myrinet/MX NIC and a Quadrics/Elan NIC; an unbalanced multi-flow
+// workload runs once with the static one-to-one flow mapping and once with
+// the shared pool, showing how the pooled scheduler keeps both rails busy.
+//
+//	go run ./examples/multirail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/workload"
+)
+
+func run(rail strategy.RailPolicy) (end simnet.Time, mxFrames, elanFrames uint64) {
+	mx := caps.MX
+	mx.Channels = 1
+	elan := caps.Elan
+	elan.Channels = 1
+
+	cluster, err := drivers.NewCluster(2, mx, elan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engines := map[packet.NodeID]*core.Engine{}
+	for n := packet.NodeID(0); n < 2; n++ {
+		bundle, err := strategy.New("aggregate")
+		if err != nil {
+			log.Fatal(err)
+		}
+		bundle.Rail = rail
+		var rails []drivers.Driver
+		for _, d := range cluster.NodeDrivers(n) {
+			rails = append(rails, d)
+		}
+		eng, err := core.New(n, core.Options{
+			Bundle:  bundle,
+			Runtime: cluster.Eng,
+			Rails:   rails,
+			Deliver: func(proto.Deliverable) {},
+			Stats:   cluster.Stats,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[n] = eng
+	}
+	wl := workload.NewDriver(cluster.Eng, engines, 1)
+	for f := 0; f < 8; f++ {
+		size := 256
+		if f%2 == 1 {
+			size = 4096 // heavy flows — static pinning strands these
+		}
+		wl.Add(workload.FlowSpec{
+			Flow: packet.FlowID(f + 1), Src: 0, Dst: 1,
+			Class:   packet.ClassSmall,
+			Size:    workload.Fixed(size),
+			Arrival: workload.BackToBack{},
+			Count:   32,
+		})
+	}
+	end = cluster.Eng.Run()
+	return end,
+		cluster.Stats.CounterValue("core.rail.mx.frames"),
+		cluster.Stats.CounterValue("core.rail.elan.frames")
+}
+
+func main() {
+	fmt.Println("one node, two rails: Myrinet/MX (250 MB/s) + Quadrics/Elan (900 MB/s)")
+	fmt.Println("workload: 8 flows, odd flows carry 16x the bytes of even flows")
+	fmt.Println()
+
+	end, mx, elan := run(strategy.PinnedRail{})
+	fmt.Printf("pinned (one-to-one mapping):  done at %-12v frames mx=%d elan=%d\n", end, mx, elan)
+
+	end2, mx2, elan2 := run(strategy.SharedRail{})
+	fmt.Printf("shared (pooled scheduler):    done at %-12v frames mx=%d elan=%d\n", end2, mx2, elan2)
+
+	fmt.Printf("\npooling the multiplexing units finishes %.2fx sooner:\n",
+		float64(end)/float64(end2))
+	fmt.Println("whichever NIC goes idle pulls the next eligible packets, so the fast")
+	fmt.Println("rail is never stranded behind a static flow assignment (§2 of the paper).")
+}

@@ -1,0 +1,303 @@
+// Package caps defines the driver capability records that parameterize the
+// newmad optimization engine, together with a database of predefined
+// profiles for the network technologies the paper discusses (Myrinet/MX,
+// Quadrics/Elan, InfiniBand) and two commodity substitutes (TCP/GigE and an
+// emulated WAN).
+//
+// The paper's first design rule is that "all these decisions must be
+// consistent with the capabilities of the underlying network drivers": a
+// strategy may only plan a gather-send if the driver supports enough iovec
+// entries, may only choose PIO below the PIO size limit, and so on. Every
+// such decision point in internal/strategy reads from a Caps value, never
+// from technology-specific code.
+package caps
+
+import (
+	"fmt"
+	"sort"
+
+	"newmad/internal/simnet"
+)
+
+// Caps describes what one network driver/NIC pair can do and what it costs.
+// All durations are virtual time.
+type Caps struct {
+	// Name identifies the profile ("mx", "elan", ...).
+	Name string
+
+	// --- Per-request overheads -------------------------------------------
+
+	// PostOverhead is the host-side cost of posting any send request to the
+	// NIC (doorbell write, descriptor build). This is the α that
+	// aggregation amortizes.
+	PostOverhead simnet.Duration
+	// WireLatency is the one-way propagation + switching latency.
+	WireLatency simnet.Duration
+	// RecvOverhead is the receiver-side per-packet cost (demux, completion).
+	RecvOverhead simnet.Duration
+	// PacketHeader is the on-wire framing overhead in bytes added to every
+	// network transaction (not to every aggregated sub-packet; sub-packet
+	// framing is the optimizer's own wire format and accounted separately).
+	PacketHeader int
+
+	// --- Bandwidths --------------------------------------------------------
+
+	// Bandwidth is the link serialization rate in bytes/second.
+	Bandwidth float64
+
+	// --- Transfer modes ----------------------------------------------------
+
+	// PIOMax is the largest payload the driver will send by programmed I/O.
+	// PIO has no DMA setup cost but occupies the host CPU; the model charges
+	// PIOCostPerByte on the host side instead of DMA setup.
+	PIOMax         int
+	PIOCostPerByte simnet.Duration
+	// DMASetup is the fixed cost of programming a DMA descriptor; DMA
+	// requires registered (pinned) memory.
+	DMASetup simnet.Duration
+
+	// --- Aggregation-relevant limits --------------------------------------
+
+	// MaxIOV is the number of gather entries one send can carry; 1 means no
+	// gather/scatter, so aggregation must stage through a copy.
+	MaxIOV int
+	// MaxAggregate is the largest frame the driver accepts for an eager /
+	// aggregated send; larger messages must use rendezvous.
+	MaxAggregate int
+	// MTU is the wire maximum transfer unit; frames beyond it are segmented
+	// by the link layer (cost modeled per segment by nicsim).
+	MTU int
+
+	// --- Protocols ---------------------------------------------------------
+
+	// RndvThreshold is the payload size above which the driver's native
+	// rendezvous protocol beats eager+copy (profile default; strategies may
+	// override per the rndvswitch ablation).
+	RndvThreshold int
+	// RDMA reports whether the NIC supports true remote put/get (Elan, IB).
+	RDMA bool
+	// RDMASetup is the cost of initiating an RDMA operation when RDMA is
+	// true.
+	RDMASetup simnet.Duration
+
+	// --- Multiplexing ------------------------------------------------------
+
+	// Channels is the number of independent virtualized send units the NIC
+	// exposes (the "network multiplexing units" the paper pools together).
+	Channels int
+}
+
+// Validate reports the first inconsistency in the capability record.
+func (c Caps) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("caps: empty profile name")
+	case c.Bandwidth <= 0:
+		return fmt.Errorf("caps %s: bandwidth must be positive", c.Name)
+	case c.PostOverhead < 0 || c.WireLatency < 0 || c.RecvOverhead < 0:
+		return fmt.Errorf("caps %s: negative overhead", c.Name)
+	case c.MaxIOV < 1:
+		return fmt.Errorf("caps %s: MaxIOV must be >= 1", c.Name)
+	case c.MaxAggregate < 1:
+		return fmt.Errorf("caps %s: MaxAggregate must be >= 1", c.Name)
+	case c.MTU < 64:
+		return fmt.Errorf("caps %s: MTU %d unreasonably small", c.Name, c.MTU)
+	case c.Channels < 1:
+		return fmt.Errorf("caps %s: need at least one channel", c.Name)
+	case c.PIOMax < 0:
+		return fmt.Errorf("caps %s: negative PIOMax", c.Name)
+	case c.RndvThreshold < 0:
+		return fmt.Errorf("caps %s: negative RndvThreshold", c.Name)
+	case c.RDMA && c.RDMASetup <= 0:
+		return fmt.Errorf("caps %s: RDMA advertised without RDMASetup cost", c.Name)
+	}
+	return nil
+}
+
+// Gather reports whether the driver can gather multiple iovecs in hardware.
+func (c Caps) Gather() bool { return c.MaxIOV > 1 }
+
+// SendCost estimates the host+wire time for one network transaction of n
+// payload bytes (excluding queuing). It is the cost model strategies use to
+// score candidate plans; nicsim charges the same formula, so plan scores and
+// simulated outcomes agree by construction.
+func (c Caps) SendCost(n int) simnet.Duration {
+	total := n + c.PacketHeader
+	d := c.PostOverhead
+	if n <= c.PIOMax {
+		d += simnet.Duration(n) * c.PIOCostPerByte
+	} else {
+		d += c.DMASetup
+	}
+	d += simnet.BandwidthTime(total, c.Bandwidth)
+	d += c.WireLatency + c.RecvOverhead
+	return d
+}
+
+// String renders a single-line summary.
+func (c Caps) String() string {
+	return fmt.Sprintf("%s: α=%v wire=%v bw=%.0fMB/s pio<=%dB iov=%d agg<=%dB rndv>%dB rdma=%v ch=%d",
+		c.Name, c.PostOverhead, c.WireLatency, c.Bandwidth/1e6, c.PIOMax,
+		c.MaxIOV, c.MaxAggregate, c.RndvThreshold, c.RDMA, c.Channels)
+}
+
+// Predefined profiles. Numbers are representative of published 2006-era
+// microbenchmarks (MX over Myrinet-2000, QsNetII Elan4, Mellanox IB SDR,
+// GigE TCP); the reproduction depends on their relative shape, not their
+// absolute values.
+var (
+	// MX models Myrinet-2000 with the MX driver: ~3 µs short-message
+	// latency, 250 MB/s, rich gather support, 32 KiB eager limit.
+	MX = Caps{
+		Name:           "mx",
+		PostOverhead:   900 * simnet.Nanosecond,
+		WireLatency:    1700 * simnet.Nanosecond,
+		RecvOverhead:   500 * simnet.Nanosecond,
+		PacketHeader:   16,
+		Bandwidth:      250e6,
+		PIOMax:         128,
+		PIOCostPerByte: 2 * simnet.Nanosecond,
+		DMASetup:       600 * simnet.Nanosecond,
+		MaxIOV:         16,
+		MaxAggregate:   32 * 1024,
+		MTU:            4096,
+		RndvThreshold:  32 * 1024,
+		RDMA:           false,
+		Channels:       4,
+	}
+
+	// Elan models Quadrics QsNetII Elan4: ~1.5 µs latency, 900 MB/s, large
+	// PIO window, true RDMA, but no gather on DMA sends (aggregation must
+	// copy through a staging buffer).
+	Elan = Caps{
+		Name:           "elan",
+		PostOverhead:   400 * simnet.Nanosecond,
+		WireLatency:    800 * simnet.Nanosecond,
+		RecvOverhead:   300 * simnet.Nanosecond,
+		PacketHeader:   8,
+		Bandwidth:      900e6,
+		PIOMax:         2048,
+		PIOCostPerByte: 1 * simnet.Nanosecond,
+		DMASetup:       500 * simnet.Nanosecond,
+		MaxIOV:         1,
+		MaxAggregate:   16 * 1024,
+		MTU:            4096,
+		RndvThreshold:  16 * 1024,
+		RDMA:           true,
+		RDMASetup:      700 * simnet.Nanosecond,
+		Channels:       4,
+	}
+
+	// IB models InfiniBand SDR 4x verbs: ~4 µs latency, ~950 MB/s, 4-entry
+	// SGE lists, RDMA.
+	IB = Caps{
+		Name:           "ib",
+		PostOverhead:   1300 * simnet.Nanosecond,
+		WireLatency:    2400 * simnet.Nanosecond,
+		RecvOverhead:   700 * simnet.Nanosecond,
+		PacketHeader:   32,
+		Bandwidth:      950e6,
+		PIOMax:         0, // verbs has inline sends; modeled via PIOMax=188 in IBInline
+		PIOCostPerByte: 0,
+		DMASetup:       900 * simnet.Nanosecond,
+		MaxIOV:         4,
+		MaxAggregate:   8 * 1024,
+		MTU:            2048,
+		RndvThreshold:  8 * 1024,
+		RDMA:           true,
+		RDMASetup:      1100 * simnet.Nanosecond,
+		Channels:       8,
+	}
+
+	// TCP models kernel TCP over gigabit Ethernet on the same 2006 nodes:
+	// tens of microseconds of stack latency, 117 MB/s.
+	TCP = Caps{
+		Name:           "tcp",
+		PostOverhead:   9 * simnet.Microsecond,
+		WireLatency:    28 * simnet.Microsecond,
+		RecvOverhead:   8 * simnet.Microsecond,
+		PacketHeader:   66,
+		Bandwidth:      117e6,
+		PIOMax:         0,
+		PIOCostPerByte: 0,
+		DMASetup:       2 * simnet.Microsecond,
+		MaxIOV:         64, // writev
+		MaxAggregate:   64 * 1024,
+		MTU:            1500,
+		RndvThreshold:  64 * 1024,
+		RDMA:           false,
+		Channels:       2,
+	}
+
+	// WAN models an emulated wide-area path (the calibration note's
+	// "emulated WAN"): 5 ms one-way latency, 100 MB/s. Aggregation gains
+	// are dramatic here because α (effectively the RTT share) dominates.
+	WAN = Caps{
+		Name:           "wan",
+		PostOverhead:   10 * simnet.Microsecond,
+		WireLatency:    5 * simnet.Millisecond,
+		RecvOverhead:   10 * simnet.Microsecond,
+		PacketHeader:   66,
+		Bandwidth:      100e6,
+		PIOMax:         0,
+		PIOCostPerByte: 0,
+		DMASetup:       2 * simnet.Microsecond,
+		MaxIOV:         64,
+		MaxAggregate:   256 * 1024,
+		MTU:            1500,
+		RndvThreshold:  256 * 1024,
+		RDMA:           false,
+		Channels:       2,
+	}
+)
+
+// registry is the capability database; Register extends it, mirroring the
+// paper's "easily extendable database" requirement at the capability level.
+var registry = map[string]Caps{}
+
+func init() {
+	for _, c := range []Caps{MX, Elan, IB, TCP, WAN} {
+		MustRegister(c)
+	}
+	// IBInline is IB with verbs inline sends enabled (payload copied into
+	// the descriptor, skipping one DMA read) — used by the PIO/DMA
+	// threshold ablation in E7.
+	inline := IB
+	inline.Name = "ib-inline"
+	inline.PIOMax = 188
+	inline.PIOCostPerByte = 1 * simnet.Nanosecond
+	MustRegister(inline)
+}
+
+// Register adds a profile to the database. Re-registering a name replaces
+// the profile (useful in tests); invalid profiles are rejected.
+func Register(c Caps) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	registry[c.Name] = c
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time profiles.
+func MustRegister(c Caps) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named profile.
+func Lookup(name string) (Caps, bool) {
+	c, ok := registry[name]
+	return c, ok
+}
+
+// Names returns the sorted profile names in the database.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

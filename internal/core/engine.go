@@ -1,0 +1,367 @@
+// Package core implements the paper's contribution: the dynamic
+// optimizer-scheduler that sits between the packing API (collect layer) and
+// the network drivers (transfer layer) — the middle box of Figure 1.
+//
+// One Engine runs per node. Its operation follows §3 of the paper:
+//
+//   - The application (through internal/mad) enqueues packets and
+//     immediately returns to computing; Submit never blocks on the network.
+//   - The scheduler is activated when a NIC send channel becomes idle, not
+//     when packets are submitted. While channels are busy, a backlog of
+//     waiting packets accumulates — the lookahead pool that widens the
+//     optimizer's choices.
+//   - If the NICs never stay busy, the engine either sends packets as they
+//     arrive (NagleDelay = 0) or artificially delays them for a short time
+//     "in a TCP Nagle's algorithm fashion" to increase the potential of
+//     interesting aggregations.
+//   - Strategy bundles (internal/strategy) decide what travels next; the
+//     constraint rules of internal/packet bound every reordering; driver
+//     capability records parameterize every decision.
+//
+// The engine is safe for concurrent use: under the discrete-event runtime
+// all upcalls arrive on one goroutine, while the loopback driver delivers
+// idle and receive upcalls from its own goroutines.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"newmad/internal/caps"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Bundle is the strategy in effect; resolve one from the registry or
+	// assemble a custom combination.
+	Bundle strategy.Bundle
+	// Runtime supplies time and timers (the simulation engine or a
+	// wall-clock runtime).
+	Runtime simnet.Runtime
+	// Rails are this node's drivers, one per attached network. They are
+	// sorted by Name for deterministic rail indexing.
+	Rails []drivers.Driver
+	// Deliver receives reassembled in-order packets (the upcall into the
+	// mad layer). It may call back into the engine (e.g. Submit a reply).
+	Deliver proto.DeliverFunc
+
+	// Lookahead bounds how many eligible waiting packets a plan may
+	// consider (the paper's "packet lookahead window"); 0 = unbounded.
+	Lookahead int
+	// NagleDelay artificially delays submission-triggered sends to let
+	// aggregation opportunities accumulate; 0 sends immediately.
+	NagleDelay simnet.Duration
+	// NagleFlushCount flushes a pending Nagle delay once this many packets
+	// wait (0 = default 4).
+	NagleFlushCount int
+	// SearchBudget is passed to the plan builder as the rearrangement
+	// evaluation bound; 0 = builder default.
+	SearchBudget int
+	// RdvMaxConcurrent caps concurrently granted inbound rendezvous
+	// transfers (0 = unlimited).
+	RdvMaxConcurrent int
+	// Stats receives counters and histograms; nil allocates a private set.
+	Stats *stats.Set
+	// Trace, when non-nil, records the engine's decision timeline.
+	Trace *trace.Recorder
+}
+
+// Engine is the per-node optimizer-scheduler.
+type Engine struct {
+	node packet.NodeID
+	rt   simnet.Runtime
+	set  *stats.Set
+	rec  *trace.Recorder // nil = tracing off; trace.Recorder tolerates nil
+
+	mu     sync.Mutex
+	bundle strategy.Bundle
+	cfg    Options
+	rails  []drivers.Driver
+
+	submitSeq uint64
+	backlog   []*packet.Packet // waiting packs, submission order
+	ctrlQ     []*packet.Frame  // reactive control frames (RTS/CTS/Ack)
+	bulkQ     []*packet.Frame  // granted rendezvous data, RMA frames
+	favorBulk bool             // round-robin fairness between backlog and bulkQ
+
+	nagleArmed  bool
+	nagleCancel simnet.CancelFunc
+
+	reasm *proto.Reassembler
+	rdvS  *proto.RdvSender
+	rdvR  *proto.RdvReceiver
+	rma   *proto.RMA
+	disp  *proto.Dispatcher
+
+	// pendingDeliver/pendingFns collect upcalls produced while holding mu;
+	// they are invoked after unlock so user callbacks can re-enter the
+	// engine (submit replies, start new RMA operations, ...).
+	pendingDeliver []proto.Deliverable
+	pendingFns     []func()
+	deliver        proto.DeliverFunc
+
+	closed bool
+}
+
+// New creates and wires a node engine.
+func New(node packet.NodeID, opt Options) (*Engine, error) {
+	if opt.Runtime == nil {
+		return nil, fmt.Errorf("core: Options.Runtime is required")
+	}
+	if len(opt.Rails) == 0 {
+		return nil, fmt.Errorf("core: at least one rail is required")
+	}
+	if opt.Deliver == nil {
+		return nil, fmt.Errorf("core: Options.Deliver is required")
+	}
+	b := opt.Bundle
+	if b.Builder == nil || b.Rail == nil || b.Classes == nil || b.Protocol == nil {
+		return nil, fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
+	}
+	if opt.Lookahead < 0 || opt.NagleDelay < 0 || opt.SearchBudget < 0 {
+		return nil, fmt.Errorf("core: negative tuning option")
+	}
+	if opt.NagleFlushCount == 0 {
+		opt.NagleFlushCount = 4
+	}
+	set := opt.Stats
+	if set == nil {
+		set = &stats.Set{}
+	}
+	rails := append([]drivers.Driver(nil), opt.Rails...)
+	sort.Slice(rails, func(i, j int) bool { return rails[i].Name() < rails[j].Name() })
+	for _, r := range rails {
+		if r.Node() != node {
+			return nil, fmt.Errorf("core: rail %s belongs to node %d, engine is node %d", r.Name(), r.Node(), node)
+		}
+	}
+
+	e := &Engine{
+		node:    node,
+		rt:      opt.Runtime,
+		set:     set,
+		rec:     opt.Trace,
+		bundle:  b,
+		cfg:     opt,
+		rails:   rails,
+		deliver: opt.Deliver,
+	}
+	e.reasm = proto.NewReassembler(node, func(d proto.Deliverable) {
+		e.pendingDeliver = append(e.pendingDeliver, d)
+	})
+	e.rdvS = proto.NewRdvSender(node, e.onRdvGrant)
+	e.rdvR = proto.NewRdvReceiver(node, e.reasm, e.enqueueReactive, opt.RdvMaxConcurrent)
+	e.rma = proto.NewRMA(node, e.enqueueReactive)
+	e.disp = proto.NewDispatcher(node, e.reasm, e.rdvS, e.rdvR, e.rma)
+
+	for i, r := range rails {
+		i, r := i, r
+		r.SetIdleHandler(func(ch int) { e.onIdle(i, ch) })
+		r.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) { e.onFrame(src, f) })
+	}
+	return e, nil
+}
+
+// Node returns the engine's node id.
+func (e *Engine) Node() packet.NodeID { return e.node }
+
+// Stats returns the engine's metric set.
+func (e *Engine) Stats() *stats.Set { return e.set }
+
+// Rails returns the engine's drivers in rail-index order.
+func (e *Engine) Rails() []drivers.Driver { return append([]drivers.Driver(nil), e.rails...) }
+
+// SetBundle switches the strategy at runtime — the paper's dynamic change
+// of scheduling policy as application needs evolve.
+func (e *Engine) SetBundle(b strategy.Bundle) error {
+	if b.Builder == nil || b.Rail == nil || b.Classes == nil || b.Protocol == nil {
+		return fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
+	}
+	e.mu.Lock()
+	e.bundle = b
+	e.set.Counter("core.policy_switches").Inc()
+	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindPolicy, Node: e.node, Note: b.Name})
+	e.mu.Unlock()
+	e.pumpAll()
+	return nil
+}
+
+// Bundle returns the strategy currently in effect.
+func (e *Engine) Bundle() strategy.Bundle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bundle
+}
+
+// SetLookahead adjusts the lookahead window at runtime (E2 sweeps this).
+func (e *Engine) SetLookahead(n int) {
+	e.mu.Lock()
+	e.cfg.Lookahead = n
+	e.mu.Unlock()
+}
+
+// SetNagle adjusts the artificial delay at runtime (E3 sweeps this).
+func (e *Engine) SetNagle(d simnet.Duration, flushCount int) {
+	e.mu.Lock()
+	e.cfg.NagleDelay = d
+	if flushCount > 0 {
+		e.cfg.NagleFlushCount = flushCount
+	}
+	e.mu.Unlock()
+}
+
+// Submit enqueues one packet from the collect layer and returns
+// immediately. Packets of one flow must be submitted with consecutive Seq
+// values starting at zero; the mad layer guarantees this.
+func (e *Engine) Submit(p *packet.Packet) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Src != e.node {
+		return fmt.Errorf("core: packet src %d submitted on node %d", p.Src, e.node)
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("core: engine closed")
+	}
+	e.submitSeq++
+	p.SubmitSeq = e.submitSeq
+	p.Enqueued = e.rt.Now()
+	if p.Enqueued == 0 {
+		// Zero marks "never submitted" in latency accounting; clamp the
+		// simulation epoch to 1 ns so t=0 submissions still count.
+		p.Enqueued = 1
+	}
+	e.bundle.Classes.Observe(p)
+	e.set.Counter("core.submitted").Inc()
+	e.set.Counter("core.submitted_bytes").Add(uint64(p.Size()))
+	e.rec.Record(trace.Event{
+		At: p.Enqueued, Kind: trace.KindSubmit, Node: e.node,
+		Flow: p.Flow, Seq: p.Seq, A: p.Size(), B: int(p.Class),
+	})
+
+	// Protocol decision: large cheap packets travel by rendezvous. The
+	// capability record consulted is the first rail this packet may use
+	// (deterministic; multi-rail nodes with diverging thresholds can pin
+	// protocols per class through the rail policy instead).
+	if e.bundle.Protocol.UseRendezvous(p, e.protoCaps(p)) {
+		rts := e.rdvS.Start(p)
+		e.ctrlQ = append(e.ctrlQ, rts)
+		e.set.Counter("core.rdv_started").Inc()
+		e.mu.Unlock()
+		e.pumpAll()
+		return nil
+	}
+
+	e.backlog = append(e.backlog, p)
+	e.set.SetGauge("core.backlog_peak", maxf(gauge(e.set, "core.backlog_peak"), float64(len(e.backlog))))
+
+	// Nagle: submission-triggered sends may be delayed briefly; the idle
+	// upcall path (onIdle) always sends immediately.
+	if e.cfg.NagleDelay > 0 && len(e.backlog) < e.cfg.NagleFlushCount {
+		if !e.nagleArmed {
+			e.nagleArmed = true
+			e.nagleCancel = e.rt.Schedule(e.cfg.NagleDelay, "core.nagle", e.onNagle)
+			e.rec.Record(trace.Event{
+				At: e.rt.Now(), Kind: trace.KindNagleArm, Node: e.node,
+				A: int(e.cfg.NagleDelay), B: len(e.backlog),
+			})
+		}
+		e.mu.Unlock()
+		return nil
+	}
+	if e.nagleArmed {
+		e.disarmNagleLocked()
+	}
+	e.mu.Unlock()
+	e.pumpAll()
+	return nil
+}
+
+// protoCaps returns the capability record governing protocol selection for
+// p: the first rail the packet is eligible to use.
+func (e *Engine) protoCaps(p *packet.Packet) caps.Caps {
+	for i, r := range e.rails {
+		if e.bundle.Rail.Eligible(p, e.railInfo(i)) {
+			return r.Caps()
+		}
+	}
+	return e.rails[0].Caps()
+}
+
+// Flush forces any Nagle-delayed packets out now.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	if e.nagleArmed {
+		e.disarmNagleLocked()
+	}
+	e.mu.Unlock()
+	e.pumpAll()
+}
+
+func (e *Engine) disarmNagleLocked() {
+	e.nagleArmed = false
+	if e.nagleCancel != nil {
+		e.nagleCancel()
+		e.nagleCancel = nil
+	}
+}
+
+func (e *Engine) onNagle() {
+	e.mu.Lock()
+	e.nagleArmed = false
+	e.nagleCancel = nil
+	e.set.Counter("core.nagle_flushes").Inc()
+	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: len(e.backlog)})
+	e.mu.Unlock()
+	e.pumpAll()
+}
+
+// Close detaches the engine from its rails.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.disarmNagleLocked()
+	rails := e.rails
+	e.mu.Unlock()
+	for _, r := range rails {
+		r.SetIdleHandler(nil)
+		r.SetRecvHandler(nil)
+	}
+}
+
+// BacklogLen returns the number of waiting packets (diagnostic).
+func (e *Engine) BacklogLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.backlog)
+}
+
+// QueuedFrames returns pending (control, bulk) frame counts (diagnostic).
+func (e *Engine) QueuedFrames() (ctrl, bulk int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.ctrlQ), len(e.bulkQ)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func gauge(s *stats.Set, name string) float64 {
+	v, _ := s.Gauge(name)
+	return v
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/drivers"
+	"newmad/internal/nicsim"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/strategy"
+)
+
+// Failure injection. The fabrics the paper targets are loss-free
+// interconnects, so the engine has no retransmission layer — but partial
+// failures (a dead path to one peer) must never wedge traffic to other
+// peers or crash the engine. These tests build the topology by hand to get
+// at the fabric's partition controls.
+
+func newFailRig(t *testing.T, nodes int) (*drivers.Cluster, *nicsim.Fabric, map[packet.NodeID]*Engine, map[packet.NodeID]*int) {
+	t.Helper()
+	prof := caps.MX
+	prof.Channels = 1
+	cl, err := drivers.NewCluster(nodes, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := cl.Fabrics["mx"]
+	engines := map[packet.NodeID]*Engine{}
+	counts := map[packet.NodeID]*int{}
+	for n := 0; n < nodes; n++ {
+		node := packet.NodeID(n)
+		c := new(int)
+		counts[node] = c
+		b, _ := strategy.New("aggregate")
+		eng, err := New(node, Options{
+			Bundle:  b,
+			Runtime: cl.Eng,
+			Rails:   []drivers.Driver{cl.Driver(node, "mx")},
+			Deliver: func(proto.Deliverable) { *c++ },
+			Stats:   cl.Stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[node] = eng
+	}
+	return cl, fab, engines, counts
+}
+
+func TestPartitionedPeerDoesNotWedgeOthers(t *testing.T) {
+	cl, fab, engines, counts := newFailRig(t, 3)
+	fab.Partition(0, 1) // node 0 -> node 1 silently drops
+
+	// Traffic to the dead peer and to the healthy peer, interleaved.
+	for i := 0; i < 10; i++ {
+		if err := engines[0].Submit(pkt(1, i, 0, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := engines[0].Submit(pkt(2, i, 0, 2, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Eng.Run() // must terminate (no retry loops) and not panic
+
+	if *counts[2] != 10 {
+		t.Fatalf("healthy peer received %d of 10", *counts[2])
+	}
+	if *counts[1] != 0 {
+		t.Fatalf("partitioned peer received %d frames through a partition", *counts[1])
+	}
+	if fab.Dropped() == 0 {
+		t.Fatal("partition dropped nothing")
+	}
+	// The engine is still usable after the failure.
+	fab.Heal(0, 1)
+	if err := engines[0].Submit(pkt(3, 0, 0, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run()
+	if *counts[1] != 1 {
+		t.Fatalf("healed path delivered %d", *counts[1])
+	}
+}
+
+func TestPartitionDuringRendezvousLeavesOthersRunning(t *testing.T) {
+	cl, fab, engines, counts := newFailRig(t, 3)
+	// Let the RTS through, then cut the reverse path so the CTS is lost:
+	// the rendezvous to node 1 stalls forever (documented: loss-free
+	// fabrics have no timeouts) but traffic to node 2 must continue.
+	fab.Partition(1, 0)
+
+	big := pkt(1, 0, 0, 1, 64<<10)
+	big.Class = packet.ClassBulk
+	if err := engines[0].Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := engines[0].Submit(pkt(2, i, 0, 2, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Eng.Run()
+	if *counts[2] != 5 {
+		t.Fatalf("bystander traffic delivered %d of 5", *counts[2])
+	}
+	// The stalled rendezvous is observable, not fatal.
+	if cl.Stats.CounterValue("core.rdv_started") != 1 {
+		t.Fatal("rdv not started")
+	}
+	if cl.Stats.CounterValue("core.rdv_granted") != 0 {
+		t.Fatal("rdv granted across a partition?")
+	}
+}
+
+func TestCloseDuringTraffic(t *testing.T) {
+	cl, _, engines, _ := newFailRig(t, 2)
+	for i := 0; i < 20; i++ {
+		if err := engines[0].Submit(pkt(1, i, 0, 1, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close the receiver mid-flight: in-flight frames hit a closed engine
+	// whose upcalls must be ignored without panic.
+	steps := 0
+	for cl.Eng.Step() {
+		steps++
+		if steps == 10 {
+			engines[1].Close()
+		}
+	}
+	// Sender keeps operating; submissions to the closed peer just vanish
+	// at its closed receive path.
+	if err := engines[0].Submit(pkt(1, 20, 0, 1, 256)); err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run()
+}
+
+func TestClosedEngineRejectsWork(t *testing.T) {
+	cl, _, engines, _ := newFailRig(t, 2)
+	engines[0].Close()
+	if err := engines[0].Submit(pkt(1, 0, 0, 1, 8)); err == nil {
+		t.Fatal("submit after close accepted")
+	}
+	if err := engines[0].Put(1, 1, 0, []byte("x"), nil); err == nil {
+		t.Fatal("put after close accepted")
+	}
+	if err := engines[0].Get(1, 1, 0, 1, func([]byte) {}); err == nil {
+		t.Fatal("get after close accepted")
+	}
+	engines[0].Flush() // no-op, must not panic
+	engines[0].Close() // idempotent
+	cl.Eng.Run()
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// The optimizing layer's hot path: reacting to idle channels.
+
+// onIdle is the transfer layer's upcall: rail ri, channel ch finished
+// serializing its frame. Per the paper, this — not Submit — is the moment
+// the optimizer runs, with whatever backlog accumulated meanwhile.
+func (e *Engine) onIdle(ri, ch int) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.set.Counter("core.idle_upcalls").Inc()
+	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindIdle, Node: e.node, A: ri, B: ch})
+	e.pumpLocked(ri, ch)
+	deliver, fns := e.takeDeliveriesLocked()
+	e.mu.Unlock()
+	e.dispatchDeliveries(deliver, fns)
+}
+
+// onFrame is the receive upcall: route through the protocol dispatcher,
+// then hand any completed packets up and react to protocol events.
+func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindRecv, Node: e.node,
+		A: int(f.Kind), B: f.PayloadSize(), Note: f.Kind.String(),
+	})
+	e.disp.HandleFrame(src, f)
+	deliver, fns := e.takeDeliveriesLocked()
+	e.mu.Unlock()
+	e.dispatchDeliveries(deliver, fns)
+	// Protocol handling may have queued reactive frames (CTS, acks, get
+	// replies) or granted rendezvous bulk; give idle channels a chance.
+	e.pumpAll()
+}
+
+func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
+	d := e.pendingDeliver
+	e.pendingDeliver = nil
+	fns := e.pendingFns
+	e.pendingFns = nil
+	return d, fns
+}
+
+func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+	for _, d := range ds {
+		e.set.Counter("core.delivered").Inc()
+		e.set.Counter("core.delivered_bytes").Add(uint64(d.Pkt.Size()))
+		if d.Pkt.Enqueued > 0 {
+			lat := e.rt.Now().Sub(d.Pkt.Enqueued)
+			e.set.Histogram("core.delivery_latency_ns").Add(float64(lat))
+			if d.Pkt.Class == packet.ClassControl {
+				e.set.Histogram("core.control_latency_ns").Add(float64(lat))
+			}
+		}
+		e.rec.Record(trace.Event{
+			At: e.rt.Now(), Kind: trace.KindDeliver, Node: e.node,
+			Flow: d.Pkt.Flow, Seq: d.Pkt.Seq, A: d.Pkt.Size(),
+		})
+		e.deliver(d)
+	}
+}
+
+// enqueueReactive is the SendHook for the protocol engines: CTS/Ack frames
+// join the control queue, data-bearing frames join the bulk queue.
+func (e *Engine) enqueueReactive(f *packet.Frame) {
+	// Called with e.mu held (protocol engines run under the engine lock).
+	switch f.Kind {
+	case packet.FrameCTS, packet.FrameAck, packet.FrameRTS:
+		e.ctrlQ = append(e.ctrlQ, f)
+	default:
+		e.bulkQ = append(e.bulkQ, f)
+	}
+	e.set.Counter("core.reactive_frames").Inc()
+}
+
+// onRdvGrant fires when a CTS arrives for a rendezvous this node started:
+// the bulk payload becomes schedulable.
+func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
+	// Called with e.mu held (CTS arrives via onFrame -> dispatcher).
+	rdata := e.rdvS.BuildRData(token)
+	e.bulkQ = append(e.bulkQ, rdata)
+	e.set.Counter("core.rdv_granted").Inc()
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindRdv, Node: e.node,
+		Flow: rdata.Ctrl.Flow, Seq: rdata.Ctrl.Seq, A: rdata.Ctrl.Size, Note: "granted",
+	})
+}
+
+// pumpAll offers work to every idle channel of every rail once.
+func (e *Engine) pumpAll() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	for ri, r := range e.rails {
+		for ch := 0; ch < r.NumChannels(); ch++ {
+			if r.ChannelIdle(ch) {
+				e.pumpLocked(ri, ch)
+			}
+		}
+	}
+	deliver, fns := e.takeDeliveriesLocked()
+	e.mu.Unlock()
+	e.dispatchDeliveries(deliver, fns)
+}
+
+func (e *Engine) railInfo(ri int) strategy.RailInfo {
+	return strategy.RailInfo{Index: ri, Count: len(e.rails), Caps: e.rails[ri].Caps()}
+}
+
+// pumpLocked tries to occupy (rail ri, channel ch) with the most valuable
+// work available. Priority: control frames, then alternating fairly
+// between the eager backlog and granted bulk. Returns whether a frame was
+// posted.
+func (e *Engine) pumpLocked(ri, ch int) bool {
+	r := e.rails[ri]
+	if !r.ChannelIdle(ch) {
+		return false
+	}
+	info := e.railInfo(ri)
+	numCh := r.NumChannels()
+
+	// 1. Control/signalling first: latency-critical, tiny, never queues
+	// behind data if the class policy admits it here.
+	if e.bundle.Classes.Allowed(packet.ClassControl, ch, numCh) &&
+		e.bundle.Rail.Eligible(&packet.Packet{Class: packet.ClassControl}, info) {
+		if f := e.popFrameLocked(&e.ctrlQ); f != nil {
+			e.postLocked(ri, ch, f, nil, 0)
+			return true
+		}
+	}
+
+	tryBacklog := func() bool { return e.pumpBacklogLocked(ri, ch) }
+	tryBulk := func() bool { return e.pumpBulkLocked(ri, ch) }
+	first, second := tryBacklog, tryBulk
+	if e.favorBulk {
+		first, second = tryBulk, tryBacklog
+	}
+	e.favorBulk = !e.favorBulk
+	if first() {
+		return true
+	}
+	return second()
+}
+
+// pumpBulkLocked posts the first bulk frame admitted on this channel.
+func (e *Engine) pumpBulkLocked(ri, ch int) bool {
+	r := e.rails[ri]
+	info := e.railInfo(ri)
+	numCh := r.NumChannels()
+	for i, f := range e.bulkQ {
+		class := packet.ClassBulk
+		if f.Kind == packet.FramePut || f.Kind == packet.FrameGet || f.Kind == packet.FrameGetReply {
+			class = packet.ClassRMA
+		}
+		if !e.bundle.Classes.Allowed(class, ch, numCh) {
+			continue
+		}
+		if !e.bundle.Rail.Eligible(&packet.Packet{Class: class, Flow: f.Ctrl.Flow}, info) {
+			continue
+		}
+		e.bulkQ = append(e.bulkQ[:i], e.bulkQ[i+1:]...)
+		e.postLocked(ri, ch, f, nil, 0)
+		return true
+	}
+	return false
+}
+
+// pumpBacklogLocked runs the plan builder over the eligible backlog view.
+func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
+	r := e.rails[ri]
+	info := e.railInfo(ri)
+	numCh := r.NumChannels()
+
+	view := e.eligibleLocked(info, ch, numCh)
+	if len(view) == 0 {
+		return false
+	}
+	ctx := &strategy.Context{
+		Now:     e.rt.Now(),
+		Caps:    r.Caps(),
+		Mem:     r.Mem(),
+		Backlog: view,
+		Budget:  e.cfg.SearchBudget,
+	}
+	plan := e.bundle.Builder.Build(ctx)
+	if plan == nil || len(plan.Packets) == 0 {
+		return false
+	}
+	if !packet.OrderedSubset(plan.Packets) {
+		panic(fmt.Sprintf("core: strategy %q produced an order-violating plan", e.bundle.Builder.Name()))
+	}
+	e.removeFromBacklogLocked(plan.Packets)
+
+	f := &packet.Frame{Kind: packet.FrameData, Src: e.node, Dst: plan.Packets[0].Dst}
+	for _, p := range plan.Packets {
+		entry := packet.EntryFromPacket(p)
+		entry.Enqueued = p.Enqueued
+		f.Entries = append(f.Entries, entry)
+	}
+	e.postLocked(ri, ch, f, plan.Packets, plan.HostExtra)
+
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindPlan, Node: e.node,
+		Flow: plan.Packets[0].Flow, Seq: plan.Packets[0].Seq,
+		A: len(plan.Packets), B: plan.Evaluated,
+		Note: e.bundle.Builder.Name(),
+	})
+	e.set.Histogram("core.plan_packets").Add(float64(len(plan.Packets)))
+	e.set.Histogram("core.plan_evaluated").Add(float64(plan.Evaluated))
+	if plan.Score > 0 {
+		e.set.Histogram("core.plan_score_ns").Add(float64(plan.Score))
+	}
+	if len(plan.Packets) > 1 {
+		e.set.Counter("core.aggregates").Inc()
+		e.set.Counter("core.aggregated_packets").Add(uint64(len(plan.Packets)))
+	}
+	return true
+}
+
+// eligibleLocked builds the backlog view for one (rail, channel): packets
+// admitted by the rail and class policies, in submission order, up to the
+// lookahead window.
+func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet.Packet {
+	limit := e.cfg.Lookahead
+	var view []*packet.Packet
+	for _, p := range e.backlog {
+		if limit > 0 && len(view) >= limit {
+			break
+		}
+		if !e.bundle.Classes.Allowed(p.Class, ch, numCh) {
+			continue
+		}
+		if !e.bundle.Rail.Eligible(p, info) {
+			continue
+		}
+		view = append(view, p)
+	}
+	return view
+}
+
+func (e *Engine) removeFromBacklogLocked(taken []*packet.Packet) {
+	chosen := make(map[*packet.Packet]bool, len(taken))
+	for _, p := range taken {
+		chosen[p] = true
+	}
+	kept := e.backlog[:0]
+	removed := 0
+	for _, p := range e.backlog {
+		if chosen[p] {
+			removed++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if removed != len(taken) {
+		panic(fmt.Sprintf("core: plan contained %d packets not in the backlog", len(taken)-removed))
+	}
+	// Zero the tail so removed packets do not leak through the backing
+	// array.
+	for i := len(kept); i < len(e.backlog); i++ {
+		e.backlog[i] = nil
+	}
+	e.backlog = kept
+}
+
+func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
+	if len(*q) == 0 {
+		return nil
+	}
+	f := (*q)[0]
+	copy(*q, (*q)[1:])
+	(*q)[len(*q)-1] = nil
+	*q = (*q)[:len(*q)-1]
+	return f
+}
+
+// postLocked hands a frame to the driver and accounts for it. Posting to an
+// idle channel must succeed; a busy error here means the engine's view of
+// channel state diverged from the driver's, which is a bug worth crashing
+// on in the simulator. Under the loopback driver a race between FirstIdle
+// and a concurrent Post is impossible because all posts happen under e.mu.
+func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
+	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
+		panic(fmt.Sprintf("core: post on %s ch%d failed: %v", e.rails[ri].Name(), ch, err))
+	}
+	e.set.Counter("core.frames_posted").Inc()
+	e.set.Counter(fmt.Sprintf("core.rail.%s.frames", e.rails[ri].Caps().Name)).Inc()
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
+		A: ri, B: f.WireSize(), Note: f.Kind.String(),
+	})
+	if len(pkts) > 0 {
+		e.set.Counter("core.packets_sent").Add(uint64(len(pkts)))
+	}
+}

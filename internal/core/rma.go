@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+)
+
+// Remote-memory-access surface of the engine. Put/get transfers are the
+// third traffic class the paper names; middlewares (the DSM in particular)
+// use these instead of packet flows when they want one-sided semantics.
+
+// RegisterWindow exposes buf to remote put/get under window id.
+func (e *Engine) RegisterWindow(id int32, buf []byte) {
+	e.mu.Lock()
+	e.rma.RegisterWindow(id, buf)
+	e.mu.Unlock()
+}
+
+// Window returns a registered window's buffer.
+func (e *Engine) Window(id int32) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rma.Window(id)
+}
+
+// Put writes data into (window, off) at dst. done, if non-nil, runs when
+// the remote acknowledges. The frame is scheduled like all RMA traffic.
+func (e *Engine) Put(dst packet.NodeID, window int32, off int64, data []byte, done func()) error {
+	if dst == e.node {
+		return fmt.Errorf("core: RMA put to self")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("core: engine closed")
+	}
+	// Completion callbacks fire inside the frame dispatcher, which runs
+	// under the engine lock; wrap them so the user code runs after unlock
+	// and may re-enter the engine.
+	wrapped := done
+	if done != nil {
+		wrapped = func() { e.pendingFns = append(e.pendingFns, done) }
+	}
+	f := e.rma.Put(dst, window, off, data, wrapped)
+	e.bulkQ = append(e.bulkQ, f)
+	e.set.Counter("core.rma_puts").Inc()
+	e.mu.Unlock()
+	e.pumpAll()
+	return nil
+}
+
+// Get reads n bytes from (window, off) at dst; done receives the data.
+func (e *Engine) Get(dst packet.NodeID, window int32, off int64, n int, done func(data []byte)) error {
+	if dst == e.node {
+		return fmt.Errorf("core: RMA get from self")
+	}
+	if done == nil {
+		return fmt.Errorf("core: RMA get requires a callback")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("core: engine closed")
+	}
+	wrapped := func(data []byte) {
+		e.pendingFns = append(e.pendingFns, func() { done(data) })
+	}
+	f := e.rma.Get(dst, window, off, n, wrapped)
+	e.bulkQ = append(e.bulkQ, f)
+	e.set.Counter("core.rma_gets").Inc()
+	e.mu.Unlock()
+	e.pumpAll()
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package drivers defines the transfer layer of the architecture in the
+// paper's Figure 1: a uniform Driver interface that the optimizing layer
+// posts frames to, with one implementation per network technology.
+//
+// Two families of drivers exist:
+//
+//   - Sim drivers wrap internal/nicsim NIC models (Myrinet/MX,
+//     Quadrics/Elan, InfiniBand, TCP, WAN — built from the capability
+//     database in internal/caps); and
+//   - Loopback, a real TCP driver over localhost sockets, which runs the
+//     very same engine in wall-clock time and validates the asynchronous
+//     upcall contract against a genuine transport.
+//
+// The Driver interface is intentionally narrow: the optimizer only ever
+// needs to know what a driver can do (Caps), whether a send unit is free,
+// and how to post one frame. Everything else — protocols, aggregation,
+// scheduling — lives above.
+package drivers
+
+import (
+	"errors"
+
+	"newmad/internal/caps"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// ErrChannelBusy is returned by Post on an occupied channel. The optimizing
+// layer maintains its own backlog and treats this as a scheduling bug, not
+// a retry condition.
+var ErrChannelBusy = errors.New("drivers: channel busy")
+
+// IdleFunc is invoked when a send channel becomes free. Sim drivers call it
+// on the simulation goroutine; Loopback calls it from a sender goroutine.
+type IdleFunc func(ch int)
+
+// RecvFunc delivers a fully received frame.
+type RecvFunc func(src packet.NodeID, f *packet.Frame)
+
+// Driver is one node's endpoint on one network.
+type Driver interface {
+	// Name identifies the driver instance for diagnostics.
+	Name() string
+	// Node returns the local node id.
+	Node() packet.NodeID
+	// Caps returns the capability record that parameterizes optimization.
+	Caps() caps.Caps
+	// Mem returns the host memory model for staging-cost estimation.
+	Mem() memsim.Model
+	// NumChannels returns the number of independent send units.
+	NumChannels() int
+	// ChannelIdle reports whether channel ch can accept a frame.
+	ChannelIdle(ch int) bool
+	// FirstIdle returns the lowest idle channel, if any.
+	FirstIdle() (int, bool)
+	// Post submits one frame on an idle channel. hostExtra charges
+	// optimizer-side preparation time (ignored by wall-clock drivers,
+	// where preparation takes the time it takes).
+	Post(ch int, f *packet.Frame, hostExtra simnet.Duration) error
+	// SetIdleHandler installs the idle upcall (single handler).
+	SetIdleHandler(fn IdleFunc)
+	// SetRecvHandler installs the delivery upcall (single handler).
+	SetRecvHandler(fn RecvFunc)
+	// Close releases resources. Sim drivers are trivial; Loopback closes
+	// its sockets and stops its goroutines.
+	Close() error
+}

@@ -1,0 +1,256 @@
+package drivers
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+)
+
+func simpleFrame(src, dst packet.NodeID, size int) *packet.Frame {
+	return &packet.Frame{
+		Kind: packet.FrameData, Src: src, Dst: dst,
+		Entries: []packet.Entry{{Flow: 1, Msg: 1, Last: true, Payload: make([]byte, size)}},
+	}
+}
+
+func TestClusterConstruction(t *testing.T) {
+	cl, err := NewCluster(3, caps.MX, caps.Elan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Fabrics) != 2 {
+		t.Fatalf("fabrics = %d", len(cl.Fabrics))
+	}
+	d := cl.Driver(0, "mx")
+	if d == nil || d.Caps().Name != "mx" {
+		t.Fatal("mx driver missing")
+	}
+	all := cl.NodeDrivers(1)
+	if len(all) != 2 {
+		t.Fatalf("node drivers = %d", len(all))
+	}
+	if all[0].Caps().Name != "elan" || all[1].Caps().Name != "mx" {
+		t.Fatalf("drivers not sorted: %s, %s", all[0].Caps().Name, all[1].Caps().Name)
+	}
+	if d.Name() != "mx@n0" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if d.Mem().CopyBandwidth <= 0 {
+		t.Fatal("driver memory model unset")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(1, caps.MX); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	if _, err := NewCluster(2); err == nil {
+		t.Fatal("no-profile cluster accepted")
+	}
+	if _, err := NewCluster(2, caps.MX, caps.MX); err == nil {
+		t.Fatal("duplicate profile accepted")
+	}
+}
+
+func TestSimDriverRoundTrip(t *testing.T) {
+	cl, err := NewCluster(2, caps.MX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cl.Driver(0, "mx")
+	dst := cl.Driver(1, "mx")
+	var got *packet.Frame
+	idles := 0
+	src.SetIdleHandler(func(ch int) { idles++ })
+	dst.SetRecvHandler(func(from packet.NodeID, f *packet.Frame) { got = f })
+	if err := src.Post(0, simpleFrame(0, 1, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Post(0, simpleFrame(0, 1, 100), 0); err != ErrChannelBusy {
+		t.Fatalf("busy post: %v", err)
+	}
+	cl.Eng.Run()
+	if got == nil || got.PayloadSize() != 100 {
+		t.Fatal("frame not delivered through sim driver")
+	}
+	if idles != 1 {
+		t.Fatalf("idle upcalls = %d", idles)
+	}
+	// Handlers can be cleared.
+	src.SetIdleHandler(nil)
+	dst.SetRecvHandler(nil)
+	if err := src.Post(0, simpleFrame(0, 1, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run() // must not panic with nil handlers
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	recv := make(chan *packet.Frame, 1)
+	idle := make(chan int, 1)
+	nodes[1].SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+		if src != 0 {
+			t.Errorf("src = %d", src)
+		}
+		recv <- f
+	})
+	nodes[0].SetIdleHandler(func(ch int) { idle <- ch })
+
+	f := &packet.Frame{
+		Kind: packet.FrameData, Src: 0, Dst: 1,
+		Entries: []packet.Entry{
+			{Flow: 3, Msg: 9, Seq: 0, Last: false, Recv: packet.RecvExpress, Payload: []byte("head")},
+			{Flow: 3, Msg: 9, Seq: 1, Last: true, Payload: []byte("body")},
+		},
+	}
+	if err := nodes[0].Post(0, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-recv:
+		if len(got.Entries) != 2 || string(got.Entries[0].Payload) != "head" {
+			t.Fatalf("frame corrupted: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame never arrived over loopback")
+	}
+	select {
+	case <-idle:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle upcall never fired")
+	}
+}
+
+func TestLoopbackBidirectional(t *testing.T) {
+	nodes, cleanup, err := NewLoopbackCluster(3, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	var mu sync.Mutex
+	got := map[packet.NodeID]int{}
+	done := make(chan struct{}, 16)
+	for _, n := range nodes {
+		n := n
+		n.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+			mu.Lock()
+			got[n.Node()]++
+			mu.Unlock()
+			done <- struct{}{}
+		})
+	}
+	// Every node sends one frame to every other node.
+	sent := 0
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a.Node() == b.Node() {
+				continue
+			}
+			ch, ok := a.FirstIdle()
+			if !ok {
+				t.Fatal("no idle channel")
+			}
+			if err := a.Post(ch, simpleFrame(a.Node(), b.Node(), 32), 0); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+			// Wait for this frame before reusing channels (keep it simple).
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("frame lost")
+			}
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+	if total != sent {
+		t.Fatalf("delivered %d of %d", total, sent)
+	}
+}
+
+func TestLoopbackErrors(t *testing.T) {
+	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	n0 := nodes[0]
+	if err := n0.Post(99, simpleFrame(0, 1, 8), 0); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+	if err := n0.Post(0, simpleFrame(1, 0, 8), 0); err == nil {
+		t.Fatal("foreign src accepted")
+	}
+	if err := n0.Post(0, simpleFrame(0, 7, 8), 0); err == nil {
+		t.Fatal("unconnected destination accepted")
+	}
+	if n0.NumChannels() != caps.TCP.Channels {
+		t.Fatalf("channels = %d", n0.NumChannels())
+	}
+	if n0.Node() != 0 || n0.Caps().Name != "tcp" || n0.Name() == "" {
+		t.Fatal("identity accessors broken")
+	}
+}
+
+func TestLoopbackCloseIdempotentAndPostAfterClose(t *testing.T) {
+	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err == nil {
+		t.Fatal("post after close accepted")
+	}
+}
+
+func TestLoopbackChannelBusySemantics(t *testing.T) {
+	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	// Saturate channel 0 with a large frame and verify ErrChannelBusy can
+	// occur, then that the channel recovers.
+	idle := make(chan struct{}, 8)
+	nodes[0].SetIdleHandler(func(int) { idle <- struct{}{} })
+	nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) {})
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-idle:
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel never became idle")
+	}
+	if !nodes[0].ChannelIdle(0) {
+		t.Fatal("channel not idle after upcall")
+	}
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err != nil {
+		t.Fatalf("post after idle: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package drivers
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+)
+
+func TestLoopbackRejectsInvalidCaps(t *testing.T) {
+	bad := caps.TCP
+	bad.Bandwidth = 0
+	if _, err := NewLoopback(0, bad); err == nil {
+		t.Fatal("invalid caps accepted")
+	}
+}
+
+func TestLoopbackDialErrors(t *testing.T) {
+	a, err := NewLoopback(0, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Dial(1, "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	// Dialing after close is refused.
+	b, err := NewLoopback(1, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	b.Close()
+	a.Close()
+	if err := a.Dial(1, addr); err == nil {
+		t.Fatal("dial after close accepted")
+	}
+}
+
+func TestLoopbackRedial(t *testing.T) {
+	// Re-dialing a peer replaces the connection; traffic still flows.
+	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := nodes[0].Dial(nodes[1].Node(), nodes[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{}, 1)
+	nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) { got <- struct{}{} })
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 32), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame lost after redial")
+	}
+}
+
+func TestLoopbackCorruptStreamClosesReader(t *testing.T) {
+	// A peer that sends an absurd length prefix must not make the reader
+	// allocate unboundedly; the stream is dropped.
+	a, err := NewLoopback(0, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Handshake as node 9, then send a poisoned length.
+	conn, err := dialRaw(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0, 0, 0, 9}); err != nil { // hello: node 9
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil { // 4 GiB frame
+		t.Fatal(err)
+	}
+	// Reader should close the connection; a subsequent write eventually
+	// errors. Just ensure the process survives and Close still works.
+	time.Sleep(50 * time.Millisecond)
+}
+
+// dialRaw opens a plain TCP connection for protocol-poisoning tests.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}

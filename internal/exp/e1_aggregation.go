@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/workload"
+)
+
+// E1 — the paper's headline claim (§4): "the aggregation of eager segments
+// collected from several independent communication flows brings huge
+// performance gains" over the previous, deterministic per-flow Madeleine.
+//
+// Workload: F independent flows on one node, each sending a stream of
+// small eager messages to the same peer, back to back. Strategies
+// compared: fifo (previous Madeleine), aggregate-intraflow (aggregation
+// without flow mixing), aggregate (the new engine). Reported per flow
+// count: network transactions, completion time, message rate, mean
+// latency, and the speedup of the new engine over the baseline.
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Cross-flow aggregation of eager segments vs previous Madeleine",
+		Claim: "§4: aggregating eager segments from several independent flows brings huge gains",
+		Run:   runE1,
+	})
+}
+
+// e1Point runs one (bundle, flows) cell. Per-flow arrivals are moderate
+// Poisson streams: an individual flow rarely has two packets waiting at
+// once, so aggregation material exists only *across* flows — the exact
+// situation §4's claim is about. (Back-to-back arrivals would let a flow
+// aggregate with itself and hide the cross-flow effect.)
+func e1Point(bundle string, flows, perFlow, size int, seed uint64) (Metrics, error) {
+	rig, err := NewRig(RigOptions{Bundle: bundle})
+	if err != nil {
+		return Metrics{}, err
+	}
+	d := workload.NewDriver(rig.Cl.Eng, rig.Engines, seed)
+	for f := 0; f < flows; f++ {
+		d.Add(workload.FlowSpec{
+			Flow: packet.FlowID(f + 1), Src: 0, Dst: 1,
+			Class: packet.ClassSmall,
+			Size:  workload.Fixed(size),
+			Arrival: workload.Poisson{
+				Mean: 4 * simnet.Microsecond,
+			},
+			Count: perFlow,
+		})
+	}
+	return rig.Run(flows * perFlow)
+}
+
+func runE1(cfg Config) []*stats.Table {
+	perFlow, size := 64, 64
+	flowCounts := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		perFlow = 16
+		flowCounts = []int{1, 4, 8}
+	}
+	t := stats.NewTable("E1 — cross-flow eager aggregation (MX, 64 B messages)",
+		"flows", "strategy", "frames", "time(µs)", "msg/s", "meanLat(µs)", "speedup")
+	t.Caption = "speedup = fifo completion time / strategy completion time, same workload"
+
+	for _, flows := range flowCounts {
+		base, err := e1Point("fifo", flows, perFlow, size, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		for _, bundle := range []string{"fifo", "aggregate-intraflow", "aggregate"} {
+			m, err := e1Point(bundle, flows, perFlow, size, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			speedup := float64(base.End) / float64(m.End)
+			t.AddRow(
+				fmt.Sprintf("%d", flows),
+				bundle,
+				fmt.Sprintf("%d", m.Frames),
+				stats.FormatFloat(float64(m.End)/1000),
+				stats.FormatFloat(m.MsgPerSec),
+				stats.FormatFloat(m.MeanLatUs),
+				fmt.Sprintf("%.2fx", speedup),
+			)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// E1Speedup exposes the headline number for tests: the aggregate-engine
+// speedup over fifo at the given flow count.
+func E1Speedup(flows int, cfg Config) float64 {
+	perFlow := 64
+	if cfg.Quick {
+		perFlow = 16
+	}
+	base, err := e1Point("fifo", flows, perFlow, 64, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	agg, err := e1Point("aggregate", flows, perFlow, 64, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return float64(base.End) / float64(agg.End)
+}

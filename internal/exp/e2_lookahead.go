@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/workload"
+)
+
+// E2 — the paper's first named future-work study (§4): "experiment with
+// different packet lookahead window sizes."
+//
+// Workload: bursty multi-flow traffic (packets arrive in batches, so a
+// backlog exists whenever the NIC goes idle). The lookahead window bounds
+// how deep into the waiting list the optimizer may look when composing a
+// frame. Small windows forfeit aggregation opportunities; unbounded
+// windows maximize them at higher scan cost (measured as wall time).
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Packet lookahead window size sweep",
+		Claim: "§4 future work: effect of the lookahead window on optimization quality",
+		Run:   runE2,
+	})
+}
+
+func e2Point(window, flows, perFlow int, seed uint64) (Metrics, error) {
+	rig, err := NewRig(RigOptions{Lookahead: window})
+	if err != nil {
+		return Metrics{}, err
+	}
+	d := workload.NewDriver(rig.Cl.Eng, rig.Engines, seed)
+	for f := 0; f < flows; f++ {
+		d.Add(workload.FlowSpec{
+			Flow: packet.FlowID(f + 1), Src: 0, Dst: 1,
+			Class: packet.ClassSmall,
+			Size:  workload.Uniform{Lo: 32, Hi: 256},
+			Arrival: &workload.Bursts{
+				Size: 8, Gap: 30 * simnet.Microsecond,
+			},
+			Count: perFlow,
+		})
+	}
+	return rig.Run(flows * perFlow)
+}
+
+func runE2(cfg Config) []*stats.Table {
+	flows, perFlow := 8, 48
+	windows := []int{1, 2, 4, 8, 16, 32, 0}
+	if cfg.Quick {
+		flows, perFlow = 4, 16
+		windows = []int{1, 4, 0}
+	}
+	t := stats.NewTable("E2 — lookahead window sweep (bursty traffic, MX)",
+		"window", "frames", "time(µs)", "meanLat(µs)", "p99Lat(µs)", "wall(ms)")
+	t.Caption = "window 0 = unbounded; fewer frames and lower completion time indicate better plans"
+	for _, w := range windows {
+		m, err := e2Point(w, flows, perFlow, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		label := fmt.Sprintf("%d", w)
+		if w == 0 {
+			label = "∞"
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%d", m.Frames),
+			stats.FormatFloat(float64(m.End)/1000),
+			stats.FormatFloat(m.MeanLatUs),
+			stats.FormatFloat(m.P99LatUs),
+			stats.FormatFloat(float64(m.Wall.Microseconds())/1000),
+		)
+	}
+	return []*stats.Table{t}
+}
+
+// E2Frames exposes the frame count for a window (test oracle).
+func E2Frames(window int, cfg Config) uint64 {
+	flows, perFlow := 8, 48
+	if cfg.Quick {
+		flows, perFlow = 4, 16
+	}
+	m, err := e2Point(window, flows, perFlow, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return m.Frames
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+	"newmad/internal/workload"
+)
+
+// E5 — §2: the scheduler "may assign some of these resources to different
+// classes of traffic (assigning different channel[s] to large synchronous
+// sends, put/get transfers and control/signalling messages)".
+//
+// Workload: a continuous stream of bulk sends saturates the node while
+// latency-critical control pings run concurrently. With a single shared
+// queue the pings serialize behind multi-kilobyte frames; with a reserved
+// control lane (or the adaptive partitioner) they keep their microsecond
+// latency.
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Title: "Traffic classes on dedicated channels",
+		Claim: "§2: class-to-channel assignment protects control latency under bulk load",
+		Run:   runE5,
+	})
+}
+
+// e5Point runs bulk+control with the named class policy and returns the
+// control-ping latency distribution.
+func e5Point(classes strategy.ClassPolicy, pings, bulks int, seed uint64) (Metrics, error) {
+	b, err := strategy.New("aggregate")
+	if err != nil {
+		return Metrics{}, err
+	}
+	b.Classes = classes
+
+	// Two channels: enough for one reserved control lane plus a bulk lane.
+	prof := caps.MX
+	prof.Channels = 2
+	rig, err := NewRig(RigOptions{Profiles: []caps.Caps{prof}})
+	if err != nil {
+		return Metrics{}, err
+	}
+	for _, eng := range rig.Engines {
+		if err := eng.SetBundle(b); err != nil {
+			return Metrics{}, err
+		}
+	}
+	d := workload.NewDriver(rig.Cl.Eng, rig.Engines, seed)
+	// Bulk stream: 16 KiB eager frames back to back (below rendezvous
+	// threshold so they hold the channel).
+	d.Add(workload.FlowSpec{
+		Flow: 1, Src: 0, Dst: 1, Class: packet.ClassBulk,
+		Size: workload.Fixed(16 << 10), Arrival: workload.BackToBack{},
+		Count: bulks,
+	})
+	// Control pings every 20 µs.
+	d.Add(workload.FlowSpec{
+		Flow: 2, Src: 0, Dst: 1, Class: packet.ClassControl,
+		Recv: packet.RecvExpress,
+		Size: workload.Fixed(16), Arrival: workload.Poisson{Mean: 20 * simnet.Microsecond},
+		Count: pings,
+	})
+	return rig.Run(pings + bulks)
+}
+
+func runE5(cfg Config) []*stats.Table {
+	pings, bulks := 100, 60
+	if cfg.Quick {
+		pings, bulks = 30, 20
+	}
+	t := stats.NewTable("E5 — control latency under bulk load (MX, 2 channels)",
+		"class policy", "ctrl p50(µs)", "ctrl p99(µs)", "time(µs)", "frames")
+	t.Caption = "single = one shared queue; reserved = channel 0 dedicated to control"
+	for _, tc := range []struct {
+		name   string
+		policy strategy.ClassPolicy
+	}{
+		{"single", strategy.SingleQueue{}},
+		{"reserved", strategy.ReservedControl{}},
+		{"adaptive", strategy.NewAdaptiveClasses(64)},
+	} {
+		m, err := e5Point(tc.policy, pings, bulks, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(tc.name,
+			stats.FormatFloat(ctrlP(m, 0.5)),
+			stats.FormatFloat(m.CtrlP99Us),
+			stats.FormatFloat(float64(m.End)/1000),
+			fmt.Sprintf("%d", m.Frames),
+		)
+	}
+	return []*stats.Table{t}
+}
+
+// ctrlP returns the control-latency quantile in µs; Metrics carries p99
+// directly, p50 comes from the same histogram via the median field.
+func ctrlP(m Metrics, q float64) float64 {
+	if q == 0.99 {
+		return m.CtrlP99Us
+	}
+	return m.CtrlP50Us
+}
+
+// E5ControlP99 exposes the p99 control latency for the shape tests.
+func E5ControlP99(policy strategy.ClassPolicy, cfg Config) float64 {
+	pings, bulks := 100, 60
+	if cfg.Quick {
+		pings, bulks = 30, 20
+	}
+	m, err := e5Point(policy, pings, bulks, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return m.CtrlP99Us
+}

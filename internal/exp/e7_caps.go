@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+	"newmad/internal/stats"
+	"newmad/internal/workload"
+)
+
+// E7 — §1: "All these decisions must be consistent with the capabilities
+// of the underlying network drivers."
+//
+// The same aggregation workload runs over four capability profiles:
+// MX (16-entry gather), Elan (no gather — aggregation stages through a
+// memcpy), IB (4-entry SGE lists) and IB with inline sends (a PIO window).
+// The optimizer's behaviour — how many packets per frame, what staging
+// cost it pays, where aggregation stops being profitable — follows the
+// capability record, not the workload.
+
+func init() {
+	register(Experiment{
+		ID:    "E7",
+		Title: "Optimization parameterized by driver capabilities",
+		Claim: "§1: decisions follow the driver capability record (gather/copy, PIO/DMA, limits)",
+		Run:   runE7,
+	})
+}
+
+func e7Point(prof caps.Caps, flows, perFlow, size int, seed uint64) (Metrics, error) {
+	rig, err := NewRig(RigOptions{Profiles: []caps.Caps{SingleChannel(prof)}})
+	if err != nil {
+		return Metrics{}, err
+	}
+	d := workload.NewDriver(rig.Cl.Eng, rig.Engines, seed)
+	for f := 0; f < flows; f++ {
+		d.Add(workload.FlowSpec{
+			Flow: packet.FlowID(f + 1), Src: 0, Dst: 1,
+			Class:   packet.ClassSmall,
+			Size:    workload.Fixed(size),
+			Arrival: workload.BackToBack{},
+			Count:   perFlow,
+		})
+	}
+	return rig.Run(flows * perFlow)
+}
+
+func runE7(cfg Config) []*stats.Table {
+	flows, perFlow := 8, 32
+	if cfg.Quick {
+		flows, perFlow = 4, 12
+	}
+	ibInline, _ := caps.Lookup("ib-inline")
+
+	t := stats.NewTable("E7 — capability parameterization (8 flows, back-to-back)",
+		"profile", "gather", "msg size", "frames", "pkts/frame", "time(µs)", "meanLat(µs)")
+	t.Caption = "gather hardware aggregates via iovecs; Elan stages through a copy; limits cap frame size"
+	for _, size := range []int{64, 1024} {
+		for _, prof := range []caps.Caps{caps.MX, caps.Elan, caps.IB, ibInline} {
+			m, err := e7Point(prof, flows, perFlow, size, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			gather := "copy"
+			if prof.Gather() {
+				gather = fmt.Sprintf("iov %d", prof.MaxIOV)
+			}
+			t.AddRow(prof.Name, gather,
+				fmt.Sprintf("%dB", size),
+				fmt.Sprintf("%d", m.Frames),
+				stats.FormatFloat(float64(m.Delivered)/float64(m.Frames)),
+				stats.FormatFloat(float64(m.End)/1000),
+				stats.FormatFloat(m.MeanLatUs),
+			)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// E7PacketsPerFrame exposes the mean aggregation depth per profile.
+func E7PacketsPerFrame(prof caps.Caps, cfg Config) float64 {
+	flows, perFlow := 8, 32
+	if cfg.Quick {
+		flows, perFlow = 4, 12
+	}
+	m, err := e7Point(prof, flows, perFlow, 64, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return float64(m.Delivered) / float64(m.Frames)
+}

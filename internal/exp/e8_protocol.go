@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+	"newmad/internal/workload"
+)
+
+// E8 — §1: communication libraries select among "eager, rendezvous and
+// remote memory access protocols" per message. The classic Madeleine-style
+// latency/bandwidth curves: one flow, message size swept from 8 B to
+// 1 MiB, under three protocol policies — the capability-driven threshold,
+// eager-always, and rendezvous-always. Eager wins below the threshold
+// (no RTS/CTS round trip), rendezvous wins above it (no staging copies,
+// flow-controlled receiver); the crossover is the driver's threshold.
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Eager/rendezvous protocol selection across message sizes",
+		Claim: "§1: per-message protocol choice; threshold follows the driver profile",
+		Run:   runE8,
+	})
+}
+
+func e8Point(policy strategy.ProtocolPolicy, size, count int, seed uint64) (Metrics, error) {
+	b, err := strategy.New("aggregate")
+	if err != nil {
+		return Metrics{}, err
+	}
+	b.Protocol = policy
+	rig, err := NewRig(RigOptions{})
+	if err != nil {
+		return Metrics{}, err
+	}
+	for _, eng := range rig.Engines {
+		if err := eng.SetBundle(b); err != nil {
+			return Metrics{}, err
+		}
+	}
+	d := workload.NewDriver(rig.Cl.Eng, rig.Engines, seed)
+	class := packet.ClassSmall
+	if size >= 8<<10 {
+		class = packet.ClassBulk
+	}
+	d.Add(workload.FlowSpec{
+		Flow: 1, Src: 0, Dst: 1, Class: class,
+		Size: workload.Fixed(size), Arrival: workload.BackToBack{},
+		Count: count,
+	})
+	return rig.Run(count)
+}
+
+func runE8(cfg Config) []*stats.Table {
+	count := 12
+	sizes := []int{8, 64, 512, 4 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10, 1 << 20}
+	if cfg.Quick {
+		count = 4
+		sizes = []int{64, 16 << 10, 256 << 10}
+	}
+	policies := []struct {
+		name   string
+		policy strategy.ProtocolPolicy
+	}{
+		{"threshold(32K)", strategy.ThresholdProtocol{}},
+		{"eager-always", strategy.EagerAlways{}},
+		{"rndv-always", strategy.ThresholdProtocol{Override: 1}},
+	}
+	bwT := stats.NewTable("E8 — achieved bandwidth by protocol policy (MX, MB/s)",
+		"size", "threshold(32K)", "eager-always", "rndv-always")
+	bwT.Caption = "bandwidth = payload delivered / completion time; crossover sits at the driver threshold"
+	latT := stats.NewTable("E8 — per-message time by protocol policy (MX, µs)",
+		"size", "threshold(32K)", "eager-always", "rndv-always")
+	for _, size := range sizes {
+		bwRow := []string{sizeLabel(size)}
+		latRow := []string{sizeLabel(size)}
+		for _, p := range policies {
+			m, err := e8Point(p.policy, size, count, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			secs := float64(m.End) / 1e9
+			mbps := float64(size*count) / secs / 1e6
+			bwRow = append(bwRow, stats.FormatFloat(mbps))
+			latRow = append(latRow, stats.FormatFloat(float64(m.End)/float64(count)/1000))
+		}
+		bwT.AddRow(bwRow...)
+		latT.AddRow(latRow...)
+	}
+	return []*stats.Table{bwT, latT}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// E8Time returns per-message completion time under a policy (test oracle).
+func E8Time(policy strategy.ProtocolPolicy, size int, cfg Config) float64 {
+	count := 12
+	if cfg.Quick {
+		count = 4
+	}
+	m, err := e8Point(policy, size, count, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return float64(m.End) / float64(count)
+}

@@ -1,0 +1,231 @@
+// Package exp is the benchmark harness: one module per experiment in the
+// reproduction plan (DESIGN.md §4), each regenerating the table or series
+// that substantiates one claim of the paper. cmd/madbench prints them; the
+// root-level bench_test.go wraps each in a testing.B benchmark; the tests
+// in this package assert the *shape* of each result (who wins, roughly by
+// how much), which is the reproduction's acceptance criterion.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/mad"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks workloads for unit tests and -short mode.
+	Quick bool
+	// Seed feeds every RNG in the run.
+	Seed uint64
+}
+
+// Experiment is one reproducible result.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string // the paper statement this experiment substantiates
+	Run   func(cfg Config) []*stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns the experiments in natural order: the paper's E-series by
+// number, then addenda (X-series) alphabetically.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	rank := func(id string) (series int, n int) {
+		var num int
+		if c, _ := fmt.Sscanf(id, "E%d", &num); c == 1 {
+			return 0, num
+		}
+		return 1, 0
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, ni := rank(out[i].ID)
+		sj, nj := rank(out[j].ID)
+		if si != sj {
+			return si < sj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Rig is a ready-to-run simulated cluster with one engine (and optionally
+// one mad session) per node.
+type Rig struct {
+	Cl       *drivers.Cluster
+	Engines  map[packet.NodeID]*core.Engine
+	Sessions map[packet.NodeID]*mad.Session
+	// Delivered counts per node.
+	Delivered map[packet.NodeID]int
+}
+
+// RigOptions configures rig construction.
+type RigOptions struct {
+	Nodes    int
+	Profiles []caps.Caps // default: single-channel MX
+	Bundle   string      // default "aggregate"
+
+	Lookahead    int
+	Nagle        simnet.Duration
+	NagleFlush   int
+	SearchBudget int
+
+	// WithSessions routes deliveries into mad sessions (middleware-driven
+	// experiments). Raw packet workloads leave it false: their synthetic
+	// flow ids do not correspond to mad channels.
+	WithSessions bool
+
+	// OnDeliver, when set, observes every delivery (after counting).
+	OnDeliver func(node packet.NodeID, d proto.Deliverable)
+}
+
+// SingleChannel returns profile c restricted to one send channel, the
+// configuration that exposes backlog dynamics most clearly.
+func SingleChannel(c caps.Caps) caps.Caps {
+	c.Channels = 1
+	return c
+}
+
+// NewRig builds the cluster and engines.
+func NewRig(o RigOptions) (*Rig, error) {
+	if o.Nodes < 2 {
+		o.Nodes = 2
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = []caps.Caps{SingleChannel(caps.MX)}
+	}
+	if o.Bundle == "" {
+		o.Bundle = "aggregate"
+	}
+	cl, err := drivers.NewCluster(o.Nodes, o.Profiles...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rig{
+		Cl:        cl,
+		Engines:   make(map[packet.NodeID]*core.Engine),
+		Sessions:  make(map[packet.NodeID]*mad.Session),
+		Delivered: make(map[packet.NodeID]int),
+	}
+	for n := 0; n < o.Nodes; n++ {
+		node := packet.NodeID(n)
+		b, err := strategy.New(o.Bundle)
+		if err != nil {
+			return nil, err
+		}
+		var rails []drivers.Driver
+		for _, d := range cl.NodeDrivers(node) {
+			rails = append(rails, d)
+		}
+		sess, err := mad.Bind(node, func(deliver proto.DeliverFunc) (*core.Engine, error) {
+			wrapped := func(d proto.Deliverable) {
+				r.Delivered[node]++
+				if o.OnDeliver != nil {
+					o.OnDeliver(node, d)
+				}
+				if o.WithSessions {
+					deliver(d)
+				}
+			}
+			return core.New(node, core.Options{
+				Bundle:          b,
+				Runtime:         cl.Eng,
+				Rails:           rails,
+				Deliver:         wrapped,
+				Lookahead:       o.Lookahead,
+				NagleDelay:      o.Nagle,
+				NagleFlushCount: o.NagleFlush,
+				SearchBudget:    o.SearchBudget,
+				Stats:           cl.Stats,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Engines[node] = sess.Engine()
+		r.Sessions[node] = sess
+	}
+	return r, nil
+}
+
+// Metrics summarizes one run.
+type Metrics struct {
+	End        simnet.Time
+	Wall       time.Duration
+	Frames     uint64
+	Packets    uint64
+	Aggregates uint64
+	MeanLatUs  float64
+	P50LatUs   float64
+	P99LatUs   float64
+	CtrlP50Us  float64
+	CtrlP99Us  float64
+	MsgPerSec  float64
+	Delivered  int
+}
+
+// Run drains the simulation and collects metrics. expected is the number
+// of deliveries the workload should produce (0 = skip the check).
+func (r *Rig) Run(expected int) (Metrics, error) {
+	start := time.Now()
+	end := r.Cl.Eng.Run()
+	wall := time.Since(start)
+	total := 0
+	for _, n := range r.Delivered {
+		total += n
+	}
+	if expected > 0 && total != expected {
+		return Metrics{}, fmt.Errorf("exp: delivered %d of %d", total, expected)
+	}
+	lat := r.Cl.Stats.Histogram("core.delivery_latency_ns")
+	ctrl := r.Cl.Stats.Histogram("core.control_latency_ns")
+	m := Metrics{
+		End:        end,
+		Wall:       wall,
+		Frames:     r.Cl.Stats.CounterValue("nic.tx.frames"),
+		Packets:    r.Cl.Stats.CounterValue("core.packets_sent"),
+		Aggregates: r.Cl.Stats.CounterValue("core.aggregates"),
+		MeanLatUs:  lat.Mean() / 1000,
+		P50LatUs:   lat.Quantile(0.5) / 1000,
+		P99LatUs:   lat.Quantile(0.99) / 1000,
+		CtrlP50Us:  ctrl.Quantile(0.5) / 1000,
+		CtrlP99Us:  ctrl.Quantile(0.99) / 1000,
+		Delivered:  total,
+	}
+	if end > 0 {
+		m.MsgPerSec = float64(total) / (float64(end) / float64(simnet.Second))
+	}
+	return m, nil
+}

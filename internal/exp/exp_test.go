@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+var quick = Config{Quick: true, Seed: 1}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registered %d experiments, want 11 (E1..E10 + X1)", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Natural ordering: E1..E10, then the X-series addenda.
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[10].ID != "X1" {
+		t.Fatalf("ordering: first=%s ninth=%s last=%s", all[0].ID, all[9].ID, all[10].ID)
+	}
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("Get(E1) failed")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("Get(E99) succeeded")
+	}
+}
+
+func TestX1ShapeWANAggregation(t *testing.T) {
+	fifo := X1Goodput("fifo", 8, quick)
+	agg := X1Goodput("aggregate", 8, quick)
+	if agg <= fifo {
+		t.Fatalf("WAN goodput: aggregate %.2f MB/s !> fifo %.2f MB/s", agg, fifo)
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(quick)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.ID, tb.Title)
+				}
+				if !strings.Contains(out, "==") {
+					t.Fatalf("%s: malformed table:\n%s", e.ID, out)
+				}
+			}
+		})
+	}
+}
+
+// --- Shape assertions: the reproduction's acceptance criteria. -------------
+
+func TestE1ShapeAggregationWins(t *testing.T) {
+	// The headline: with several flows, the aggregating engine must beat
+	// the previous Madeleine by a wide margin; with one flow the gap
+	// narrows (aggregation needs concurrency to feed on).
+	multi := E1Speedup(8, quick)
+	if multi < 2.0 {
+		t.Fatalf("8-flow aggregation speedup = %.2fx, want >= 2x (the paper's 'huge gains')", multi)
+	}
+	single := E1Speedup(1, quick)
+	if single > multi {
+		t.Fatalf("single-flow speedup %.2fx exceeds multi-flow %.2fx", single, multi)
+	}
+}
+
+func TestE2ShapeWiderWindowFewerFrames(t *testing.T) {
+	narrow := E2Frames(1, quick)
+	wide := E2Frames(0, quick)
+	if wide >= narrow {
+		t.Fatalf("frames: window=1 %d, unbounded %d — wider window should aggregate more", narrow, wide)
+	}
+}
+
+func TestE3ShapeNagleTradeoff(t *testing.T) {
+	none := E3Point(0, quick)
+	delayed := E3Point(32*simnet.Microsecond, quick)
+	if delayed.Frames >= none.Frames {
+		t.Fatalf("frames: no-delay %d, 32µs %d — delay should reduce transactions", none.Frames, delayed.Frames)
+	}
+	if delayed.MeanLatUs <= none.MeanLatUs {
+		t.Fatalf("latency: no-delay %.1fµs, 32µs %.1fµs — delay must cost latency", none.MeanLatUs, delayed.MeanLatUs)
+	}
+}
+
+func TestE4ShapeSharedRailsWin(t *testing.T) {
+	single, pinned, shared := E4Times(quick)
+	if shared >= single {
+		t.Fatalf("dual shared (%v) not faster than single rail (%v)", shared, single)
+	}
+	if shared >= pinned {
+		t.Fatalf("shared pool (%v) not faster than pinned mapping (%v)", shared, pinned)
+	}
+}
+
+func TestE5ShapeReservedLaneProtectsControl(t *testing.T) {
+	single := E5ControlP99(strategy.SingleQueue{}, quick)
+	reserved := E5ControlP99(strategy.ReservedControl{}, quick)
+	if reserved >= single {
+		t.Fatalf("control p99: reserved %.1fµs !< single-queue %.1fµs", reserved, single)
+	}
+}
+
+func TestE6ShapeQualitySaturates(t *testing.T) {
+	q1 := E6Quality(1, quick)
+	q16 := E6Quality(16, quick)
+	if q16 > q1 {
+		t.Fatalf("budget 16 (%v) worse than budget 1 (%v)", q16, q1)
+	}
+	// Saturation: going far beyond the useful budget changes little.
+	q64 := E6Quality(64, quick)
+	if q64 > q16*1.1 {
+		t.Fatalf("budget 64 (%v) much worse than 16 (%v)", q64, q16)
+	}
+}
+
+func TestE7ShapeCapabilityDriven(t *testing.T) {
+	mx := E7PacketsPerFrame(caps.MX, quick)
+	ib := E7PacketsPerFrame(caps.IB, quick)
+	if mx <= ib {
+		t.Fatalf("packets/frame: MX (iov16) %.1f !> IB (iov4) %.1f", mx, ib)
+	}
+	elan := E7PacketsPerFrame(caps.Elan, quick)
+	if elan <= 1.01 {
+		t.Fatalf("Elan copy-based aggregation inactive: %.2f packets/frame", elan)
+	}
+}
+
+func TestE8ShapeProtocolCrossover(t *testing.T) {
+	// Small messages: eager must beat rendezvous-always (RTS/CTS round
+	// trip dominates).
+	eSmall := E8Time(strategy.EagerAlways{}, 64, quick)
+	rSmall := E8Time(strategy.ThresholdProtocol{Override: 1}, 64, quick)
+	if eSmall >= rSmall {
+		t.Fatalf("64B: eager %.0fns !< rndv %.0fns", eSmall, rSmall)
+	}
+	// Large messages: rendezvous must beat eager (eager pays staging and
+	// SAN frame segmentation; rendezvous streams).
+	eBig := E8Time(strategy.EagerAlways{}, 1<<20, quick)
+	rBig := E8Time(strategy.ThresholdProtocol{}, 1<<20, quick)
+	if rBig >= eBig {
+		t.Fatalf("1MiB: rndv %.0fns !< eager %.0fns", rBig, eBig)
+	}
+}
+
+func TestE9ShapeConglomerateGains(t *testing.T) {
+	fifo, agg := E9Times(quick)
+	if agg >= fifo {
+		t.Fatalf("conglomerate: aggregate (%v) not faster than fifo (%v)", agg, fifo)
+	}
+}
+
+func TestE10ShapeAdaptiveTracksPhases(t *testing.T) {
+	single := E10CtrlP99(strategy.SingleQueue{}, quick)
+	adaptive := E10CtrlP99(strategy.NewAdaptiveClasses(32), quick)
+	if adaptive >= single {
+		t.Fatalf("control p99: adaptive %.1fµs !< single queue %.1fµs", adaptive, single)
+	}
+}

@@ -1,0 +1,277 @@
+package mad
+
+import (
+	"fmt"
+	"sync"
+
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+)
+
+// Channel is a named communication scope. Within a channel, traffic from
+// one source node forms a single FIFO flow; different channels (and
+// different sources) are independent flows the optimizer may freely
+// interleave — this is precisely where cross-flow aggregation finds its
+// material.
+type Channel struct {
+	session *Session
+	name    string
+	index   int
+
+	mu      sync.Mutex
+	conns   map[packet.NodeID]*Connection
+	inflows map[packet.FlowID]*assembly
+
+	onMessage  MessageHandler
+	onExpress  FragmentHandler
+	onFragment FragmentHandler
+}
+
+// MessageHandler receives a fully assembled inbound message.
+type MessageHandler func(src packet.NodeID, msg *Incoming)
+
+// FragmentHandler receives a single fragment as it is delivered.
+type FragmentHandler func(src packet.NodeID, frag *packet.Packet)
+
+// Incoming is an assembled message: fragments in pack order.
+type Incoming struct {
+	Src       packet.NodeID
+	Msg       packet.MsgID
+	Fragments [][]byte
+	// Express flags Fragments[i] that were packed receive_EXPRESS.
+	Express []bool
+}
+
+// assembly accumulates the current message of one inbound flow.
+type assembly struct {
+	msg   *Incoming
+	begun bool
+}
+
+// Name returns the channel name.
+func (c *Channel) Name() string { return c.name }
+
+// OnMessage installs the assembled-message handler.
+func (c *Channel) OnMessage(h MessageHandler) {
+	c.mu.Lock()
+	c.onMessage = h
+	c.mu.Unlock()
+}
+
+// OnExpress installs a handler invoked immediately for every express
+// fragment, before the enclosing message completes — the receiver-side
+// payoff of receive_EXPRESS (e.g. RPC dispatch before arguments arrive).
+func (c *Channel) OnExpress(h FragmentHandler) {
+	c.mu.Lock()
+	c.onExpress = h
+	c.mu.Unlock()
+}
+
+// OnFragment installs a raw per-fragment handler (diagnostics, custom
+// assembly). Message assembly still runs when OnMessage is also set.
+func (c *Channel) OnFragment(h FragmentHandler) {
+	c.mu.Lock()
+	c.onFragment = h
+	c.mu.Unlock()
+}
+
+// Connect returns the connection (the outbound flow) to peer, creating it
+// on first use.
+func (c *Channel) Connect(peer packet.NodeID) *Connection {
+	if peer == c.session.node {
+		panic("mad: connecting a channel to self")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[peer]; ok {
+		return conn
+	}
+	conn := &Connection{
+		channel: c,
+		peer:    peer,
+		flow:    flowID(c.index, c.session.node),
+	}
+	c.conns[peer] = conn
+	return conn
+}
+
+// ingest processes one in-order fragment from the session dispatcher.
+func (c *Channel) ingest(d proto.Deliverable) {
+	p := d.Pkt
+	c.mu.Lock()
+	onFrag, onExpr, onMsg := c.onFragment, c.onExpress, c.onMessage
+	as := c.inflows[p.Flow]
+	if as == nil {
+		as = &assembly{}
+		c.inflows[p.Flow] = as
+	}
+	if !as.begun {
+		as.msg = &Incoming{Src: d.Src, Msg: p.Msg}
+		as.begun = true
+	}
+	if p.Msg != as.msg.Msg {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("mad: channel %q: fragment of message %d while message %d is open (flow %d)",
+			c.name, p.Msg, as.msg.Msg, p.Flow))
+	}
+	as.msg.Fragments = append(as.msg.Fragments, p.Payload)
+	as.msg.Express = append(as.msg.Express, p.Recv == packet.RecvExpress)
+	var complete *Incoming
+	if p.Last {
+		complete = as.msg
+		as.begun = false
+		as.msg = nil
+	}
+	c.mu.Unlock()
+
+	if onFrag != nil {
+		onFrag(d.Src, p)
+	}
+	if onExpr != nil && p.Recv == packet.RecvExpress {
+		onExpr(d.Src, p)
+	}
+	if complete != nil && onMsg != nil {
+		onMsg(complete.Src, complete)
+	}
+}
+
+// Connection is one outbound flow: this node's messages to one peer over
+// one channel. Messages are packed strictly one at a time per connection
+// (Madeleine semantics); concurrent messages belong on distinct channels.
+type Connection struct {
+	channel *Channel
+	peer    packet.NodeID
+	flow    packet.FlowID
+
+	mu      sync.Mutex
+	nextSeq int
+	nextMsg packet.MsgID
+	open    bool
+}
+
+// Peer returns the remote node.
+func (c *Connection) Peer() packet.NodeID { return c.peer }
+
+// Flow returns the wire flow id (diagnostics).
+func (c *Connection) Flow() packet.FlowID { return c.flow }
+
+// BeginPacking starts a new outbound message.
+func (c *Connection) BeginPacking() *Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.open {
+		panic(fmt.Sprintf("mad: BeginPacking with message %d still open on flow %d", c.nextMsg, c.flow))
+	}
+	c.open = true
+	c.nextMsg++
+	return &Message{conn: c, msg: c.nextMsg}
+}
+
+// Message is an outbound structured message under construction.
+type Message struct {
+	conn *Connection
+	msg  packet.MsgID
+	// held are packed fragments not yet submitted: always the most recent
+	// fragment (it may turn out to be the last) and every send_LATER
+	// fragment (whose buffers must not be read before EndPacking).
+	held  []*packet.Packet
+	ended bool
+}
+
+// Pack appends one fragment with the given constraint modes.
+func (m *Message) Pack(data []byte, send packet.SendMode, recv packet.RecvMode) {
+	m.PackClass(data, send, recv, classify(len(data), recv))
+}
+
+// PackClass is Pack with an explicit traffic class (middlewares use it to
+// mark control tokens).
+func (m *Message) PackClass(data []byte, send packet.SendMode, recv packet.RecvMode, class packet.ClassID) {
+	if m.ended {
+		panic("mad: Pack after EndPacking")
+	}
+	c := m.conn
+	c.mu.Lock()
+	payload := data
+	if send == packet.SendSafer {
+		// safer: capture now; caller may immediately reuse the buffer.
+		payload = append([]byte(nil), data...)
+	}
+	p := &packet.Packet{
+		Flow:    c.flow,
+		Msg:     m.msg,
+		Seq:     c.nextSeq,
+		Src:     c.channel.session.node,
+		Dst:     c.peer,
+		Class:   class,
+		Send:    send,
+		Recv:    recv,
+		Payload: payload,
+	}
+	c.nextSeq++
+
+	// Submit every held fragment that is not send_LATER and is not the
+	// new most-recent one; the newest is always held because it may be
+	// the message's last fragment.
+	m.held = append(m.held, p)
+	var still []*packet.Packet
+	for i, h := range m.held {
+		if i == len(m.held)-1 || h.Send == packet.SendLater {
+			still = append(still, h)
+			continue
+		}
+		c.submitLocked(h)
+	}
+	m.held = still
+	c.mu.Unlock()
+}
+
+// EndPacking completes the message: the final fragment is marked Last and
+// all send_LATER fragments are read and submitted. It returns after the
+// packets are handed to the optimizer (never blocking on the network).
+func (m *Message) EndPacking() {
+	if m.ended {
+		panic("mad: double EndPacking")
+	}
+	m.ended = true
+	c := m.conn
+	c.mu.Lock()
+	if len(m.held) == 0 {
+		// Empty message: emit a zero-length terminator so the receiver
+		// still observes a message boundary.
+		p := &packet.Packet{
+			Flow: c.flow, Msg: m.msg, Seq: c.nextSeq,
+			Src: c.channel.session.node, Dst: c.peer,
+			Class: packet.ClassControl, Last: true, Payload: []byte{},
+		}
+		c.nextSeq++
+		c.submitLocked(p)
+	} else {
+		m.held[len(m.held)-1].Last = true
+		for _, h := range m.held {
+			c.submitLocked(h)
+		}
+	}
+	m.held = nil
+	c.open = false
+	c.mu.Unlock()
+}
+
+func (c *Connection) submitLocked(p *packet.Packet) {
+	if err := c.channel.session.engine.Submit(p); err != nil {
+		panic(fmt.Sprintf("mad: submit failed: %v", err))
+	}
+}
+
+// classify applies the default class rule: express fragments are control
+// when tiny (signalling) else small; large payloads are bulk.
+func classify(size int, recv packet.RecvMode) packet.ClassID {
+	const bulkAt = 8 << 10
+	switch {
+	case size >= bulkAt:
+		return packet.ClassBulk
+	case recv == packet.RecvExpress && size <= 64:
+		return packet.ClassControl
+	default:
+		return packet.ClassSmall
+	}
+}

@@ -1,0 +1,82 @@
+package mad
+
+import (
+	"errors"
+	"testing"
+
+	"newmad/internal/core"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+)
+
+func TestBindPropagatesBuildErrors(t *testing.T) {
+	_, err := Bind(0, func(proto.DeliverFunc) (*core.Engine, error) {
+		return nil, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("build error swallowed")
+	}
+}
+
+func TestBindRejectsNodeMismatch(t *testing.T) {
+	r := newRig(t, 2, "aggregate")
+	eng := r.sessions[1].Engine() // engine for node 1
+	_, err := Bind(0, func(proto.DeliverFunc) (*core.Engine, error) {
+		return eng, nil
+	})
+	if err == nil {
+		t.Fatal("node mismatch accepted")
+	}
+}
+
+func TestOnFragmentSeesEveryFragment(t *testing.T) {
+	r := newRig(t, 2, "aggregate")
+	var frags []string
+	ch := r.sessions[1].Channel("raw")
+	ch.OnFragment(func(src packet.NodeID, f *packet.Packet) {
+		frags = append(frags, string(f.Payload))
+	})
+	conn := r.sessions[0].Channel("raw").Connect(1)
+	m := conn.BeginPacking()
+	m.Pack([]byte("one"), SendCheaper, RecvExpress)
+	m.Pack([]byte("two"), SendCheaper, RecvCheaper)
+	m.EndPacking()
+	r.cl.Eng.Run()
+	if len(frags) != 2 || frags[0] != "one" || frags[1] != "two" {
+		t.Fatalf("fragment handler saw %v", frags)
+	}
+}
+
+func TestDispatchUnknownChannelPanics(t *testing.T) {
+	r := newRig(t, 2, "aggregate")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown channel index accepted")
+		}
+	}()
+	// Deliver a fragment whose flow names a channel index that was never
+	// created on this session.
+	r.sessions[1].Dispatch(proto.Deliverable{
+		Src: 0,
+		Pkt: &packet.Packet{Flow: flowID(7, 0), Payload: []byte("x")},
+	})
+}
+
+func TestInterleavedMessageFromSameFlowPanics(t *testing.T) {
+	// A fragment of message N+1 arriving while message N is still open on
+	// the same inbound flow indicates a sender bug; the assembly must
+	// refuse it loudly.
+	r := newRig(t, 2, "aggregate")
+	ch := r.sessions[1].Channel("app")
+	ch.OnMessage(func(packet.NodeID, *Incoming) {})
+	flow := flowID(0, 0)
+	ch.ingest(proto.Deliverable{Src: 0, Pkt: &packet.Packet{
+		Flow: flow, Msg: 1, Seq: 0, Payload: []byte("a")}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interleaved message accepted")
+		}
+	}()
+	ch.ingest(proto.Deliverable{Src: 0, Pkt: &packet.Packet{
+		Flow: flow, Msg: 2, Seq: 1, Payload: []byte("b")}})
+}

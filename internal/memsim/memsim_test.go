@@ -1,0 +1,164 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newmad/internal/simnet"
+)
+
+func TestModelValidate(t *testing.T) {
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := m
+	bad.CopyBandwidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = m
+	bad.PageSize = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero page size accepted")
+	}
+	bad = m
+	bad.CopyLatency = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestCopyCostMonotone(t *testing.T) {
+	m := DefaultModel()
+	if m.CopyCost(0) != 0 {
+		t.Fatal("zero-byte copy should be free")
+	}
+	prev := simnet.Duration(0)
+	for _, n := range []int{1, 64, 4096, 65536, 1 << 20} {
+		c := m.CopyCost(n)
+		if c <= prev {
+			t.Fatalf("CopyCost(%d) = %v not > previous %v", n, c, prev)
+		}
+		prev = c
+	}
+	// 1.6 GB/s: 1 MiB should take ~655 µs plus setup.
+	c := m.CopyCost(1 << 20)
+	if c < 600*simnet.Microsecond || c > 700*simnet.Microsecond {
+		t.Fatalf("1MiB copy = %v, want ~655µs", c)
+	}
+}
+
+func TestGatherCost(t *testing.T) {
+	m := DefaultModel()
+	if m.GatherCost(0) != 0 {
+		t.Fatal("empty gather should be free")
+	}
+	if m.GatherCost(4) != 160*simnet.Nanosecond {
+		t.Fatalf("GatherCost(4) = %v", m.GatherCost(4))
+	}
+	// Gather of 8 small entries must be far cheaper than copying 8 KiB.
+	if m.GatherCost(8) >= m.CopyCost(8*1024) {
+		t.Fatal("gather not cheaper than copy — aggregation trade-off broken")
+	}
+}
+
+func TestRegisterCostPages(t *testing.T) {
+	m := DefaultModel()
+	if m.RegisterCost(0) != 0 {
+		t.Fatal("empty registration should be free")
+	}
+	one := m.RegisterCost(1)
+	full := m.RegisterCost(4096)
+	if one != full {
+		t.Fatalf("1 byte (%v) and 4096 bytes (%v) should both pin one page", one, full)
+	}
+	two := m.RegisterCost(4097)
+	if two <= full {
+		t.Fatal("crossing a page boundary should cost more")
+	}
+}
+
+func TestRegCacheHitsAndEviction(t *testing.T) {
+	c := NewRegCache(DefaultModel(), 2)
+	if d := c.Register(0x1000, 4096); d == 0 {
+		t.Fatal("first registration should cost time")
+	}
+	if d := c.Register(0x1000, 4096); d != 0 {
+		t.Fatal("repeat registration should be a free cache hit")
+	}
+	c.Register(0x2000, 4096)
+	c.Register(0x3000, 4096) // evicts LRU (0x1000 was touched most recently before 0x2000... order: 0x1000 MRU after hit, then 0x2000, 0x3000 evicts 0x1000? No: capacity 2, inserting third evicts tail)
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+func TestRegCacheLRUOrder(t *testing.T) {
+	c := NewRegCache(DefaultModel(), 2)
+	c.Register(1, 10)
+	c.Register(2, 10)
+	c.Register(1, 10) // touch 1 -> MRU
+	c.Register(3, 10) // evicts 2
+	if d := c.Register(1, 10); d != 0 {
+		t.Fatal("entry 1 should have survived eviction")
+	}
+	if d := c.Register(2, 10); d == 0 {
+		t.Fatal("entry 2 should have been evicted")
+	}
+}
+
+func TestRegCacheZeroCapacity(t *testing.T) {
+	c := NewRegCache(DefaultModel(), 0)
+	c.Register(1, 10)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want clamped capacity 1", c.Len())
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(1024, 2)
+	b := p.Get()
+	if len(b) != 1024 {
+		t.Fatalf("buffer len = %d", len(b))
+	}
+	b[0] = 0xAA
+	p.Put(b)
+	b2 := p.Get()
+	if &b2[0] != &b[0] {
+		t.Fatal("pool did not recycle the buffer")
+	}
+	p.Put(make([]byte, 10)) // undersized: dropped silently
+	b3 := p.Get()
+	if len(b3) != 1024 {
+		t.Fatalf("pool returned undersized buffer of %d", len(b3))
+	}
+}
+
+func TestPoolPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0, 1) did not panic")
+		}
+	}()
+	NewPool(0, 1)
+}
+
+// Property: copy cost is superadditive-resistant — copying a+b bytes in one
+// pass is never more expensive than two separate copies (one fixed latency
+// amortized). This is the arithmetic behind by-copy aggregation.
+func TestCopyCostAggregationProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16) bool {
+		one := m.CopyCost(int(a) + int(b))
+		two := m.CopyCost(int(a)) + m.CopyCost(int(b))
+		return one <= two
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package minimpi
+
+import "fmt"
+
+// Additional collectives: scatter and all-to-all. Both are dense traffic
+// generators — alltoall in particular creates n×(n−1) concurrent flows in
+// one call, the heaviest cross-flow pressure any middleware in this repo
+// produces.
+
+const (
+	tagScatterBase  = int64(5) << 40
+	tagAlltoallBase = int64(6) << 40
+)
+
+// Scatter distributes chunks[i] from the root to rank i; done fires on
+// every rank with its chunk (the root's own chunk arrives without a
+// network hop). Non-root callers pass nil chunks.
+func (w *World) Scatter(root int, chunks [][]byte, done func(chunk []byte)) {
+	if root < 0 || root >= w.size {
+		panic(fmt.Sprintf("minimpi: scatter root %d out of range", root))
+	}
+	w.mu.Lock()
+	w.collSeq++
+	tag := tagScatterBase + int64(w.collSeq)
+	w.mu.Unlock()
+
+	if w.rank == root {
+		if len(chunks) != w.size {
+			panic(fmt.Sprintf("minimpi: scatter needs %d chunks, got %d", w.size, len(chunks)))
+		}
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := w.Send(r, tag, chunks[r]); err != nil {
+				panic(fmt.Sprintf("minimpi: scatter send: %v", err))
+			}
+		}
+		done(chunks[root])
+		return
+	}
+	w.Recv(root, tag, func(_ int, _ int64, data []byte) { done(data) })
+}
+
+// Alltoall performs the complete exchange: rank i sends send[j] to rank j
+// and done fires with recv where recv[j] is the chunk rank j sent to this
+// rank. The diagonal (send[rank]) is delivered locally.
+func (w *World) Alltoall(send [][]byte, done func(recv [][]byte)) {
+	if len(send) != w.size {
+		panic(fmt.Sprintf("minimpi: alltoall needs %d chunks, got %d", w.size, len(send)))
+	}
+	w.mu.Lock()
+	w.collSeq++
+	tag := tagAlltoallBase + int64(w.collSeq)
+	w.mu.Unlock()
+
+	recv := make([][]byte, w.size)
+	recv[w.rank] = send[w.rank]
+	if w.size == 1 {
+		done(recv)
+		return
+	}
+	remaining := w.size - 1
+	for from := 0; from < w.size; from++ {
+		if from == w.rank {
+			continue
+		}
+		from := from
+		w.Recv(from, tag, func(src int, _ int64, data []byte) {
+			recv[src] = data
+			remaining--
+			if remaining == 0 {
+				done(recv)
+			}
+		})
+	}
+	for to := 0; to < w.size; to++ {
+		if to == w.rank {
+			continue
+		}
+		if err := w.Send(to, tag, send[to]); err != nil {
+			panic(fmt.Sprintf("minimpi: alltoall send: %v", err))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package minirpc is a small remote-procedure-call middleware over the
+// Madeleine packing API — the second middleware substrate of the
+// reproduction, standing in for the CORBA/Java-RMI style of traffic the
+// paper's introduction cites.
+//
+// Each call packs a request message of two fragments: an express header
+// (call id + method name) that lets the server dispatch before the
+// arguments finish arriving, and the argument bytes. The response mirrors
+// it. Many calls may be outstanding; responses correlate by call id.
+// Request/response traffic from concurrent clients is exactly the kind of
+// irregular multi-flow load cross-flow aggregation feeds on.
+package minirpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"newmad/internal/mad"
+	"newmad/internal/packet"
+)
+
+// Handler serves one method: it receives the argument bytes and returns
+// the result bytes.
+type Handler func(src packet.NodeID, args []byte) []byte
+
+// Peer is one node's RPC endpoint: client and server in one.
+type Peer struct {
+	session *mad.Session
+	reqCh   *mad.Channel
+	respCh  *mad.Channel
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	nextID   uint64
+	pending  map[uint64]func(result []byte, err error)
+}
+
+// New creates the endpoint. All nodes must create their RPC peers with the
+// same channel-creation order (SPMD convention).
+func New(session *mad.Session) *Peer {
+	p := &Peer{
+		session:  session,
+		reqCh:    session.Channel("minirpc.req"),
+		respCh:   session.Channel("minirpc.resp"),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]func([]byte, error)),
+	}
+	p.reqCh.OnMessage(p.onRequest)
+	p.respCh.OnMessage(p.onResponse)
+	return p
+}
+
+// Register installs the handler for a method name. Registering twice
+// replaces the handler.
+func (p *Peer) Register(method string, h Handler) {
+	if h == nil {
+		panic("minirpc: nil handler")
+	}
+	p.mu.Lock()
+	p.handlers[method] = h
+	p.mu.Unlock()
+}
+
+// reqHeader: id(8) | methodLen(2) | method bytes. Status codes for the
+// response header.
+const (
+	statusOK      = 0
+	statusNoSuchM = 1
+)
+
+// Call invokes method on node dst. done fires with the result (or an
+// error for unknown methods). Multiple calls may be outstanding.
+func (p *Peer) Call(dst packet.NodeID, method string, args []byte, done func(result []byte, err error)) {
+	if done == nil {
+		panic("minirpc: nil completion")
+	}
+	if len(method) > 1<<15 {
+		panic("minirpc: method name too long")
+	}
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.pending[id] = done
+	p.mu.Unlock()
+
+	hdr := make([]byte, 10+len(method))
+	binary.BigEndian.PutUint64(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(method)))
+	copy(hdr[10:], method)
+
+	conn := p.reqCh.Connect(dst)
+	m := conn.BeginPacking()
+	m.Pack(hdr, mad.SendSafer, mad.RecvExpress)
+	m.Pack(args, mad.SendCheaper, mad.RecvCheaper)
+	m.EndPacking()
+}
+
+// Outstanding returns the number of calls awaiting responses.
+func (p *Peer) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+func (p *Peer) onRequest(src packet.NodeID, msg *mad.Incoming) {
+	if len(msg.Fragments) != 2 {
+		panic(fmt.Sprintf("minirpc: request with %d fragments", len(msg.Fragments)))
+	}
+	hdr := msg.Fragments[0]
+	if len(hdr) < 10 {
+		panic("minirpc: short request header")
+	}
+	id := binary.BigEndian.Uint64(hdr[0:])
+	mlen := int(binary.BigEndian.Uint16(hdr[8:]))
+	if len(hdr) != 10+mlen {
+		panic("minirpc: request header length mismatch")
+	}
+	method := string(hdr[10:])
+	args := msg.Fragments[1]
+
+	p.mu.Lock()
+	h := p.handlers[method]
+	p.mu.Unlock()
+
+	status := byte(statusOK)
+	var result []byte
+	if h == nil {
+		status = statusNoSuchM
+	} else {
+		result = h(src, args)
+	}
+
+	rhdr := make([]byte, 9)
+	binary.BigEndian.PutUint64(rhdr[0:], id)
+	rhdr[8] = status
+	conn := p.respCh.Connect(src)
+	m := conn.BeginPacking()
+	m.Pack(rhdr, mad.SendSafer, mad.RecvExpress)
+	m.Pack(result, mad.SendCheaper, mad.RecvCheaper)
+	m.EndPacking()
+}
+
+func (p *Peer) onResponse(src packet.NodeID, msg *mad.Incoming) {
+	if len(msg.Fragments) != 2 {
+		panic(fmt.Sprintf("minirpc: response with %d fragments", len(msg.Fragments)))
+	}
+	hdr := msg.Fragments[0]
+	if len(hdr) != 9 {
+		panic("minirpc: short response header")
+	}
+	id := binary.BigEndian.Uint64(hdr[0:])
+	status := hdr[8]
+	result := msg.Fragments[1]
+
+	p.mu.Lock()
+	done, ok := p.pending[id]
+	if ok {
+		delete(p.pending, id)
+	}
+	p.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("minirpc: response for unknown call %d", id))
+	}
+	if status == statusNoSuchM {
+		done(nil, fmt.Errorf("minirpc: no such method on node %d", src))
+		return
+	}
+	done(result, nil)
+}

@@ -1,0 +1,396 @@
+package nicsim
+
+import (
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+)
+
+func testPair(t *testing.T, c caps.Caps) (*simnet.Engine, *NIC, *NIC) {
+	t.Helper()
+	eng := simnet.NewEngine()
+	fab := NewFabric(eng, c.Name)
+	a, err := New(eng, fab, 0, c, memsim.DefaultModel(), &stats.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(eng, fab, 1, c, memsim.DefaultModel(), &stats.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a, b
+}
+
+func dataFrame(src, dst packet.NodeID, sizes ...int) *packet.Frame {
+	f := &packet.Frame{Kind: packet.FrameData, Src: src, Dst: dst}
+	for i, n := range sizes {
+		f.Entries = append(f.Entries, packet.Entry{
+			Flow: 1, Msg: packet.MsgID(i), Seq: 0, Last: true,
+			Class: packet.ClassSmall, Payload: make([]byte, n),
+		})
+	}
+	return f
+}
+
+func TestNICRejectsInvalidSetup(t *testing.T) {
+	eng := simnet.NewEngine()
+	fab := NewFabric(eng, "x")
+	bad := caps.MX
+	bad.Bandwidth = 0
+	if _, err := New(eng, fab, 0, bad, memsim.DefaultModel(), nil); err == nil {
+		t.Fatal("invalid caps accepted")
+	}
+	badMem := memsim.DefaultModel()
+	badMem.PageSize = 0
+	if _, err := New(eng, fab, 0, caps.MX, badMem, nil); err == nil {
+		t.Fatal("invalid memory model accepted")
+	}
+	if _, err := New(eng, fab, 0, caps.MX, memsim.DefaultModel(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, fab, 0, caps.MX, memsim.DefaultModel(), nil); err == nil {
+		t.Fatal("duplicate node attach accepted")
+	}
+}
+
+func TestFrameDeliveryEndToEnd(t *testing.T) {
+	eng, a, b := testPair(t, caps.MX)
+	var gotSrc packet.NodeID
+	var gotFrame *packet.Frame
+	var deliveredAt simnet.Time
+	b.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+		gotSrc, gotFrame, deliveredAt = src, f, eng.Now()
+	})
+	f := dataFrame(0, 1, 64)
+	if err := a.Post(0, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if gotFrame == nil {
+		t.Fatal("frame never delivered")
+	}
+	if gotSrc != 0 || gotFrame.Dst != 1 {
+		t.Fatalf("delivery metadata wrong: src=%d dst=%d", gotSrc, gotFrame.Dst)
+	}
+	// Delivery time must be at least the profile's unavoidable costs.
+	min := caps.MX.PostOverhead + caps.MX.WireLatency + caps.MX.RecvOverhead
+	if deliveredAt < simnet.Time(min) {
+		t.Fatalf("delivered at %v, below floor %v", deliveredAt, min)
+	}
+}
+
+func TestChannelBusyThenIdleUpcall(t *testing.T) {
+	eng, a, _ := testPair(t, caps.MX)
+	var idleAt simnet.Time
+	idleCalls := 0
+	a.SetIdleHandler(func(nic *NIC, ch int) {
+		idleCalls++
+		idleAt = eng.Now()
+		if ch != 0 {
+			t.Errorf("idle on channel %d, want 0", ch)
+		}
+	})
+	f := dataFrame(0, 1, 1024)
+	if err := a.Post(0, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.ChannelIdle(0) {
+		t.Fatal("channel should be busy right after Post")
+	}
+	if err := a.Post(0, dataFrame(0, 1, 8), 0); err != ErrChannelBusy {
+		t.Fatalf("posting to busy channel: err = %v, want ErrChannelBusy", err)
+	}
+	// Other channels remain free.
+	if _, ok := a.FirstIdle(); !ok {
+		t.Fatal("all channels reported busy after one post")
+	}
+	eng.Run()
+	if idleCalls != 1 {
+		t.Fatalf("idle upcalls = %d, want 1", idleCalls)
+	}
+	if !a.ChannelIdle(0) {
+		t.Fatal("channel still busy after completion")
+	}
+	// Idle fires when serialization completes — before wire+recv delivery.
+	f2 := dataFrame(0, 1, 1024)
+	wire := caps.MX.WireLatency
+	_ = wire
+	if idleAt <= 0 {
+		t.Fatal("idle time not recorded")
+	}
+	_ = f2
+}
+
+func TestIdleFiresBeforeDelivery(t *testing.T) {
+	eng, a, b := testPair(t, caps.MX)
+	var idleAt, recvAt simnet.Time
+	a.SetIdleHandler(func(*NIC, int) { idleAt = eng.Now() })
+	b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { recvAt = eng.Now() })
+	if err := a.Post(0, dataFrame(0, 1, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !(idleAt < recvAt) {
+		t.Fatalf("idle at %v should precede delivery at %v", idleAt, recvAt)
+	}
+	if recvAt-idleAt < simnet.Time(caps.MX.WireLatency) {
+		t.Fatalf("delivery-idle gap %v below wire latency %v", recvAt-idleAt, caps.MX.WireLatency)
+	}
+}
+
+func TestHostExtraDelaysChannel(t *testing.T) {
+	engA, a, _ := testPair(t, caps.MX)
+	var plainIdle simnet.Time
+	a.SetIdleHandler(func(*NIC, int) { plainIdle = engA.Now() })
+	if err := a.Post(0, dataFrame(0, 1, 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	engA.Run()
+
+	engB, c, _ := testPair(t, caps.MX)
+	var extraIdle simnet.Time
+	c.SetIdleHandler(func(*NIC, int) { extraIdle = engB.Now() })
+	const extra = 5 * simnet.Microsecond
+	if err := c.Post(0, dataFrame(0, 1, 128), extra); err != nil {
+		t.Fatal(err)
+	}
+	engB.Run()
+	if extraIdle-plainIdle != simnet.Time(extra) {
+		t.Fatalf("hostExtra shifted idle by %v, want %v", extraIdle-plainIdle, extra)
+	}
+}
+
+func TestNegativeHostExtraRejected(t *testing.T) {
+	_, a, _ := testPair(t, caps.MX)
+	if err := a.Post(0, dataFrame(0, 1, 8), -1); err == nil {
+		t.Fatal("negative hostExtra accepted")
+	}
+}
+
+func TestWrongSourceRejected(t *testing.T) {
+	_, a, _ := testPair(t, caps.MX)
+	if err := a.Post(0, dataFrame(1, 0, 8), 0); err == nil {
+		t.Fatal("frame with foreign src accepted")
+	}
+	if err := a.Post(99, dataFrame(0, 1, 8), 0); err == nil {
+		t.Fatal("nonexistent channel accepted")
+	}
+}
+
+func TestLargerFramesTakeLonger(t *testing.T) {
+	measure := func(size int) simnet.Time {
+		eng, a, b := testPair(t, caps.MX)
+		var at simnet.Time
+		b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { at = eng.Now() })
+		if err := a.Post(0, dataFrame(0, 1, size), 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return at
+	}
+	small, large := measure(64), measure(64*1024)
+	if large <= small {
+		t.Fatalf("64KiB (%v) not slower than 64B (%v)", large, small)
+	}
+	// 64 KiB at 250 MB/s is ~262 µs of serialization.
+	if large < simnet.Time(250*simnet.Microsecond) {
+		t.Fatalf("64KiB delivered in %v, too fast for 250MB/s", large)
+	}
+}
+
+func TestAggregatedFrameBeatsSeparateSends(t *testing.T) {
+	// The physical basis of the paper's claim: 8 × 64 B as one frame
+	// completes sooner than as 8 frames on one channel.
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+
+	// One aggregate.
+	engA, a, b := testPair(t, caps.MX)
+	var aggDone simnet.Time
+	b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { aggDone = engA.Now() })
+	if err := a.Post(0, dataFrame(0, 1, sizes...), 0); err != nil {
+		t.Fatal(err)
+	}
+	engA.Run()
+
+	// Eight singles, posted back-to-back on the same channel.
+	engB, c, d := testPair(t, caps.MX)
+	var lastDone simnet.Time
+	recv := 0
+	d.SetRecvHandler(func(packet.NodeID, *packet.Frame) {
+		recv++
+		lastDone = engB.Now()
+	})
+	pending := sizes
+	var send func(nic *NIC, ch int)
+	send = func(nic *NIC, ch int) {
+		if len(pending) == 0 {
+			return
+		}
+		if err := c.Post(0, dataFrame(0, 1, pending[0]), 0); err != nil {
+			t.Fatal(err)
+		}
+		pending = pending[1:]
+	}
+	c.SetIdleHandler(send)
+	send(c, 0)
+	engB.Run()
+	if recv != 8 {
+		t.Fatalf("received %d singles, want 8", recv)
+	}
+	if aggDone >= lastDone {
+		t.Fatalf("aggregate (%v) not faster than singles (%v)", aggDone, lastDone)
+	}
+	speedup := float64(lastDone) / float64(aggDone)
+	if speedup < 2 {
+		t.Fatalf("aggregation speedup %.2fx, expected >= 2x for 8 tiny packets", speedup)
+	}
+}
+
+func TestReceiveOccupancyQueues(t *testing.T) {
+	// Two frames from two senders arriving near-simultaneously must be
+	// processed sequentially by the destination's receive engine.
+	eng := simnet.NewEngine()
+	fab := NewFabric(eng, "mx")
+	mem := memsim.DefaultModel()
+	a, _ := New(eng, fab, 0, caps.MX, mem, nil)
+	b, _ := New(eng, fab, 1, caps.MX, mem, nil)
+	dst, _ := New(eng, fab, 2, caps.MX, mem, nil)
+	var times []simnet.Time
+	dst.SetRecvHandler(func(packet.NodeID, *packet.Frame) { times = append(times, eng.Now()) })
+	if err := a.Post(0, dataFrame(0, 2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Post(0, dataFrame(1, 2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d", len(times))
+	}
+	gap := times[1] - times[0]
+	if gap < simnet.Time(caps.MX.RecvOverhead) {
+		t.Fatalf("receive gap %v below RecvOverhead %v — receiver not serialized", gap, caps.MX.RecvOverhead)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng, a, _ := testPair(t, caps.MX)
+	if a.Utilization(0) != 0 {
+		t.Fatal("utilization nonzero before any traffic")
+	}
+	if err := a.Post(0, dataFrame(0, 1, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	u := a.Utilization(0)
+	if u <= 0 || u > 1.01 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestFabricPartition(t *testing.T) {
+	eng, a, b := testPair(t, caps.MX)
+	delivered := 0
+	b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { delivered++ })
+	fabOf := a // reuse fabric through NIC a
+	_ = fabOf
+	fab := aFabric(a)
+	fab.Partition(0, 1)
+	if err := a.Post(0, dataFrame(0, 1, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("partitioned frame delivered")
+	}
+	if fab.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", fab.Dropped())
+	}
+	fab.Heal(0, 1)
+	if err := a.Post(0, dataFrame(0, 1, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if delivered != 1 {
+		t.Fatal("healed fabric did not deliver")
+	}
+}
+
+// aFabric exposes the fabric of a NIC for tests.
+func aFabric(n *NIC) *Fabric { return n.fabric }
+
+func TestFabricExtraDelay(t *testing.T) {
+	eng, a, b := testPair(t, caps.MX)
+	var plain simnet.Time
+	b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { plain = eng.Now() })
+	if err := a.Post(0, dataFrame(0, 1, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	eng2, c, d := testPair(t, caps.MX)
+	aFabric(c).SetExtraDelay(1 * simnet.Millisecond)
+	var delayed simnet.Time
+	d.SetRecvHandler(func(packet.NodeID, *packet.Frame) { delayed = eng2.Now() })
+	if err := c.Post(0, dataFrame(0, 1, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+	if delayed-plain != simnet.Time(1*simnet.Millisecond) {
+		t.Fatalf("extra delay shifted delivery by %v, want 1ms", delayed-plain)
+	}
+}
+
+func TestMTUSegmentationCost(t *testing.T) {
+	// A frame bigger than the MTU pays extra header bytes per segment: the
+	// per-byte rate for a 16 KiB frame must exceed that of a 2 KiB frame.
+	measure := func(size int) float64 {
+		eng, a, b := testPair(t, caps.MX)
+		var at simnet.Time
+		b.SetRecvHandler(func(packet.NodeID, *packet.Frame) { at = eng.Now() })
+		if err := a.Post(0, dataFrame(0, 1, size), 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return float64(at) / float64(size)
+	}
+	small := measure(2048)  // below MTU
+	large := measure(16384) // 4+ segments
+	// Fixed costs dominate the small frame, so per-byte cost is higher
+	// there; what we check is that segmentation charged *something*: the
+	// bytes-per-ns rate of the large frame must stay below the raw link
+	// rate once headers repeat.
+	_ = small
+	rawNsPerByte := 1e9 / caps.MX.Bandwidth
+	if large <= rawNsPerByte {
+		t.Fatalf("large frame per-byte time %v <= raw serialization %v — headers not charged", large, rawNsPerByte)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	eng := simnet.NewEngine()
+	fab := NewFabric(eng, "mx")
+	set := &stats.Set{}
+	a, _ := New(eng, fab, 0, caps.MX, memsim.DefaultModel(), set)
+	_, _ = New(eng, fab, 1, caps.MX, memsim.DefaultModel(), set)
+	if err := a.Post(0, dataFrame(0, 1, 32, 32, 32), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if set.CounterValue("nic.tx.frames") != 1 {
+		t.Fatalf("tx.frames = %d", set.CounterValue("nic.tx.frames"))
+	}
+	if set.CounterValue("nic.tx.aggregated_packets") != 3 {
+		t.Fatalf("aggregated_packets = %d", set.CounterValue("nic.tx.aggregated_packets"))
+	}
+	if set.CounterValue("nic.rx.frames") != 1 {
+		t.Fatalf("rx.frames = %d", set.CounterValue("nic.rx.frames"))
+	}
+}

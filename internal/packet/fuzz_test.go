@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newmad/internal/simnet"
+)
+
+// Decode must never panic, whatever bytes arrive: a real transport can
+// deliver garbage, and the loopback driver feeds Decode straight from the
+// socket. These adversarial-input tests are the property-based complement
+// to the round-trip tests in wire_test.go.
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		// Any outcome is fine except a panic.
+		defer func() {
+			if recover() != nil {
+				t.Errorf("Decode panicked on %x", data)
+			}
+		}()
+		_, _, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptedFrames(t *testing.T) {
+	// Start from valid frames and flip bytes: corruption in the length
+	// fields must surface as ErrTruncated/ErrBadKind, never a panic or an
+	// out-of-range slice.
+	rng := simnet.NewRNG(11)
+	base := &Frame{
+		Kind: FrameData, Src: 1, Dst: 2,
+		Entries: []Entry{
+			{Flow: 1, Msg: 2, Seq: 3, Last: true, Payload: make([]byte, 100)},
+			{Flow: 2, Msg: 1, Seq: 0, Payload: make([]byte, 5)},
+		},
+	}
+	enc := base.Encode(nil)
+	for trial := 0; trial < 5000; trial++ {
+		data := append([]byte(nil), enc...)
+		flips := rng.Range(1, 4)
+		for i := 0; i < flips; i++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("Decode panicked on corrupted frame (trial %d): %x", trial, data)
+				}
+			}()
+			f, n, err := Decode(data)
+			if err == nil {
+				// A successfully decoded frame must be internally
+				// consistent: consumed bytes within bounds, payload
+				// lengths sane.
+				if n <= 0 || n > len(data) {
+					t.Fatalf("consumed %d of %d", n, len(data))
+				}
+				for _, e := range f.Entries {
+					if len(e.Payload) > len(data) {
+						t.Fatal("entry payload exceeds input")
+					}
+				}
+			}
+		}()
+	}
+}
+
+func TestDecodeNeverPanicsOnTruncations(t *testing.T) {
+	base := &Frame{
+		Kind: FramePut, Src: 3, Dst: 4,
+		Ctrl: Ctrl{Token: 9, Flow: 1, Msg: 2, Seq: 3, Size: 64},
+		Bulk: make([]byte, 64),
+	}
+	enc := base.Encode(nil)
+	for cut := 0; cut <= len(enc); cut++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("Decode panicked at truncation %d", cut)
+				}
+			}()
+			_, _, _ = Decode(enc[:cut])
+		}()
+	}
+}

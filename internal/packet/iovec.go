@@ -1,0 +1,39 @@
+package packet
+
+// IOVec is a gather list: the zero-copy representation of an aggregated
+// frame on hardware with gather/scatter support. Drivers whose capability
+// record advertises MaxIOV > 1 accept an IOVec directly; otherwise the
+// engine flattens it through a staging copy (and the cost model charges the
+// memcpy).
+type IOVec [][]byte
+
+// Total returns the summed length of all segments.
+func (v IOVec) Total() int {
+	n := 0
+	for _, s := range v {
+		n += len(s)
+	}
+	return n
+}
+
+// Flatten copies all segments into dst (grown as needed) and returns it.
+func (v IOVec) Flatten(dst []byte) []byte {
+	dst = dst[:0]
+	for _, s := range v {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Split re-slices a contiguous buffer into segments of the given lengths,
+// the inverse of Flatten. It panics when lengths exceed the buffer; the
+// engine only calls it with lengths recorded at Flatten time.
+func Split(buf []byte, lengths []int) IOVec {
+	out := make(IOVec, 0, len(lengths))
+	off := 0
+	for _, n := range lengths {
+		out = append(out, buf[off:off+n:off+n])
+		off += n
+	}
+	return out
+}

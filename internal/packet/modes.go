@@ -1,0 +1,115 @@
+// Package packet defines the data model of the newmad engine: packets (the
+// "waiting packs" of the paper's collect layer), their send/receive modes,
+// traffic classes, the reordering/aggregation constraint rules, and the
+// on-wire frame format used by both the simulated and the real transports.
+package packet
+
+import "fmt"
+
+// NodeID identifies a process/node in the fabric.
+type NodeID int32
+
+// FlowID identifies one communication flow (one middleware connection
+// between two nodes). Flows are the unit of FIFO ordering: the engine may
+// freely interleave different flows but never reorders packets inside one.
+type FlowID int32
+
+// MsgID numbers the structured messages within a flow.
+type MsgID int64
+
+// ClassID is a traffic class. The paper's scheduler "may assign some of
+// these resources to different classes of traffic (assigning different
+// channels to large synchronous sends, put/get transfers and
+// control/signalling messages)".
+type ClassID uint8
+
+// Traffic classes, ordered by scheduling urgency.
+const (
+	// ClassControl carries protocol control and signalling (RTS/CTS, acks,
+	// barrier tokens, DSM invalidations). Latency-critical, tiny.
+	ClassControl ClassID = iota
+	// ClassSmall carries eager application payloads small enough to inline.
+	ClassSmall
+	// ClassBulk carries large synchronous sends (rendezvous data).
+	ClassBulk
+	// ClassRMA carries put/get transfers.
+	ClassRMA
+	// NumClasses is the number of defined classes.
+	NumClasses
+)
+
+// String returns the class mnemonic.
+func (c ClassID) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassSmall:
+		return "small"
+	case ClassBulk:
+		return "bulk"
+	case ClassRMA:
+		return "rma"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// SendMode mirrors the Madeleine packing API's sender-side constraint
+// flags. They tell the engine how long the application's buffer remains
+// valid, which bounds how the packet may be optimized.
+type SendMode uint8
+
+const (
+	// SendCheaper lets the library pick the cheapest method; the buffer
+	// stays valid until the message flush completes. Default.
+	SendCheaper SendMode = iota
+	// SendSafer requires the library to capture the data at pack time (the
+	// application may immediately reuse the buffer). The engine copies on
+	// submission, after which the packet aggregates freely.
+	SendSafer
+	// SendLater defers reading the buffer until the message flush
+	// (EndPacking); the collect layer must hold the packet until then.
+	SendLater
+)
+
+// String returns the Madeleine-style mnemonic.
+func (m SendMode) String() string {
+	switch m {
+	case SendCheaper:
+		return "send_CHEAPER"
+	case SendSafer:
+		return "send_SAFER"
+	case SendLater:
+		return "send_LATER"
+	default:
+		return fmt.Sprintf("send(%d)", uint8(m))
+	}
+}
+
+// RecvMode mirrors the receiver-side constraint flags of the Madeleine API.
+type RecvMode uint8
+
+const (
+	// RecvCheaper lets the receiver obtain the data any time before the
+	// message-level unpack completes; large RecvCheaper fragments may be
+	// converted to rendezvous or RDMA transfers.
+	RecvCheaper RecvMode = iota
+	// RecvExpress requires the fragment to be available to the receiver
+	// immediately when it unpacks it — typically a header whose contents
+	// determine how the rest of the message is interpreted. Express
+	// fragments must travel eagerly (inline) and act as intra-message
+	// barriers for the fragments that follow them.
+	RecvExpress
+)
+
+// String returns the Madeleine-style mnemonic.
+func (m RecvMode) String() string {
+	switch m {
+	case RecvCheaper:
+		return "receive_CHEAPER"
+	case RecvExpress:
+		return "receive_EXPRESS"
+	default:
+		return fmt.Sprintf("recv(%d)", uint8(m))
+	}
+}

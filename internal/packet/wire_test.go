@@ -1,0 +1,240 @@
+package packet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameDataRoundTrip(t *testing.T) {
+	f := &Frame{
+		Kind: FrameData,
+		Src:  3, Dst: 7,
+		Entries: []Entry{
+			{Flow: 1, Msg: 10, Seq: 0, Last: false, Class: ClassSmall, Recv: RecvExpress, Payload: []byte("header")},
+			{Flow: 2, Msg: 99, Seq: 4, Last: true, Class: ClassControl, Recv: RecvCheaper, Payload: []byte{}},
+			{Flow: 1, Msg: 10, Seq: 1, Last: true, Class: ClassBulk, Recv: RecvCheaper, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		},
+	}
+	enc := f.Encode(nil)
+	if len(enc) != f.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(enc), f.WireSize())
+	}
+	got, n, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if got.Kind != FrameData || got.Src != 3 || got.Dst != 7 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for i := range f.Entries {
+		w, g := f.Entries[i], got.Entries[i]
+		if w.Flow != g.Flow || w.Msg != g.Msg || w.Seq != g.Seq || w.Last != g.Last ||
+			w.Class != g.Class || w.Recv != g.Recv || !bytes.Equal(w.Payload, g.Payload) {
+			t.Fatalf("entry %d mismatch:\n want %+v\n got  %+v", i, w, g)
+		}
+	}
+}
+
+func TestFrameCtrlRoundTrip(t *testing.T) {
+	for _, kind := range []FrameKind{FrameRTS, FrameCTS, FrameAck, FrameGet} {
+		f := &Frame{
+			Kind: kind, Src: 1, Dst: 2,
+			Ctrl: Ctrl{Token: 123456789, Flow: 4, Msg: 5, Seq: 6, Size: 70000, Last: true},
+		}
+		enc := f.Encode(nil)
+		if len(enc) != f.WireSize() {
+			t.Fatalf("%v: encoded %d, WireSize %d", kind, len(enc), f.WireSize())
+		}
+		got, _, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got.Ctrl != f.Ctrl {
+			t.Fatalf("%v: ctrl mismatch %+v vs %+v", kind, got.Ctrl, f.Ctrl)
+		}
+	}
+}
+
+func TestFrameBulkRoundTrip(t *testing.T) {
+	for _, kind := range []FrameKind{FrameRData, FramePut, FrameGetReply} {
+		f := &Frame{
+			Kind: kind, Src: 9, Dst: 1,
+			Ctrl: Ctrl{Token: 7, Flow: 1, Msg: 2, Seq: 3, Size: 1000},
+			Bulk: bytes.Repeat([]byte{0x5A}, 1000),
+		}
+		enc := f.Encode(nil)
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if n != len(enc) || !bytes.Equal(got.Bulk, f.Bulk) {
+			t.Fatalf("%v: bulk mismatch", kind)
+		}
+		if got.PayloadSize() != 1000 {
+			t.Fatalf("%v: PayloadSize = %d", kind, got.PayloadSize())
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err != ErrTruncated {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := Decode(make([]byte, 4)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	bad := (&Frame{Kind: FrameData, Src: 1, Dst: 2}).Encode(nil)
+	bad[0] = 0xFF
+	if _, _, err := Decode(bad); err != ErrBadMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	bad = (&Frame{Kind: FrameData, Src: 1, Dst: 2}).Encode(nil)
+	bad[2] = 0x7F
+	if _, _, err := Decode(bad); err != ErrBadKind {
+		t.Fatalf("kind: %v", err)
+	}
+	// Truncated entry payload.
+	f := &Frame{Kind: FrameData, Src: 1, Dst: 2, Entries: []Entry{{Payload: []byte("hello")}}}
+	enc := f.Encode(nil)
+	if _, _, err := Decode(enc[:len(enc)-2]); err != ErrTruncated {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	// Truncated ctrl.
+	cf := &Frame{Kind: FrameRTS, Src: 1, Dst: 2}
+	cenc := cf.Encode(nil)
+	if _, _, err := Decode(cenc[:HeaderSize+3]); err != ErrTruncated {
+		t.Fatalf("truncated ctrl: %v", err)
+	}
+	// Truncated bulk.
+	bf := &Frame{Kind: FramePut, Src: 1, Dst: 2, Bulk: []byte("0123456789")}
+	benc := bf.Encode(nil)
+	if _, _, err := Decode(benc[:len(benc)-1]); err != ErrTruncated {
+		t.Fatalf("truncated bulk: %v", err)
+	}
+}
+
+func TestDecodeConsumesExactlyOneFrame(t *testing.T) {
+	a := (&Frame{Kind: FrameAck, Src: 1, Dst: 2, Ctrl: Ctrl{Token: 1}}).Encode(nil)
+	b := (&Frame{Kind: FrameAck, Src: 2, Dst: 1, Ctrl: Ctrl{Token: 2}}).Encode(nil)
+	stream := append(append([]byte{}, a...), b...)
+	f1, n1, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, n2, err := Decode(stream[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(stream) {
+		t.Fatal("two frames did not consume the stream")
+	}
+	if f1.Ctrl.Token != 1 || f2.Ctrl.Token != 2 {
+		t.Fatal("frame order scrambled")
+	}
+}
+
+func TestEntryPacketConversion(t *testing.T) {
+	p := &Packet{Flow: 3, Msg: 4, Seq: 5, Last: true, Src: 1, Dst: 2,
+		Class: ClassRMA, Recv: RecvExpress, Payload: []byte("x")}
+	e := EntryFromPacket(p)
+	back := e.ToPacket(1, 2)
+	if back.Flow != p.Flow || back.Msg != p.Msg || back.Seq != p.Seq ||
+		back.Last != p.Last || back.Class != p.Class || back.Recv != p.Recv ||
+		!bytes.Equal(back.Payload, p.Payload) || back.Src != 1 || back.Dst != 2 {
+		t.Fatalf("conversion lost fields: %+v vs %+v", back, p)
+	}
+}
+
+func TestFrameStrings(t *testing.T) {
+	d := &Frame{Kind: FrameData, Entries: []Entry{{Payload: []byte("abc")}}}
+	if s := d.String(); !bytes.Contains([]byte(s), []byte("DATA")) {
+		t.Fatalf("data frame string: %q", s)
+	}
+	c := &Frame{Kind: FrameRTS}
+	if s := c.String(); !bytes.Contains([]byte(s), []byte("RTS")) {
+		t.Fatalf("ctrl frame string: %q", s)
+	}
+	if FrameKind(200).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+// Property: any data frame with random well-formed entries round-trips.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint8, flows []uint8, sizes []uint8) bool {
+		fr := &Frame{Kind: FrameData, Src: NodeID(src), Dst: NodeID(dst)}
+		n := len(flows)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n > 20 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			fr.Entries = append(fr.Entries, Entry{
+				Flow:    FlowID(flows[i]),
+				Msg:     MsgID(i * 7),
+				Seq:     i,
+				Last:    i%2 == 0,
+				Class:   ClassID(flows[i] % uint8(NumClasses)),
+				Recv:    RecvMode(flows[i] % 2),
+				Payload: bytes.Repeat([]byte{flows[i]}, int(sizes[i])),
+			})
+		}
+		enc := fr.Encode(nil)
+		got, used, err := Decode(enc)
+		if err != nil || used != len(enc) {
+			return false
+		}
+		if len(got.Entries) != len(fr.Entries) {
+			return false
+		}
+		for i := range fr.Entries {
+			w, g := fr.Entries[i], got.Entries[i]
+			if w.Flow != g.Flow || w.Msg != g.Msg || w.Seq != g.Seq ||
+				w.Last != g.Last || w.Class != g.Class || w.Recv != g.Recv {
+				return false
+			}
+			if !bytes.Equal(w.Payload, g.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOVec(t *testing.T) {
+	v := IOVec{[]byte("ab"), []byte("cde"), nil, []byte("f")}
+	if v.Total() != 6 {
+		t.Fatalf("Total = %d", v.Total())
+	}
+	flat := v.Flatten(nil)
+	if string(flat) != "abcdef" {
+		t.Fatalf("Flatten = %q", flat)
+	}
+	parts := Split(flat, []int{2, 3, 0, 1})
+	if len(parts) != 4 || string(parts[0]) != "ab" || string(parts[1]) != "cde" ||
+		len(parts[2]) != 0 || string(parts[3]) != "f" {
+		t.Fatalf("Split = %v", parts)
+	}
+	// Flatten reuses dst capacity.
+	buf := make([]byte, 0, 16)
+	flat2 := v.Flatten(buf)
+	if &flat2[0] != &buf[:1][0] {
+		t.Fatal("Flatten did not reuse capacity")
+	}
+	if !reflect.DeepEqual(flat, flat2) {
+		t.Fatal("Flatten results differ")
+	}
+}

@@ -1,0 +1,81 @@
+package proto
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+)
+
+// Dispatcher is the per-node frame router of the receive path: every frame
+// a driver delivers is classified by kind and handed to the engine that
+// understands it. It is the single place where the frame taxonomy is
+// interpreted, so adding a protocol means one new case here plus its
+// engine.
+type Dispatcher struct {
+	node  packet.NodeID
+	reasm *Reassembler
+	rdvS  *RdvSender
+	rdvR  *RdvReceiver
+	rma   *RMA
+}
+
+// NewDispatcher wires the engines of one node together. Any engine may be
+// nil when the node does not use that protocol; receiving a frame for a
+// nil engine panics, making configuration mistakes loud.
+func NewDispatcher(node packet.NodeID, reasm *Reassembler, rdvS *RdvSender, rdvR *RdvReceiver, rma *RMA) *Dispatcher {
+	return &Dispatcher{node: node, reasm: reasm, rdvS: rdvS, rdvR: rdvR, rma: rma}
+}
+
+// HandleFrame routes one received frame.
+func (d *Dispatcher) HandleFrame(src packet.NodeID, f *packet.Frame) {
+	switch f.Kind {
+	case packet.FrameData:
+		if d.reasm == nil {
+			panic(d.misroute(f))
+		}
+		for i := range f.Entries {
+			d.reasm.Ingest(src, f.Entries[i].ToPacket(src, d.node))
+		}
+	case packet.FrameRTS:
+		if d.rdvR == nil {
+			panic(d.misroute(f))
+		}
+		d.rdvR.HandleRTS(f)
+	case packet.FrameCTS:
+		if d.rdvS == nil {
+			panic(d.misroute(f))
+		}
+		d.rdvS.HandleCTS(f)
+	case packet.FrameRData:
+		if d.rdvR == nil {
+			panic(d.misroute(f))
+		}
+		d.rdvR.HandleRData(src, f)
+	case packet.FramePut:
+		if d.rma == nil {
+			panic(d.misroute(f))
+		}
+		d.rma.HandlePut(src, f)
+	case packet.FrameGet:
+		if d.rma == nil {
+			panic(d.misroute(f))
+		}
+		d.rma.HandleGet(src, f)
+	case packet.FrameGetReply:
+		if d.rma == nil {
+			panic(d.misroute(f))
+		}
+		d.rma.HandleGetReply(f)
+	case packet.FrameAck:
+		if d.rma == nil {
+			panic(d.misroute(f))
+		}
+		d.rma.HandleAck(f)
+	default:
+		panic(fmt.Sprintf("proto: node %d received unknown frame kind %v", d.node, f.Kind))
+	}
+}
+
+func (d *Dispatcher) misroute(f *packet.Frame) string {
+	return fmt.Sprintf("proto: node %d received %v frame but has no engine for it", d.node, f.Kind)
+}

@@ -1,0 +1,96 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"newmad/internal/packet"
+)
+
+// Misrouted frames (a frame kind arriving at a node with no engine for it)
+// must fail loudly and name the problem; these cover every nil-engine
+// branch of the dispatcher.
+func TestDispatcherEveryMisrouteIsLoud(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	cases := []struct {
+		name string
+		d    *Dispatcher
+		f    *packet.Frame
+	}{
+		{"data w/o reassembler", NewDispatcher(1, nil, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameData}},
+		{"rts w/o receiver", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameRTS}},
+		{"cts w/o sender", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameCTS}},
+		{"rdata w/o receiver", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameRData}},
+		{"put w/o rma", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FramePut}},
+		{"get w/o rma", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameGet}},
+		{"getreply w/o rma", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameGetReply}},
+		{"ack w/o rma", NewDispatcher(1, reasm, nil, nil, nil),
+			&packet.Frame{Kind: packet.FrameAck}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: no panic", tc.name)
+					return
+				}
+				if msg, ok := r.(string); ok && !strings.Contains(msg, "no engine") &&
+					!strings.Contains(msg, "unknown") {
+					t.Errorf("%s: unhelpful panic %q", tc.name, msg)
+				}
+			}()
+			tc.d.HandleFrame(0, tc.f)
+		}()
+	}
+}
+
+func TestRdvConstructorValidation(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil grant hook", func() { NewRdvSender(0, nil) })
+	mustPanic("nil send hook", func() { NewRdvReceiver(1, reasm, nil, 0) })
+	mustPanic("nil reassembler", func() { NewRdvReceiver(1, nil, func(*packet.Frame) {}, 0) })
+	mustPanic("nil rma send hook", func() { NewRMA(0, nil) })
+	mustPanic("nil reasm deliver", func() { NewReassembler(0, nil) })
+}
+
+func TestRdvDataSizeMismatchPanics(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	r := NewRdvReceiver(1, reasm, func(*packet.Frame) {}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	r.HandleRData(0, &packet.Frame{
+		Kind: packet.FrameRData,
+		Ctrl: packet.Ctrl{Size: 100},
+		Bulk: make([]byte, 50),
+	})
+}
+
+func TestBuildRDataUnknownTokenPanics(t *testing.T) {
+	s := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown token accepted")
+		}
+	}()
+	s.BuildRData(42)
+}

@@ -1,0 +1,392 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+func mkPkt(flow packet.FlowID, seq int, payload string) *packet.Packet {
+	return &packet.Packet{
+		Flow: flow, Msg: 1, Seq: seq, Src: 0, Dst: 1,
+		Class: packet.ClassSmall, Payload: []byte(payload),
+	}
+}
+
+func TestReassemblerInOrder(t *testing.T) {
+	var got []string
+	r := NewReassembler(1, func(d Deliverable) { got = append(got, string(d.Pkt.Payload)) })
+	r.Ingest(0, mkPkt(1, 0, "a"))
+	r.Ingest(0, mkPkt(1, 1, "b"))
+	r.Ingest(0, mkPkt(1, 2, "c"))
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+	if r.PendingFragments() != 0 {
+		t.Fatal("pending after in-order ingest")
+	}
+}
+
+func TestReassemblerReordersWithinFlow(t *testing.T) {
+	var got []string
+	r := NewReassembler(1, func(d Deliverable) { got = append(got, string(d.Pkt.Payload)) })
+	r.Ingest(0, mkPkt(1, 2, "c"))
+	r.Ingest(0, mkPkt(1, 0, "a"))
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("premature release: %v", got)
+	}
+	if r.PendingFragments() != 1 {
+		t.Fatalf("pending = %d, want 1", r.PendingFragments())
+	}
+	r.Ingest(0, mkPkt(1, 1, "b"))
+	if len(got) != 3 || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReassemblerIndependentFlows(t *testing.T) {
+	var got []string
+	r := NewReassembler(1, func(d Deliverable) {
+		got = append(got, string(d.Pkt.Payload))
+	})
+	r.Ingest(0, mkPkt(2, 0, "x0"))
+	r.Ingest(0, mkPkt(1, 1, "a1")) // flow 1 waits for seq 0
+	r.Ingest(0, mkPkt(2, 1, "x1")) // flow 2 keeps flowing
+	if len(got) != 2 {
+		t.Fatalf("flow 2 blocked by flow 1: %v", got)
+	}
+	r.Ingest(0, mkPkt(1, 0, "a0"))
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReassemblerScopesFlowsBySource(t *testing.T) {
+	// Two senders reusing flow id 1 toward the same receiver must not
+	// conflate: each (src, flow) pair is an independent stream.
+	var got []string
+	r := NewReassembler(9, func(d Deliverable) {
+		got = append(got, string(d.Pkt.Payload))
+	})
+	r.Ingest(0, mkPkt(1, 0, "from0-a"))
+	r.Ingest(1, mkPkt(1, 0, "from1-a")) // same flow/seq, different source
+	r.Ingest(0, mkPkt(1, 1, "from0-b"))
+	r.Ingest(1, mkPkt(1, 1, "from1-b"))
+	if len(got) != 4 {
+		t.Fatalf("delivered %d of 4 (source collision?)", len(got))
+	}
+	if r.PendingFragments() != 0 {
+		t.Fatal("fragments stuck")
+	}
+}
+
+func TestReassemblerDuplicatePanics(t *testing.T) {
+	r := NewReassembler(1, func(Deliverable) {})
+	r.Ingest(0, mkPkt(1, 0, "a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate fragment accepted")
+		}
+	}()
+	r.Ingest(0, mkPkt(1, 0, "a"))
+}
+
+// Property: any permutation of fragments 0..n-1 of a flow is delivered in
+// exactly ascending order.
+func TestReassemblerPermutationProperty(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%20) + 1
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		rng := simnet.NewRNG(seed)
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var got []int
+		r := NewReassembler(1, func(d Deliverable) { got = append(got, d.Pkt.Seq) })
+		for _, seq := range order {
+			r.Ingest(0, mkPkt(1, seq, "p"))
+		}
+		if len(got) != n || r.PendingFragments() != 0 {
+			return false
+		}
+		for i, s := range got {
+			if s != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousFullExchange(t *testing.T) {
+	// Wire sender node 0 and receiver node 1 back to back (no network):
+	// frames produced by one side are handed straight to the other.
+	var delivered []Deliverable
+	reasm := NewReassembler(1, func(d Deliverable) { delivered = append(delivered, d) })
+
+	var senderOut []*packet.Frame // frames node 0 wants sent
+	var grants []uint64
+	rdvS := NewRdvSender(0, func(tok uint64, p *packet.Packet) { grants = append(grants, tok) })
+	rdvR := NewRdvReceiver(1, reasm, func(f *packet.Frame) { senderOut = append(senderOut, f) }, 0)
+
+	payload := bytes.Repeat([]byte{0x42}, 100000)
+	p := &packet.Packet{Flow: 5, Msg: 2, Seq: 7, Last: true, Src: 0, Dst: 1,
+		Class: packet.ClassBulk, Payload: payload}
+
+	rts := rdvS.Start(p)
+	if rts.Kind != packet.FrameRTS || rts.Ctrl.Size != len(payload) {
+		t.Fatalf("bad RTS: %+v", rts)
+	}
+	if rdvS.Outstanding() != 1 {
+		t.Fatal("sender should track one pending rendezvous")
+	}
+
+	rdvR.HandleRTS(rts)
+	if len(senderOut) != 1 || senderOut[0].Kind != packet.FrameCTS {
+		t.Fatalf("receiver did not grant: %v", senderOut)
+	}
+	if rdvR.Granted() != 1 {
+		t.Fatal("grant not counted")
+	}
+
+	rdvS.HandleCTS(senderOut[0])
+	if len(grants) != 1 {
+		t.Fatal("grant hook not invoked")
+	}
+
+	rdata := rdvS.BuildRData(grants[0])
+	if rdata.Kind != packet.FrameRData || len(rdata.Bulk) != len(payload) {
+		t.Fatalf("bad RData: %v", rdata)
+	}
+	if rdvS.Outstanding() != 0 {
+		t.Fatal("pending not consumed by BuildRData")
+	}
+
+	// Fragment seq 7 requires seqs 0..6 first; feed them so delivery
+	// happens in order.
+	for i := 0; i < 7; i++ {
+		reasm.Ingest(0, &packet.Packet{Flow: 5, Msg: 2, Seq: i, Src: 0, Dst: 1, Payload: []byte{1}})
+	}
+	rdvR.HandleRData(0, rdata)
+	if len(delivered) != 8 {
+		t.Fatalf("delivered = %d", len(delivered))
+	}
+	last := delivered[7].Pkt
+	if last.Seq != 7 || !bytes.Equal(last.Payload, payload) || last.Class != packet.ClassBulk {
+		t.Fatalf("rendezvous payload corrupted: %+v", last)
+	}
+	if rdvR.Granted() != 0 {
+		t.Fatal("grant slot not released")
+	}
+}
+
+func TestRendezvousConcurrencyCap(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	var ctses []*packet.Frame
+	rdvR := NewRdvReceiver(1, reasm, func(f *packet.Frame) { ctses = append(ctses, f) }, 1)
+	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) {})
+
+	p1 := &packet.Packet{Flow: 1, Seq: 0, Src: 0, Dst: 1, Payload: make([]byte, 10), Last: true}
+	p2 := &packet.Packet{Flow: 2, Seq: 0, Src: 0, Dst: 1, Payload: make([]byte, 10), Last: true}
+	rts1 := rdvS.Start(p1)
+	rts2 := rdvS.Start(p2)
+	rdvR.HandleRTS(rts1)
+	rdvR.HandleRTS(rts2)
+	if len(ctses) != 1 {
+		t.Fatalf("cap=1 granted %d", len(ctses))
+	}
+	if rdvR.QueuedRTS() != 1 {
+		t.Fatalf("queued = %d", rdvR.QueuedRTS())
+	}
+	// Completing the first transfer releases the second grant.
+	rd := rdvS.BuildRData(rts1.Ctrl.Token)
+	rdvR.HandleRData(0, rd)
+	if len(ctses) != 2 {
+		t.Fatal("queued RTS not granted after completion")
+	}
+	if rdvR.QueuedRTS() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestRendezvousUnknownTokenPanics(t *testing.T) {
+	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown CTS token accepted")
+		}
+	}()
+	rdvS.HandleCTS(&packet.Frame{Kind: packet.FrameCTS, Ctrl: packet.Ctrl{Token: 99}})
+}
+
+func TestRMAPutGet(t *testing.T) {
+	// Two nodes with direct frame exchange.
+	var wires [2][]*packet.Frame
+	rmaA := NewRMA(0, func(f *packet.Frame) { wires[0] = append(wires[0], f) })
+	rmaB := NewRMA(1, func(f *packet.Frame) { wires[1] = append(wires[1], f) })
+
+	window := make([]byte, 64)
+	rmaB.RegisterWindow(7, window)
+	if _, ok := rmaB.Window(7); !ok {
+		t.Fatal("window not registered")
+	}
+
+	// Put with completion.
+	putDone := false
+	put := rmaA.Put(1, 7, 16, []byte("hello"), func() { putDone = true })
+	if put.Kind != packet.FramePut {
+		t.Fatalf("put kind = %v", put.Kind)
+	}
+	rmaB.HandlePut(0, put)
+	if string(window[16:21]) != "hello" {
+		t.Fatalf("window = %q", window[10:26])
+	}
+	if len(wires[1]) != 1 || wires[1][0].Kind != packet.FrameAck {
+		t.Fatal("put ack not emitted")
+	}
+	rmaA.HandleAck(wires[1][0])
+	if !putDone {
+		t.Fatal("put completion not invoked")
+	}
+
+	// Fire-and-forget put emits no ack.
+	wires[1] = nil
+	rmaB.HandlePut(0, rmaA.Put(1, 7, 0, []byte("x"), nil))
+	if len(wires[1]) != 0 {
+		t.Fatal("fire-and-forget put acked")
+	}
+
+	// Get round trip.
+	var gotData []byte
+	get := rmaA.Get(1, 7, 16, 5, func(data []byte) { gotData = data })
+	rmaB.HandleGet(0, get)
+	if len(wires[1]) != 1 || wires[1][0].Kind != packet.FrameGetReply {
+		t.Fatal("get reply not emitted")
+	}
+	rmaA.HandleGetReply(wires[1][0])
+	if string(gotData) != "hello" {
+		t.Fatalf("get returned %q", gotData)
+	}
+	g, p := rmaA.Outstanding()
+	if g != 0 || p != 0 {
+		t.Fatalf("outstanding = %d gets, %d puts", g, p)
+	}
+}
+
+func TestRMABoundsAndErrors(t *testing.T) {
+	rma := NewRMA(1, func(*packet.Frame) {})
+	rma.RegisterWindow(1, make([]byte, 32))
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	other := NewRMA(0, func(*packet.Frame) {})
+	expectPanic("put out of range", func() {
+		rma.HandlePut(0, other.Put(1, 1, 30, []byte("toolong"), nil))
+	})
+	expectPanic("put unknown window", func() {
+		rma.HandlePut(0, other.Put(1, 9, 0, []byte("x"), nil))
+	})
+	expectPanic("get out of range", func() {
+		rma.HandleGet(0, other.Get(1, 1, 30, 10, func([]byte) {}))
+	})
+	expectPanic("get unknown window", func() {
+		rma.HandleGet(0, other.Get(1, 9, 0, 1, func([]byte) {}))
+	})
+	expectPanic("unknown get reply", func() {
+		rma.HandleGetReply(&packet.Frame{Kind: packet.FrameGetReply, Ctrl: packet.Ctrl{Token: 404}})
+	})
+	expectPanic("unknown ack", func() {
+		rma.HandleAck(&packet.Frame{Kind: packet.FrameAck, Ctrl: packet.Ctrl{Token: 404}})
+	})
+	expectPanic("get without callback", func() {
+		other.Get(1, 1, 0, 1, nil)
+	})
+}
+
+func TestRMAGetReplyIsACopy(t *testing.T) {
+	// HandleGet must snapshot the window: later writes to the window must
+	// not alter an in-flight reply.
+	var reply *packet.Frame
+	rma := NewRMA(1, func(f *packet.Frame) { reply = f })
+	win := []byte("original")
+	rma.RegisterWindow(1, win)
+	other := NewRMA(0, func(*packet.Frame) {})
+	var got []byte
+	g := other.Get(1, 1, 0, 8, func(d []byte) { got = d })
+	rma.HandleGet(0, g)
+	copy(win, "CLOBBER!")
+	other.HandleGetReply(reply)
+	if string(got) != "original" {
+		t.Fatalf("reply aliased the window: %q", got)
+	}
+}
+
+func TestDispatcherRouting(t *testing.T) {
+	var delivered []Deliverable
+	reasm := NewReassembler(1, func(d Deliverable) { delivered = append(delivered, d) })
+	var out []*packet.Frame
+	send := func(f *packet.Frame) { out = append(out, f) }
+	rdvS := NewRdvSender(1, func(uint64, *packet.Packet) {})
+	rdvR := NewRdvReceiver(1, reasm, send, 0)
+	rma := NewRMA(1, send)
+	rma.RegisterWindow(1, make([]byte, 16))
+	d := NewDispatcher(1, reasm, rdvS, rdvR, rma)
+
+	// Data frame with two entries from two flows.
+	df := &packet.Frame{Kind: packet.FrameData, Src: 0, Dst: 1, Entries: []packet.Entry{
+		{Flow: 1, Msg: 1, Seq: 0, Last: true, Payload: []byte("a")},
+		{Flow: 2, Msg: 1, Seq: 0, Last: true, Payload: []byte("b")},
+	}}
+	d.HandleFrame(0, df)
+	if len(delivered) != 2 {
+		t.Fatalf("data entries delivered = %d", len(delivered))
+	}
+
+	// RTS routes to receiver engine and produces a CTS.
+	peer := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	rts := peer.Start(&packet.Packet{Flow: 3, Seq: 0, Src: 0, Dst: 1, Payload: make([]byte, 8), Last: true})
+	d.HandleFrame(0, rts)
+	if len(out) != 1 || out[0].Kind != packet.FrameCTS {
+		t.Fatal("RTS not routed")
+	}
+
+	// Put routes to RMA.
+	otherRMA := NewRMA(0, func(*packet.Frame) {})
+	d.HandleFrame(0, otherRMA.Put(1, 1, 0, []byte("zz"), nil))
+	w, _ := rma.Window(1)
+	if string(w[:2]) != "zz" {
+		t.Fatal("put not routed")
+	}
+
+	// Unknown kind panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown frame kind accepted")
+		}
+	}()
+	d.HandleFrame(0, &packet.Frame{Kind: packet.FrameKind(99)})
+}
+
+func TestDispatcherNilEnginePanics(t *testing.T) {
+	d := NewDispatcher(1, nil, nil, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frame for nil engine accepted")
+		}
+	}()
+	d.HandleFrame(0, &packet.Frame{Kind: packet.FrameData})
+}

@@ -1,0 +1,167 @@
+package proto
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+)
+
+// Rendezvous protocol.
+//
+// Large RecvCheaper fragments are not worth sending eagerly: the receiver
+// would have to stage them, and the sender's channel is occupied for the
+// whole serialization with no opportunity to overlap. The rendezvous
+// protocol replaces the payload with a tiny RTS control frame; once the
+// receiver posts buffers and answers CTS, the bulk payload travels as an
+// RData frame — re-entering the optimizer as a ClassBulk item, so bulk
+// transfers are scheduled (and balanced across NICs) like everything else.
+//
+// The engines below are deliberately passive: they build frames and invoke
+// injected hooks, and the optimizing layer decides when frames actually hit
+// a channel.
+
+// SendHook enqueues a reactive protocol frame (CTS, get reply...) for
+// transmission; installed by the optimizing layer.
+type SendHook func(f *packet.Frame)
+
+// GrantHook tells the optimizing layer that a rendezvous it started has
+// been granted and the bulk payload is ready to schedule.
+type GrantHook func(token uint64, p *packet.Packet)
+
+// RdvSender is the source-side rendezvous engine of one node.
+type RdvSender struct {
+	node      packet.NodeID
+	nextToken uint64
+	pending   map[uint64]*packet.Packet
+	onGrant   GrantHook
+}
+
+// NewRdvSender creates the engine; grant is invoked when a CTS arrives.
+func NewRdvSender(node packet.NodeID, grant GrantHook) *RdvSender {
+	if grant == nil {
+		panic("proto: nil grant hook")
+	}
+	return &RdvSender{node: node, pending: make(map[uint64]*packet.Packet), onGrant: grant}
+}
+
+// Start registers p for rendezvous transfer and returns the RTS frame to
+// schedule (control class). The payload stays with the engine until
+// granted.
+func (s *RdvSender) Start(p *packet.Packet) *packet.Frame {
+	s.nextToken++
+	tok := s.nextToken
+	s.pending[tok] = p
+	return &packet.Frame{
+		Kind: packet.FrameRTS,
+		Src:  s.node,
+		Dst:  p.Dst,
+		Ctrl: packet.Ctrl{
+			Token: tok, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
+			Size: p.Size(), Last: p.Last,
+		},
+	}
+}
+
+// HandleCTS processes a grant; unknown tokens indicate protocol corruption
+// and panic (the fabrics modeled are loss-free).
+func (s *RdvSender) HandleCTS(f *packet.Frame) {
+	p, ok := s.pending[f.Ctrl.Token]
+	if !ok {
+		panic(fmt.Sprintf("proto: CTS for unknown rendezvous token %d on node %d", f.Ctrl.Token, s.node))
+	}
+	s.onGrant(f.Ctrl.Token, p)
+}
+
+// BuildRData consumes the pending payload for token and returns the bulk
+// frame to schedule.
+func (s *RdvSender) BuildRData(token uint64) *packet.Frame {
+	p, ok := s.pending[token]
+	if !ok {
+		panic(fmt.Sprintf("proto: BuildRData for unknown token %d", token))
+	}
+	delete(s.pending, token)
+	return &packet.Frame{
+		Kind: packet.FrameRData,
+		Src:  s.node,
+		Dst:  p.Dst,
+		Ctrl: packet.Ctrl{
+			Token: token, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
+			Size: p.Size(), Last: p.Last,
+		},
+		Bulk: p.Payload,
+	}
+}
+
+// Outstanding returns the number of un-granted rendezvous transfers.
+func (s *RdvSender) Outstanding() int { return len(s.pending) }
+
+// RdvReceiver is the sink-side engine: it grants RTSes (subject to a
+// concurrency cap modeling receive-buffer supply) and turns RData frames
+// back into packets for the reassembler.
+type RdvReceiver struct {
+	node    packet.NodeID
+	send    SendHook
+	reasm   *Reassembler
+	max     int // max concurrent granted rendezvous; 0 = unlimited
+	granted int
+	queue   []*packet.Frame // RTSes waiting for a grant slot
+}
+
+// NewRdvReceiver creates the engine. send emits CTS frames;
+// maxConcurrent=0 grants immediately and without limit.
+func NewRdvReceiver(node packet.NodeID, reasm *Reassembler, send SendHook, maxConcurrent int) *RdvReceiver {
+	if send == nil {
+		panic("proto: nil send hook")
+	}
+	if reasm == nil {
+		panic("proto: nil reassembler")
+	}
+	return &RdvReceiver{node: node, send: send, reasm: reasm, max: maxConcurrent}
+}
+
+// HandleRTS grants (or queues) an incoming rendezvous request.
+func (r *RdvReceiver) HandleRTS(f *packet.Frame) {
+	if r.max > 0 && r.granted >= r.max {
+		r.queue = append(r.queue, f)
+		return
+	}
+	r.grant(f)
+}
+
+func (r *RdvReceiver) grant(f *packet.Frame) {
+	r.granted++
+	r.send(&packet.Frame{
+		Kind: packet.FrameCTS,
+		Src:  r.node,
+		Dst:  f.Src,
+		Ctrl: f.Ctrl,
+	})
+}
+
+// HandleRData completes a rendezvous: the bulk payload becomes an ordinary
+// fragment in the reassembly stream.
+func (r *RdvReceiver) HandleRData(src packet.NodeID, f *packet.Frame) {
+	c := f.Ctrl
+	if len(f.Bulk) != c.Size {
+		panic(fmt.Sprintf("proto: RData size %d != negotiated %d (token %d)", len(f.Bulk), c.Size, c.Token))
+	}
+	r.granted--
+	p := &packet.Packet{
+		Flow: c.Flow, Msg: c.Msg, Seq: c.Seq, Last: c.Last,
+		Src: src, Dst: r.node, Class: packet.ClassBulk,
+		Recv: packet.RecvCheaper, Payload: f.Bulk,
+	}
+	r.reasm.Ingest(src, p)
+	// A completed transfer frees a grant slot for a queued RTS.
+	if len(r.queue) > 0 && (r.max == 0 || r.granted < r.max) {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.grant(next)
+	}
+}
+
+// QueuedRTS returns the number of requests waiting for a grant slot.
+func (r *RdvReceiver) QueuedRTS() int { return len(r.queue) }
+
+// Granted returns the number of in-flight granted transfers.
+func (r *RdvReceiver) Granted() int { return r.granted }

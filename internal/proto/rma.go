@@ -1,0 +1,160 @@
+package proto
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+)
+
+// RMA emulates the remote-memory-access (put/get) protocol family the
+// paper lists among the techniques a communication library must choose
+// between. Nodes expose registered memory windows; peers write (put) and
+// read (get) window ranges without involving the remote application.
+//
+// Wire mapping: RMA frames reuse the generic control block with repurposed
+// fields — Ctrl.Flow carries the window id, Ctrl.Msg the byte offset,
+// Ctrl.Size the length, Ctrl.Token the completion correlator.
+//
+// Like the rendezvous engines, RMA is passive: operations build frames for
+// the optimizing layer to schedule (class ClassRMA), and reactive frames
+// (get replies, put acks) go through the injected send hook.
+type RMA struct {
+	node      packet.NodeID
+	send      SendHook
+	windows   map[int32][]byte
+	nextToken uint64
+	// pendingGets/pendingPuts map tokens to completion callbacks.
+	pendingGets map[uint64]func(data []byte)
+	pendingPuts map[uint64]func()
+}
+
+// NewRMA creates the engine for node; send emits reactive frames.
+func NewRMA(node packet.NodeID, send SendHook) *RMA {
+	if send == nil {
+		panic("proto: nil send hook")
+	}
+	return &RMA{
+		node:        node,
+		send:        send,
+		windows:     make(map[int32][]byte),
+		pendingGets: make(map[uint64]func(data []byte)),
+		pendingPuts: make(map[uint64]func()),
+	}
+}
+
+// RegisterWindow exposes buf as window id; remote puts and gets address it
+// by (id, offset). Re-registering an id replaces the window.
+func (m *RMA) RegisterWindow(id int32, buf []byte) { m.windows[id] = buf }
+
+// Window returns the registered buffer (shared, not a copy).
+func (m *RMA) Window(id int32) ([]byte, bool) {
+	b, ok := m.windows[id]
+	return b, ok
+}
+
+// Put builds a put frame writing data to (window, off) at dst. done, if
+// non-nil, runs when the remote acknowledges (an Ack frame); pass nil for
+// fire-and-forget semantics.
+func (m *RMA) Put(dst packet.NodeID, window int32, off int64, data []byte, done func()) *packet.Frame {
+	var tok uint64
+	if done != nil {
+		m.nextToken++
+		tok = m.nextToken
+		m.pendingPuts[tok] = done
+	}
+	return &packet.Frame{
+		Kind: packet.FramePut,
+		Src:  m.node,
+		Dst:  dst,
+		Ctrl: packet.Ctrl{Token: tok, Flow: packet.FlowID(window), Msg: packet.MsgID(off), Size: len(data)},
+		Bulk: data,
+	}
+}
+
+// Get builds a get frame reading n bytes from (window, off) at dst; done
+// receives the data when the reply arrives.
+func (m *RMA) Get(dst packet.NodeID, window int32, off int64, n int, done func(data []byte)) *packet.Frame {
+	if done == nil {
+		panic("proto: Get requires a completion callback")
+	}
+	m.nextToken++
+	tok := m.nextToken
+	m.pendingGets[tok] = done
+	return &packet.Frame{
+		Kind: packet.FrameGet,
+		Src:  m.node,
+		Dst:  dst,
+		Ctrl: packet.Ctrl{Token: tok, Flow: packet.FlowID(window), Msg: packet.MsgID(off), Size: n},
+	}
+}
+
+// HandlePut applies an incoming put to the local window and acks when the
+// initiator asked for completion. Out-of-range puts panic: the middleware
+// owns window layout, and silent truncation would corrupt DSM pages.
+func (m *RMA) HandlePut(src packet.NodeID, f *packet.Frame) {
+	win, off := int32(f.Ctrl.Flow), int64(f.Ctrl.Msg)
+	buf, ok := m.windows[win]
+	if !ok {
+		panic(fmt.Sprintf("proto: put to unregistered window %d on node %d", win, m.node))
+	}
+	if off < 0 || off+int64(len(f.Bulk)) > int64(len(buf)) {
+		panic(fmt.Sprintf("proto: put [%d,%d) outside window %d of %d bytes", off, off+int64(len(f.Bulk)), win, len(buf)))
+	}
+	copy(buf[off:], f.Bulk)
+	if f.Ctrl.Token != 0 {
+		m.send(&packet.Frame{
+			Kind: packet.FrameAck,
+			Src:  m.node,
+			Dst:  src,
+			Ctrl: packet.Ctrl{Token: f.Ctrl.Token},
+		})
+	}
+}
+
+// HandleGet serves an incoming read by emitting a reply frame.
+func (m *RMA) HandleGet(src packet.NodeID, f *packet.Frame) {
+	win, off, n := int32(f.Ctrl.Flow), int64(f.Ctrl.Msg), f.Ctrl.Size
+	buf, ok := m.windows[win]
+	if !ok {
+		panic(fmt.Sprintf("proto: get from unregistered window %d on node %d", win, m.node))
+	}
+	if off < 0 || off+int64(n) > int64(len(buf)) {
+		panic(fmt.Sprintf("proto: get [%d,%d) outside window %d of %d bytes", off, off+int64(n), win, len(buf)))
+	}
+	data := make([]byte, n)
+	copy(data, buf[off:])
+	m.send(&packet.Frame{
+		Kind: packet.FrameGetReply,
+		Src:  m.node,
+		Dst:  src,
+		Ctrl: packet.Ctrl{Token: f.Ctrl.Token, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Size: n},
+		Bulk: data,
+	})
+}
+
+// HandleGetReply completes a pending get.
+func (m *RMA) HandleGetReply(f *packet.Frame) {
+	done, ok := m.pendingGets[f.Ctrl.Token]
+	if !ok {
+		panic(fmt.Sprintf("proto: get reply for unknown token %d", f.Ctrl.Token))
+	}
+	delete(m.pendingGets, f.Ctrl.Token)
+	done(f.Bulk)
+}
+
+// HandleAck completes a pending put.
+func (m *RMA) HandleAck(f *packet.Frame) {
+	done, ok := m.pendingPuts[f.Ctrl.Token]
+	if !ok {
+		// Acks are also used by fences above this layer; unknown tokens
+		// here are fatal only for RMA-originated acks, which all register.
+		panic(fmt.Sprintf("proto: ack for unknown put token %d", f.Ctrl.Token))
+	}
+	delete(m.pendingPuts, f.Ctrl.Token)
+	done()
+}
+
+// Outstanding returns pending (gets, puts) awaiting completion.
+func (m *RMA) Outstanding() (gets, puts int) {
+	return len(m.pendingGets), len(m.pendingPuts)
+}

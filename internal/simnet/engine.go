@@ -1,0 +1,241 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventFunc is the body of a scheduled event. It runs with the engine clock
+// set to the event's timestamp.
+type EventFunc func()
+
+// event is a heap entry. seq breaks timestamp ties so that events scheduled
+// earlier run earlier, which keeps the simulation deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       EventFunc
+	canceled bool
+	label    string
+	index    int // heap index, -1 once popped
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid.
+type EventID struct{ ev *event }
+
+// Valid reports whether the id refers to a scheduled event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation kernel: a clock plus a pending
+// event heap. It is not safe for concurrent use; all simulated components
+// run on the engine goroutine by construction.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	running bool
+	stopped bool
+	// Executed counts events that have run, for diagnostics and for the
+	// runaway-simulation guard in RunLimit.
+	Executed uint64
+}
+
+// NewEngine returns an engine at virtual time zero with no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now implements Clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, not-yet-canceled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics; simulated hardware cannot rewrite
+// history. The label is used in diagnostics only.
+func (e *Engine) At(t Time, label string, fn EventFunc) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("simnet: event %q scheduled at %v, before now %v", label, t, e.now))
+	}
+	if fn == nil {
+		panic("simnet: nil event function")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, label string, fn EventFunc) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v for event %q", d, label))
+	}
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel prevents a scheduled event from running. Canceling an already-run
+// or already-canceled event is a no-op. It reports whether the event was
+// actually descheduled by this call.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// Step runs the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the heap drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	e.running = true
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	e.running = false
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if any time remains) and returns. Events scheduled
+// after the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.running = true
+	e.stopped = false
+	for !e.stopped {
+		// Peek for the next runnable event within the deadline.
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	e.running = false
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunLimit executes at most maxEvents events, guarding against runaway
+// simulations (e.g. a retry loop that never converges). It returns the
+// number executed and whether the heap drained.
+func (e *Engine) RunLimit(maxEvents uint64) (executed uint64, drained bool) {
+	start := e.Executed
+	for e.Executed-start < maxEvents {
+		if !e.Step() {
+			return e.Executed - start, true
+		}
+	}
+	return e.Executed - start, false
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *event {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.heap)
+	}
+	return nil
+}
+
+// Timer is a resettable one-shot virtual timer built on the engine, used for
+// Nagle-style delayed flushes. The zero value is unarmed; bind it with Init.
+type Timer struct {
+	eng   *Engine
+	id    EventID
+	armed bool
+}
+
+// NewTimer returns a timer bound to eng.
+func NewTimer(eng *Engine) *Timer { return &Timer{eng: eng} }
+
+// Armed reports whether the timer currently has a pending expiry.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Arm schedules fn to fire after d, replacing any pending expiry.
+func (t *Timer) Arm(d Duration, label string, fn EventFunc) {
+	t.Disarm()
+	t.armed = true
+	t.id = t.eng.After(d, label, func() {
+		t.armed = false
+		fn()
+	})
+}
+
+// ArmIfIdle schedules fn only when no expiry is pending, preserving the
+// earliest deadline (Nagle semantics: the first queued packet starts the
+// clock; later packets do not push it back).
+func (t *Timer) ArmIfIdle(d Duration, label string, fn EventFunc) {
+	if t.armed {
+		return
+	}
+	t.Arm(d, label, fn)
+}
+
+// Disarm cancels any pending expiry.
+func (t *Timer) Disarm() {
+	if t.armed {
+		t.eng.Cancel(t.id)
+		t.armed = false
+	}
+}

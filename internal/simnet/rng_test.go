@@ -1,0 +1,170 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGFloat64Bounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(2)
+	const n, trials = 8, 80000
+	var buckets [n]int
+	for i := 0; i < trials; i++ {
+		buckets[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range buckets {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d has %d, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("Range(5,9) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Range(5,9) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(4)
+	const mean = 1000 * Nanosecond
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > float64(mean)*0.05 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, float64(mean))
+	}
+	if r.Exp(0) != 0 || r.Exp(-5) != 0 {
+		t.Fatal("Exp of non-positive mean should be 0")
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	r := NewRNG(5)
+	lo, hi := 16, 65536
+	small := 0
+	for i := 0; i < 20000; i++ {
+		v := r.Pareto(lo, hi, 1.2)
+		if v < lo || v > hi {
+			t.Fatalf("Pareto out of bounds: %d", v)
+		}
+		if v < 4*lo {
+			small++
+		}
+	}
+	// A heavy-tailed law concentrates mass near lo.
+	if small < 10000 {
+		t.Fatalf("Pareto does not look heavy-tailed: only %d/20000 below %d", small, 4*lo)
+	}
+}
+
+func TestRNGChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(6)
+	w := []float64{1, 0, 3}
+	var counts [3]int
+	for i := 0; i < 40000; i++ {
+		counts[r.Choice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(7)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := map[int]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestRNGForkDecorrelates(t *testing.T) {
+	r := NewRNG(9)
+	f := r.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream matched parent %d/1000 times", same)
+	}
+}
+
+// Property: Range always stays within its bounds for arbitrary valid inputs.
+func TestRNGRangeProperty(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := NewRNG(seed).Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEngineImplementsRuntime(t *testing.T) {
+	var rt Runtime = NewEngine()
+	fired := false
+	cancel := rt.Schedule(10, "x", func() { fired = true })
+	if cancel == nil {
+		t.Fatal("nil cancel func")
+	}
+	rt.(*Engine).Run()
+	if !fired {
+		t.Fatal("scheduled callback never fired")
+	}
+	// Cancel path.
+	eng := NewEngine()
+	fired = false
+	c := eng.Schedule(10, "x", func() { fired = true })
+	if !c() {
+		t.Fatal("cancel reported failure")
+	}
+	if c() {
+		t.Fatal("double cancel reported success")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("canceled callback fired")
+	}
+}
+
+func TestRealRuntimeNowAdvances(t *testing.T) {
+	rt := NewRealRuntime()
+	a := rt.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := rt.Now()
+	if b <= a {
+		t.Fatalf("wall clock did not advance: %v -> %v", a, b)
+	}
+}
+
+func TestRealRuntimeSchedule(t *testing.T) {
+	rt := NewRealRuntime()
+	done := make(chan struct{})
+	rt.Schedule(FromWall(time.Millisecond), "t", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback never fired")
+	}
+}
+
+func TestRealRuntimeCancel(t *testing.T) {
+	rt := NewRealRuntime()
+	var fired atomic.Bool
+	cancel := rt.Schedule(FromWall(50*time.Millisecond), "t", func() { fired.Store(true) })
+	if !cancel() {
+		t.Fatal("cancel failed")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event accepted")
+		}
+	}()
+	e.At(1, "nil", nil)
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay accepted")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	id := e.At(5, "a", func() {})
+	e.At(6, "b", func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Cancel(id)
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", e.Pending())
+	}
+}
+
+func TestRunLimitDrains(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), "x", func() {})
+	}
+	n, drained := e.RunLimit(100)
+	if !drained || n != 5 {
+		t.Fatalf("n=%d drained=%v", n, drained)
+	}
+}
+
+func TestBandwidthTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth accepted")
+		}
+	}()
+	BandwidthTime(10, 0)
+}

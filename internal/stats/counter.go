@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing tally. The zero value is zero.
+// Counters are written from the single simulation goroutine in virtual-time
+// runs but may be read concurrently by reporting code, so all access is
+// mutex-guarded; the cost is irrelevant at simulation event rates.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current tally.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Set is a named registry of counters and histograms, one per engine or
+// experiment. The zero value is ready to use.
+type Set struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	gauges map[string]float64
+}
+
+// Counter returns (creating on first use) the named counter.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctrs == nil {
+		s.ctrs = make(map[string]*Counter)
+	}
+	c, ok := s.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		s.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hists == nil {
+		s.hists = make(map[string]*Histogram)
+	}
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// SetGauge records a point-in-time value under name, replacing any previous
+// value.
+func (s *Set) SetGauge(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gauges == nil {
+		s.gauges = make(map[string]float64)
+	}
+	s.gauges[name] = v
+}
+
+// Gauge returns the named gauge value and whether it was ever set.
+func (s *Set) Gauge(name string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.gauges[name]
+	return v, ok
+}
+
+// CounterValue returns the value of the named counter, zero if absent.
+func (s *Set) CounterValue(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.ctrs[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns the sorted names of all counters, then histograms, then
+// gauges — useful for stable debug dumps.
+func (s *Set) Names() (counters, hists, gauges []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := range s.ctrs {
+		counters = append(counters, n)
+	}
+	for n := range s.hists {
+		hists = append(hists, n)
+	}
+	for n := range s.gauges {
+		gauges = append(gauges, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(hists)
+	sort.Strings(gauges)
+	return
+}
+
+// Dump renders every metric on its own line, sorted, for debugging.
+func (s *Set) Dump() string {
+	cn, hn, gn := s.Names()
+	out := ""
+	for _, n := range cn {
+		out += fmt.Sprintf("counter %-40s %d\n", n, s.CounterValue(n))
+	}
+	for _, n := range hn {
+		out += fmt.Sprintf("hist    %-40s %s\n", n, s.Histogram(n).String())
+	}
+	for _, n := range gn {
+		v, _ := s.Gauge(n)
+		out += fmt.Sprintf("gauge   %-40s %g\n", n, v)
+	}
+	return out
+}

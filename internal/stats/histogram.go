@@ -1,0 +1,212 @@
+// Package stats provides the measurement substrate for newmad: counters,
+// log-scale histograms, labeled time series and plain-text tables. The
+// experiment harness (internal/exp) renders every reproduced table and
+// figure through this package, so the output format of `madbench` is
+// uniform across experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram records a distribution of non-negative float64 samples in
+// logarithmic buckets (powers of 2 by default), keeping exact aggregates
+// (count/sum/min/max) alongside for precise means. The zero value is ready
+// to use.
+type Histogram struct {
+	buckets map[int]uint64 // bucket index -> count
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	// samples keeps an exact reservoir of up to reservoirCap values so
+	// quantiles stay accurate for the modest sample counts the experiments
+	// produce; beyond that, quantiles fall back to bucket interpolation.
+	samples  []float64
+	overflow bool
+}
+
+const reservoirCap = 1 << 16
+
+// Add records one sample. Negative samples are clamped to zero (durations
+// in the simulator are never negative; clamping keeps the histogram total
+// consistent with the counter totals even if a caller rounds badly).
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+		h.min = math.Inf(1)
+		h.max = math.Inf(-1)
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, v)
+	} else {
+		h.overflow = true
+	}
+}
+
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(v))) + 1
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1). With at most reservoirCap
+// samples the answer is exact; beyond that it interpolates within log
+// buckets, which is adequate for the latency tails reported by madbench.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if !h.overflow {
+		s := append([]float64(nil), h.samples...)
+		sort.Float64s(s)
+		idx := q * float64(len(s)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		if lo == hi {
+			return s[lo]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	// Bucket interpolation.
+	target := q * float64(h.count)
+	idxs := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		idxs = append(idxs, b)
+	}
+	sort.Ints(idxs)
+	var cum float64
+	for _, b := range idxs {
+		n := float64(h.buckets[b])
+		if cum+n >= target {
+			lo, hi := bucketBounds(b)
+			frac := (target - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(b-1)), math.Pow(2, float64(b))
+}
+
+// Stddev returns the sample standard deviation (exact while the reservoir
+// holds, else approximated from bucket midpoints).
+func (h *Histogram) Stddev() float64 {
+	if h.count < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	if !h.overflow {
+		for _, v := range h.samples {
+			d := v - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(h.samples)-1))
+	}
+	for b, n := range h.buckets {
+		lo, hi := bucketBounds(b)
+		mid := (lo + hi) / 2
+		d := mid - mean
+		ss += d * d * float64(n)
+	}
+	return math.Sqrt(ss / float64(h.count-1))
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+		h.min = math.Inf(1)
+		h.max = math.Inf(-1)
+	}
+	for b, n := range other.buckets {
+		h.buckets[b] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for _, v := range other.samples {
+		if len(h.samples) < reservoirCap {
+			h.samples = append(h.samples, v)
+		} else {
+			h.overflow = true
+			break
+		}
+	}
+	if other.overflow {
+		h.overflow = true
+	}
+}
+
+// String summarizes the distribution for debug output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table used by the bench harness to print the rows
+// each experiment reproduces. Columns are right-aligned except the first.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond len(Header) are dropped, missing cells
+// are rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		cells = cells[:len(t.Header)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values; each value is rendered with %v
+// except float64, rendered with the table's default float format.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = FormatFloat(x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be meaningful.
+func FormatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x == float64(int64(x)) && x < 1e15 && x > -1e15:
+		return fmt.Sprintf("%d", int64(x))
+	case x >= 100 || x <= -100:
+		return fmt.Sprintf("%.1f", x)
+	case x >= 1 || x <= -1:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// String renders the table with a title line, separator rules and aligned
+// columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w, c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", w, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "(%s)\n", t.Caption)
+	}
+	return b.String()
+}
+
+// Series is a labeled sequence of (x, y) points, the unit of "figure"
+// reproduction: each paper curve becomes one Series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// SeriesTable renders several series sharing the same X axis as a table
+// (one row per X, one column per series). Series may have different lengths;
+// missing cells are blank. X values are matched by position, and the xs of
+// the longest series label the rows.
+func SeriesTable(title, xlabel string, series ...*Series) *Table {
+	header := []string{xlabel}
+	longest := 0
+	for _, s := range series {
+		header = append(header, s.Name)
+		if s.Len() > longest {
+			longest = s.Len()
+		}
+	}
+	t := NewTable(title, header...)
+	for i := 0; i < longest; i++ {
+		row := make([]string, 0, len(header))
+		x := ""
+		for _, s := range series {
+			if i < s.Len() {
+				x = FormatFloat(s.X[i])
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, FormatFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,213 @@
+package strategy
+
+import (
+	"newmad/internal/packet"
+)
+
+// FIFO is the previous-Madeleine baseline builder: send the oldest waiting
+// packet, alone. Deterministic flow handling, no cross-flow optimization —
+// exactly the behaviour the paper's engine replaces.
+type FIFO struct{}
+
+// Name returns "fifo".
+func (FIFO) Name() string { return "fifo" }
+
+// Build takes the backlog head as a single-packet plan.
+func (FIFO) Build(ctx *Context) *Plan {
+	if len(ctx.Backlog) == 0 {
+		return nil
+	}
+	plan := &Plan{Packets: ctx.Backlog[:1:1], Evaluated: 1}
+	ScorePlan(ctx.Caps, ctx.Mem, plan)
+	return plan
+}
+
+// Aggregate is the paper's headline builder: starting from the oldest
+// waiting packet, greedily append every later packet bound for the same
+// destination that the capability record admits — mixing packets from
+// several independent communication flows into one network transaction.
+//
+// Scanning the backlog in submission order and never skipping *within* a
+// flow preserves the intra-flow FIFO constraint by construction (appending
+// a flow's packets in encounter order is exactly their submission order).
+type Aggregate struct {
+	// CrossFlow, when false, restricts aggregation to packets of the same
+	// flow as the head packet (the intra-flow-only ablation of E1).
+	CrossFlow bool
+	// MaxPackets caps sub-packets per frame (0 = capability-driven only).
+	MaxPackets int
+	// EagerOnlyAggregation, when true, refuses to pull ClassBulk packets
+	// into aggregates (bulk rides alone); the default pulls everything the
+	// caps admit.
+	EagerOnlyAggregation bool
+}
+
+// NewAggregate returns the default cross-flow aggregation builder.
+func NewAggregate() *Aggregate { return &Aggregate{CrossFlow: true} }
+
+// Name returns "aggregate" (or the ablation variant name).
+func (a *Aggregate) Name() string {
+	if !a.CrossFlow {
+		return "aggregate-intraflow"
+	}
+	return "aggregate"
+}
+
+// Build greedily collects the head packet's destination.
+func (a *Aggregate) Build(ctx *Context) *Plan {
+	if len(ctx.Backlog) == 0 {
+		return nil
+	}
+	head := ctx.Backlog[0]
+	lim := packet.AggregateLimits{MaxIOV: ctx.Caps.MaxIOV, MaxAggregate: ctx.Caps.MaxAggregate}
+	plan := &Plan{Packets: []*packet.Packet{head}, Evaluated: 1}
+	size := head.Size()
+	// blockedFlows records connections where we had to skip a same-
+	// destination packet: taking a later packet of such a connection would
+	// reorder within it. Packets to *other* destinations skip freely
+	// (different connection, no shared order).
+	blockedFlows := map[packet.FlowID]bool{}
+	for _, p := range ctx.Backlog[1:] {
+		if a.MaxPackets > 0 && len(plan.Packets) >= a.MaxPackets {
+			break
+		}
+		if p.Dst != head.Dst {
+			continue
+		}
+		if blockedFlows[p.Flow] {
+			continue
+		}
+		if !a.CrossFlow && p.Flow != head.Flow {
+			continue
+		}
+		if a.EagerOnlyAggregation && p.Class == packet.ClassBulk {
+			blockedFlows[p.Flow] = true
+			continue
+		}
+		if !packet.CanAppend(p, len(plan.Packets), size, head.Dst, lim) {
+			blockedFlows[p.Flow] = true
+			continue
+		}
+		plan.Packets = append(plan.Packets, p)
+		size += p.Size()
+	}
+	ScorePlan(ctx.Caps, ctx.Mem, plan)
+	return plan
+}
+
+// BoundedSearch evaluates several candidate arrangements — different
+// destination choices and aggregate lengths — under an explicit budget,
+// reproducing the paper's future-work question of bounding the number of
+// data rearrangements the optimizer considers.
+//
+// Candidates examined, in order, until the budget runs out:
+//
+//	for each distinct destination in backlog order:
+//	  for each prefix length L = all, all/2, all/4, ..., 1 of the greedy
+//	  collection for that destination:
+//	    score the candidate
+//
+// The candidate with the best score-per-occupancy is chosen, except that a
+// candidate that would starve the backlog head for a different destination
+// is only taken when its score strictly exceeds the head candidate's (the
+// head must not be starved forever; the engine also ages packets).
+type BoundedSearch struct {
+	// DefaultBudget applies when the context does not set one.
+	DefaultBudget int
+}
+
+// NewBoundedSearch returns a search builder with the given default budget.
+func NewBoundedSearch(budget int) *BoundedSearch {
+	if budget < 1 {
+		budget = 16
+	}
+	return &BoundedSearch{DefaultBudget: budget}
+}
+
+// Name returns "search".
+func (s *BoundedSearch) Name() string { return "search" }
+
+// Build enumerates candidates within the budget and returns the best.
+func (s *BoundedSearch) Build(ctx *Context) *Plan {
+	if len(ctx.Backlog) == 0 {
+		return nil
+	}
+	budget := ctx.Budget
+	if budget <= 0 {
+		budget = s.DefaultBudget
+	}
+	lim := packet.AggregateLimits{MaxIOV: ctx.Caps.MaxIOV, MaxAggregate: ctx.Caps.MaxAggregate}
+	head := ctx.Backlog[0]
+
+	var best *Plan
+	evaluated := 0
+
+	consider := func(cand *Plan) {
+		evaluated++
+		cand.Evaluated = evaluated
+		ScorePlan(ctx.Caps, ctx.Mem, cand)
+		if best == nil {
+			best = cand
+			return
+		}
+		// Prefer higher score; tie-break toward the head packet's
+		// destination to avoid starvation.
+		if cand.Score > best.Score ||
+			(cand.Score == best.Score && cand.Packets[0] == head && best.Packets[0] != head) {
+			best = cand
+		}
+	}
+
+	// Distinct destinations in backlog order.
+	seen := map[packet.NodeID]bool{}
+dests:
+	for _, p0 := range ctx.Backlog {
+		if seen[p0.Dst] {
+			continue
+		}
+		seen[p0.Dst] = true
+		full := s.collect(ctx.Backlog, p0.Dst, lim)
+		if len(full) == 0 {
+			continue
+		}
+		for l := len(full); l >= 1; l = l / 2 {
+			cand := &Plan{Packets: full[:l:l]}
+			consider(cand)
+			if evaluated >= budget {
+				break dests
+			}
+			if l == 1 {
+				break
+			}
+		}
+	}
+	if best != nil {
+		best.Evaluated = evaluated
+	}
+	return best
+}
+
+// collect is the greedy same-destination gather respecting intra-
+// connection order (skip a connection once one of its same-destination
+// packets is skipped; other destinations are other connections and skip
+// freely).
+func (s *BoundedSearch) collect(backlog []*packet.Packet, dst packet.NodeID, lim packet.AggregateLimits) []*packet.Packet {
+	var out []*packet.Packet
+	size := 0
+	blocked := map[packet.FlowID]bool{}
+	for _, p := range backlog {
+		if p.Dst != dst {
+			continue
+		}
+		if blocked[p.Flow] {
+			continue
+		}
+		if !packet.CanAppend(p, len(out), size, dst, lim) {
+			blocked[p.Flow] = true
+			continue
+		}
+		out = append(out, p)
+		size += p.Size()
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package strategy
+
+import (
+	"testing"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+func TestDensestPicksDensestDestination(t *testing.T) {
+	// Head goes to dst 1 alone; dst 2 has 6 aggregatable packets.
+	backlog := mkBacklog([3]int{1, 1, 64})
+	for i := 0; i < 6; i++ {
+		backlog = append(backlog, &packet.Packet{
+			Flow: packet.FlowID(i + 2), Msg: 1, Seq: 0, Dst: 2,
+			Class: packet.ClassSmall, Payload: make([]byte, 64),
+			SubmitSeq: uint64(i + 2),
+		})
+	}
+	ctx := ctxWith(backlog)
+	plan := NewDensest().Build(ctx)
+	if plan.Packets[0].Dst != 2 || len(plan.Packets) != 6 {
+		t.Fatalf("densest chose dst=%d n=%d", plan.Packets[0].Dst, len(plan.Packets))
+	}
+	if !packet.OrderedSubset(plan.Packets) {
+		t.Fatal("densest violated ordering")
+	}
+}
+
+func TestDensestStarvationBound(t *testing.T) {
+	backlog := mkBacklog([3]int{1, 1, 64})
+	backlog[0].Enqueued = 0 // waiting since the epoch
+	for i := 0; i < 6; i++ {
+		backlog = append(backlog, &packet.Packet{
+			Flow: packet.FlowID(i + 2), Msg: 1, Seq: 0, Dst: 2,
+			Class: packet.ClassSmall, Payload: make([]byte, 64),
+			SubmitSeq: uint64(i + 2), Enqueued: 90 * simnet.Time(simnet.Microsecond),
+		})
+	}
+	ctx := ctxWith(backlog)
+	ctx.Now = 100 * simnet.Time(simnet.Microsecond) // head is 100µs old > 50µs bound
+	plan := NewDensest().Build(ctx)
+	if plan.Packets[0].Dst != 1 {
+		t.Fatalf("starving head not served: plan dst=%d", plan.Packets[0].Dst)
+	}
+}
+
+func TestDensestEmptyAndDefaults(t *testing.T) {
+	d := NewDensest()
+	if d.Build(ctxWith(nil)) != nil {
+		t.Fatal("plan from empty backlog")
+	}
+	if d.Name() != "densest" {
+		t.Fatal("name")
+	}
+	// Zero MaxAge falls back to the default bound rather than always
+	// starving-serving.
+	z := &Densest{}
+	backlog := mkBacklog([3]int{1, 1, 64}, [3]int{2, 2, 64}, [3]int{3, 2, 64})
+	plan := z.Build(ctxWith(backlog))
+	if plan == nil || len(plan.Packets) != 2 {
+		t.Fatalf("zero-age densest plan: %+v", plan)
+	}
+}
+
+func TestDensestRegisteredBundle(t *testing.T) {
+	b, err := New("densest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Builder.Name() != "densest" {
+		t.Fatal("bundle builder wrong")
+	}
+}
+
+func TestWeightedRailProportions(t *testing.T) {
+	w := &WeightedRail{Bandwidths: []float64{250e6, 750e6}}
+	count := [2]int{}
+	for f := 1; f <= 1000; f++ {
+		p := &packet.Packet{Flow: packet.FlowID(f)}
+		for rail := 0; rail < 2; rail++ {
+			if w.Eligible(p, RailInfo{Index: rail, Count: 2}) {
+				count[rail]++
+			}
+		}
+	}
+	if count[0]+count[1] != 1000 {
+		t.Fatalf("flows multiply assigned: %v", count)
+	}
+	// Expect roughly 25/75 split.
+	if count[0] < 150 || count[0] > 350 {
+		t.Fatalf("split = %v, want ~250/750", count)
+	}
+	if w.Name() != "rail-weighted" {
+		t.Fatal("name")
+	}
+	// Single rail admits everything.
+	if !w.Eligible(&packet.Packet{Flow: 9}, RailInfo{Index: 0, Count: 1}) {
+		t.Fatal("single rail refused")
+	}
+}
+
+func TestWeightedRailDeterministic(t *testing.T) {
+	w := &WeightedRail{Bandwidths: []float64{1, 1, 1}}
+	p := &packet.Packet{Flow: 42}
+	var first int = -1
+	for trial := 0; trial < 10; trial++ {
+		for rail := 0; rail < 3; rail++ {
+			if w.Eligible(p, RailInfo{Index: rail, Count: 3}) {
+				if first == -1 {
+					first = rail
+				} else if rail != first {
+					t.Fatalf("flow 42 moved from rail %d to %d", first, rail)
+				}
+			}
+		}
+	}
+	// Zero/absent bandwidths default to 1 (no panic, full coverage).
+	z := &WeightedRail{}
+	hit := false
+	for rail := 0; rail < 4; rail++ {
+		if z.Eligible(p, RailInfo{Index: rail, Count: 4}) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("flow lost with default bandwidths")
+	}
+}
+
+// Ablation: on a multi-destination backlog, densest must produce an equal
+// or better score than head-first aggregation; on single-destination
+// backlogs they must agree.
+func TestDensestVsAggregateAblation(t *testing.T) {
+	multi := mkBacklog(
+		[3]int{1, 1, 64},
+		[3]int{2, 2, 64}, [3]int{3, 2, 64}, [3]int{4, 2, 64}, [3]int{5, 2, 64})
+	dPlan := NewDensest().Build(ctxWith(multi))
+	aPlan := NewAggregate().Build(ctxWith(multi))
+	if dPlan.Score < aPlan.Score {
+		t.Fatalf("densest score %v < aggregate score %v on multi-dest backlog", dPlan.Score, aPlan.Score)
+	}
+	single := mkBacklog([3]int{1, 1, 64}, [3]int{2, 1, 64}, [3]int{3, 1, 64})
+	dS := NewDensest().Build(ctxWith(single))
+	aS := NewAggregate().Build(ctxWith(single))
+	if len(dS.Packets) != len(aS.Packets) {
+		t.Fatalf("plans differ on single destination: %d vs %d", len(dS.Packets), len(aS.Packets))
+	}
+}

@@ -1,0 +1,119 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The strategy database. The paper: "The database of predefined strategies
+// can be easily extended." Registering a bundle is all an extension needs;
+// engines and the bench harness look strategies up by name.
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]func() Bundle{}
+)
+
+// Register adds a bundle factory under its name. Factories (rather than
+// instances) are stored because some policies are stateful (AdaptiveClasses)
+// and each engine needs its own. Re-registering a name replaces it.
+func Register(name string, factory func() Bundle) error {
+	if name == "" {
+		return fmt.Errorf("strategy: empty bundle name")
+	}
+	if factory == nil {
+		return fmt.Errorf("strategy: nil factory for %q", name)
+	}
+	b := factory()
+	if b.Builder == nil || b.Rail == nil || b.Classes == nil || b.Protocol == nil {
+		return fmt.Errorf("strategy: bundle %q has nil components", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = factory
+	return nil
+}
+
+// MustRegister panics on Register error, for init-time bundles.
+func MustRegister(name string, factory func() Bundle) {
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates a fresh copy of the named bundle.
+func New(name string) (Bundle, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return Bundle{}, fmt.Errorf("strategy: unknown bundle %q (have %v)", name, Names())
+	}
+	b := f()
+	b.Name = name
+	return b, nil
+}
+
+// Names returns the registered bundle names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// fifo: the previous-Madeleine baseline — deterministic per-flow
+	// handling, flows pinned one-to-one onto rails, one shared queue, the
+	// driver's native rendezvous threshold.
+	MustRegister("fifo", func() Bundle {
+		return Bundle{
+			Builder:  FIFO{},
+			Rail:     PinnedRail{},
+			Classes:  SingleQueue{},
+			Protocol: ThresholdProtocol{},
+		}
+	})
+	// aggregate: the paper's engine — cross-flow aggregation, pooled
+	// rails, reserved control lane.
+	MustRegister("aggregate", func() Bundle {
+		return Bundle{
+			Builder:  NewAggregate(),
+			Rail:     SharedRail{},
+			Classes:  ReservedControl{},
+			Protocol: ThresholdProtocol{},
+		}
+	})
+	// aggregate-intraflow: ablation — aggregation without flow mixing.
+	MustRegister("aggregate-intraflow", func() Bundle {
+		return Bundle{
+			Builder:  &Aggregate{CrossFlow: false},
+			Rail:     SharedRail{},
+			Classes:  ReservedControl{},
+			Protocol: ThresholdProtocol{},
+		}
+	})
+	// search: bounded-rearrangement search (E6).
+	MustRegister("search", func() Bundle {
+		return Bundle{
+			Builder:  NewBoundedSearch(16),
+			Rail:     SharedRail{},
+			Classes:  ReservedControl{},
+			Protocol: ThresholdProtocol{},
+		}
+	})
+	// adaptive: aggregation with adaptive class re-partitioning (E10).
+	MustRegister("adaptive", func() Bundle {
+		return Bundle{
+			Builder:  NewAggregate(),
+			Rail:     SharedRail{},
+			Classes:  NewAdaptiveClasses(0),
+			Protocol: ThresholdProtocol{},
+		}
+	})
+}

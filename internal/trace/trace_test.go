@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"newmad/internal/packet"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSubmit}) // must not panic
+	r.OnRecord(func(Event) {})
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder reports events")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil recorder returns events")
+	}
+}
+
+func TestRecordAndRead(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: 100, Kind: KindSubmit, Node: 1, Flow: packet.FlowID(i), Seq: i})
+	}
+	if r.Len() != 5 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 40; i++ {
+		r.Record(Event{Seq: i})
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len = %d, want 16", r.Len())
+	}
+	if r.Total() != 40 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if evs[0].Seq != 24 || evs[15].Seq != 39 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", evs[0].Seq, evs[15].Seq)
+	}
+}
+
+func TestMinimumCapacityClamped(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Seq: i})
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len = %d, want clamped 16", r.Len())
+	}
+}
+
+func TestFilterAndSummary(t *testing.T) {
+	r := New(64)
+	r.Record(Event{Kind: KindSubmit})
+	r.Record(Event{Kind: KindPlan})
+	r.Record(Event{Kind: KindPlan})
+	r.Record(Event{Kind: KindPost})
+	if got := len(r.Filter(KindPlan)); got != 2 {
+		t.Fatalf("filter plan = %d", got)
+	}
+	if got := len(r.Filter()); got != 4 {
+		t.Fatalf("filter all = %d", got)
+	}
+	s := r.Summary()
+	if s[KindPlan] != 2 || s[KindSubmit] != 1 || s[KindPost] != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestOnRecordTap(t *testing.T) {
+	r := New(16)
+	var tapped []Event
+	r.OnRecord(func(e Event) { tapped = append(tapped, e) })
+	r.Record(Event{Kind: KindIdle})
+	r.OnRecord(nil)
+	r.Record(Event{Kind: KindIdle})
+	if len(tapped) != 1 {
+		t.Fatalf("tap saw %d events", len(tapped))
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := New(16)
+	r.Record(Event{At: 1500, Kind: KindPlan, Node: 2, Flow: 3, Seq: 4, A: 5, B: 6, Note: "aggregate"})
+	out := r.Dump()
+	for _, want := range []string{"PLAN", "n2", "f3/#4", "a=5", "b=6", "aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	for k := Kind(0); k < kindMax; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no mnemonic", k)
+		}
+	}
+	if !strings.Contains(Kind(77).String(), "77") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Kind: KindRecv})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Len() != 128 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

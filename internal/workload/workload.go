@@ -1,0 +1,158 @@
+// Package workload generates the traffic the experiments drive through the
+// optimizer: message-size distributions, arrival processes and multi-flow
+// mixes, all drawn from explicitly seeded RNGs so every experiment is
+// reproducible bit for bit.
+package workload
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// SizeDist draws message sizes.
+type SizeDist interface {
+	Draw(rng *simnet.RNG) int
+	String() string
+}
+
+// Fixed always returns N bytes.
+type Fixed int
+
+// Draw returns the fixed size.
+func (f Fixed) Draw(*simnet.RNG) int { return int(f) }
+
+// String describes the distribution.
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%dB)", int(f)) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi int }
+
+// Draw returns a uniform size.
+func (u Uniform) Draw(rng *simnet.RNG) int { return rng.Range(u.Lo, u.Hi) }
+
+// String describes the distribution.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d..%dB)", u.Lo, u.Hi) }
+
+// Pareto draws from a bounded Pareto law — the heavy-tailed mix typical of
+// middleware conglomerates (many tiny control messages, few huge bulks).
+type Pareto struct {
+	Lo, Hi int
+	Alpha  float64
+}
+
+// Draw returns a heavy-tailed size.
+func (p Pareto) Draw(rng *simnet.RNG) int { return rng.Pareto(p.Lo, p.Hi, p.Alpha) }
+
+// String describes the distribution.
+func (p Pareto) String() string { return fmt.Sprintf("pareto(%d..%dB,α=%.1f)", p.Lo, p.Hi, p.Alpha) }
+
+// Arrival generates inter-submission gaps.
+type Arrival interface {
+	Next(rng *simnet.RNG) simnet.Duration
+	String() string
+}
+
+// BackToBack submits with no gap (maximum backlog pressure).
+type BackToBack struct{}
+
+// Next returns zero.
+func (BackToBack) Next(*simnet.RNG) simnet.Duration { return 0 }
+
+// String describes the process.
+func (BackToBack) String() string { return "back-to-back" }
+
+// Poisson submits with exponential inter-arrival times of the given mean.
+type Poisson struct{ Mean simnet.Duration }
+
+// Next draws an exponential gap.
+func (p Poisson) Next(rng *simnet.RNG) simnet.Duration { return rng.Exp(p.Mean) }
+
+// String describes the process.
+func (p Poisson) String() string { return fmt.Sprintf("poisson(mean %v)", p.Mean) }
+
+// Bursts submits Size packets back to back, then pauses Gap.
+type Bursts struct {
+	Size int
+	Gap  simnet.Duration
+	n    int // per-stream packet counter
+}
+
+// Next returns 0 within a burst and Gap between bursts. Bursts is
+// stateful per stream; Clone gives each flow its own counter.
+func (b *Bursts) Next(*simnet.RNG) simnet.Duration {
+	b.n++
+	if b.n%b.Size == 0 {
+		return b.Gap
+	}
+	return 0
+}
+
+// String describes the process.
+func (b *Bursts) String() string { return fmt.Sprintf("bursts(%d per %v)", b.Size, b.Gap) }
+
+// Clone returns an independent burst counter.
+func (b *Bursts) Clone() *Bursts { return &Bursts{Size: b.Size, Gap: b.Gap} }
+
+// FlowSpec describes one synthetic communication flow.
+type FlowSpec struct {
+	Flow    packet.FlowID
+	Src     packet.NodeID
+	Dst     packet.NodeID
+	Class   packet.ClassID
+	Recv    packet.RecvMode
+	Size    SizeDist
+	Arrival Arrival
+	Count   int
+	// Start delays the flow's first submission — phase-structured
+	// applications are modeled as flows with different starts.
+	Start simnet.Duration
+}
+
+// Driver feeds flows into engines inside a simulation: each flow is an
+// independent arrival process starting at time zero.
+type Driver struct {
+	eng     *simnet.Engine
+	engines map[packet.NodeID]*core.Engine
+	rng     *simnet.RNG
+	// Submitted counts packets handed to the engines.
+	Submitted int
+}
+
+// NewDriver creates a workload driver over per-node engines.
+func NewDriver(eng *simnet.Engine, engines map[packet.NodeID]*core.Engine, seed uint64) *Driver {
+	return &Driver{eng: eng, engines: engines, rng: simnet.NewRNG(seed)}
+}
+
+// Add schedules one flow's submissions. Sequences start at 0.
+func (d *Driver) Add(spec FlowSpec) {
+	if spec.Count <= 0 {
+		panic("workload: flow with non-positive count")
+	}
+	src, ok := d.engines[spec.Src]
+	if !ok {
+		panic(fmt.Sprintf("workload: no engine for node %d", spec.Src))
+	}
+	rng := d.rng.Fork()
+	at := simnet.Time(0).Add(spec.Start)
+	for seq := 0; seq < spec.Count; seq++ {
+		seq := seq
+		size := spec.Size.Draw(rng)
+		p := &packet.Packet{
+			Flow: spec.Flow, Msg: packet.MsgID(seq), Seq: seq,
+			Last: true, // each packet is a complete one-fragment message
+			Src:  spec.Src, Dst: spec.Dst,
+			Class: spec.Class, Recv: spec.Recv,
+			Payload: make([]byte, size),
+		}
+		d.eng.At(at, "workload.submit", func() {
+			if err := src.Submit(p); err != nil {
+				panic(fmt.Sprintf("workload: submit: %v", err))
+			}
+		})
+		d.Submitted++
+		at = at.Add(spec.Arrival.Next(rng))
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+func TestSizeDists(t *testing.T) {
+	rng := simnet.NewRNG(1)
+	if Fixed(64).Draw(rng) != 64 {
+		t.Fatal("fixed broken")
+	}
+	for i := 0; i < 1000; i++ {
+		v := (Uniform{10, 20}).Draw(rng)
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		p := (Pareto{16, 4096, 1.2}).Draw(rng)
+		if p < 16 || p > 4096 {
+			t.Fatalf("pareto out of range: %d", p)
+		}
+	}
+	for _, s := range []SizeDist{Fixed(1), Uniform{1, 2}, Pareto{1, 2, 1}} {
+		if s.String() == "" {
+			t.Fatal("empty dist description")
+		}
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	rng := simnet.NewRNG(2)
+	if (BackToBack{}).Next(rng) != 0 {
+		t.Fatal("back-to-back broken")
+	}
+	p := Poisson{Mean: 1000}
+	sum := simnet.Duration(0)
+	for i := 0; i < 10000; i++ {
+		sum += p.Next(rng)
+	}
+	mean := float64(sum) / 10000
+	if mean < 900 || mean > 1100 {
+		t.Fatalf("poisson mean = %v", mean)
+	}
+	b := &Bursts{Size: 3, Gap: 50}
+	var gaps []simnet.Duration
+	for i := 0; i < 6; i++ {
+		gaps = append(gaps, b.Next(rng))
+	}
+	want := []simnet.Duration{0, 0, 50, 0, 0, 50}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("burst gaps = %v", gaps)
+		}
+	}
+	c := b.Clone()
+	if c.Next(rng) != 0 {
+		t.Fatal("clone inherited counter state")
+	}
+	for _, a := range []Arrival{BackToBack{}, Poisson{1}, &Bursts{Size: 1, Gap: 1}} {
+		if !strings.Contains(a.String(), "") && a.String() == "" {
+			t.Fatal("empty arrival description")
+		}
+	}
+}
+
+func TestDriverSubmitsAll(t *testing.T) {
+	cl, err := drivers.NewCluster(2, caps.MX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	engines := map[packet.NodeID]*core.Engine{}
+	for n := packet.NodeID(0); n < 2; n++ {
+		n := n
+		b, _ := strategy.New("aggregate")
+		eng, err := core.New(n, core.Options{
+			Bundle: b, Runtime: cl.Eng,
+			Rails:   []drivers.Driver{cl.Driver(n, "mx")},
+			Deliver: func(proto.Deliverable) { delivered++ },
+			Stats:   cl.Stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[n] = eng
+	}
+	d := NewDriver(cl.Eng, engines, 7)
+	d.Add(FlowSpec{Flow: 1, Src: 0, Dst: 1, Size: Fixed(64), Arrival: BackToBack{}, Count: 20})
+	d.Add(FlowSpec{Flow: 2, Src: 0, Dst: 1, Size: Uniform{8, 256}, Arrival: Poisson{Mean: simnet.Microsecond}, Count: 20})
+	if d.Submitted != 40 {
+		t.Fatalf("submitted = %d", d.Submitted)
+	}
+	cl.Eng.Run()
+	if delivered != 40 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	cl, _ := drivers.NewCluster(2, caps.MX)
+	d := NewDriver(cl.Eng, map[packet.NodeID]*core.Engine{}, 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero count", func() {
+		d.Add(FlowSpec{Flow: 1, Src: 0, Dst: 1, Size: Fixed(1), Arrival: BackToBack{}, Count: 0})
+	})
+	mustPanic("missing engine", func() {
+		d.Add(FlowSpec{Flow: 1, Src: 0, Dst: 1, Size: Fixed(1), Arrival: BackToBack{}, Count: 1})
+	})
+}
