@@ -1,5 +1,5 @@
 // Command madbench regenerates the reproduction's tables: one experiment
-// per claim of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+// per claim of the paper (see the experiment catalog in DESIGN.md §4).
 //
 // Usage:
 //
@@ -8,9 +8,16 @@
 //	madbench -run E1,E3    # a subset
 //	madbench -list         # list experiments and the claims they test
 //	madbench -seed 7       # change the workload seed
+//	madbench -json out.json  # also write machine-readable results
+//
+// The -json file records every table of every selected experiment plus the
+// wall-clock cost of producing it; committed snapshots (BENCH_mesh.json)
+// seed the repo's performance trajectory so future changes can be compared
+// against past runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +25,33 @@ import (
 	"time"
 
 	"newmad/internal/exp"
+	"newmad/internal/stats"
 )
+
+// jsonReport is the schema of the -json output.
+type jsonReport struct {
+	Schema      string           `json:"schema"` // "madbench/v1"
+	GeneratedAt time.Time        `json:"generated_at"`
+	Quick       bool             `json:"quick"`
+	Seed        uint64           `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Claim  string         `json:"claim"`
+	WallMs float64        `json:"wall_ms"`
+	Tables []*stats.Table `json:"tables"`
+}
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run reduced workloads")
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Uint64("seed", 1, "workload RNG seed")
+		quick    = flag.Bool("quick", false, "run reduced workloads")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Uint64("seed", 1, "workload RNG seed")
+		jsonPath = flag.String("json", "", "write results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -50,13 +76,40 @@ func main() {
 	}
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	report := jsonReport{
+		Schema:      "madbench/v1",
+		GeneratedAt: time.Now().UTC(),
+		Quick:       *quick,
+		Seed:        *seed,
+	}
 	for _, e := range selected {
-		start := time.Now()
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    claim: %s\n\n", e.Claim)
-		for _, t := range e.Run(cfg) {
+		start := time.Now()
+		tables := e.Run(cfg)
+		wall := time.Since(start)
+		for _, t := range tables {
 			fmt.Println(t.String())
 		}
-		fmt.Printf("    (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("    (%s in %v)\n\n", e.ID, wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: e.ID, Title: e.Title, Claim: e.Claim,
+			WallMs: float64(wall.Microseconds()) / 1e3,
+			Tables: tables,
+		})
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment result(s) to %s\n", len(report.Experiments), *jsonPath)
 	}
 }

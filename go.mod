@@ -1,0 +1,3 @@
+module newmad
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package cluster boots N optimizer engines over real TCP mesh sockets —
+// the wall-clock counterpart of the simulated rigs in internal/exp.
+//
+// Where drivers.NewCluster assembles simulated NICs on a discrete-event
+// engine, cluster.New assembles one drivers.Mesh endpoint, one core.Engine
+// and one mad.Session per node on a shared wall-clock runtime, with every
+// pair of nodes connected over genuine TCP. The result is the paper's full
+// Figure-1 stack — collect layer, optimizing scheduler, transfer layer —
+// replicated N ways over an actual transport, which is what multi-node
+// examples (examples/mesh), wall-clock experiments (exp X2) and failure
+// tests drive.
+package cluster
+
+import (
+	"fmt"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/mad"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+)
+
+// Options configures a wall-clock mesh cluster.
+type Options struct {
+	// Nodes is the cluster size (>= 2).
+	Nodes int
+	// Caps is the capability profile every endpoint advertises to the
+	// optimizer; default caps.TCP (the kernel-TCP profile).
+	Caps caps.Caps
+	// Bundle names the strategy bundle each engine runs; default
+	// "aggregate" (the paper's optimizing configuration).
+	Bundle string
+	// Listen optionally gives one TCP listen address per node (to span
+	// real machines or pin ports). Default: "127.0.0.1:0" everywhere.
+	Listen []string
+
+	// Engine tuning, passed through to core.Options.
+	Lookahead    int
+	NagleDelay   simnet.Duration
+	NagleFlush   int
+	SearchBudget int
+
+	// OnDeliver, when set, observes every delivery before it reaches the
+	// node's mad session (for counting in experiments).
+	OnDeliver func(node packet.NodeID, d proto.Deliverable)
+
+	// Raw stops deliveries at OnDeliver instead of routing them into the
+	// mad session. Raw-packet workloads (exp X2) need it: their synthetic
+	// flow ids do not correspond to mad channels.
+	Raw bool
+}
+
+// Node is one member of the cluster: its transport endpoint, its optimizer,
+// its packing session, and its private metric set.
+type Node struct {
+	Driver  *drivers.Mesh
+	Engine  *core.Engine
+	Session *mad.Session
+	Stats   *stats.Set
+}
+
+// Cluster is N Figure-1 stacks wired all-to-all over real TCP sockets.
+type Cluster struct {
+	Runtime *simnet.RealRuntime
+	Nodes   []*Node
+}
+
+// New boots the cluster: every node listens, dials every peer, and runs its
+// own engine and session against the shared wall-clock runtime. On error,
+// everything already started is torn down.
+func New(o Options) (*Cluster, error) {
+	if o.Nodes < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 nodes, got %d", o.Nodes)
+	}
+	if o.Caps.Name == "" {
+		o.Caps = caps.TCP
+	}
+	if o.Bundle == "" {
+		o.Bundle = "aggregate"
+	}
+	if o.Listen != nil && len(o.Listen) != o.Nodes {
+		return nil, fmt.Errorf("cluster: %d listen addresses for %d nodes", len(o.Listen), o.Nodes)
+	}
+
+	c := &Cluster{Runtime: simnet.NewRealRuntime()}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	// Transport first: all listeners up, then the full dial mesh, so no
+	// engine ever sees a partially connected fabric.
+	meshes := make([]*drivers.Mesh, o.Nodes)
+	for i := range meshes {
+		addr := "127.0.0.1:0"
+		if o.Listen != nil {
+			addr = o.Listen[i]
+		}
+		m, err := drivers.NewMesh(packet.NodeID(i), o.Caps, addr)
+		if err != nil {
+			return fail(err)
+		}
+		meshes[i] = m
+		c.Nodes = append(c.Nodes, &Node{Driver: m, Stats: &stats.Set{}})
+	}
+	for i, a := range meshes {
+		for j, b := range meshes {
+			if i == j {
+				continue
+			}
+			if err := a.Dial(b.Node(), b.Addr()); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// One engine + session per node, each with its own strategy instance
+	// (bundles carry per-node adaptive state) and metric set.
+	for i, n := range c.Nodes {
+		node := packet.NodeID(i)
+		b, err := strategy.New(o.Bundle)
+		if err != nil {
+			return fail(err)
+		}
+		n := n
+		sess, err := mad.Bind(node, func(deliver proto.DeliverFunc) (*core.Engine, error) {
+			wrapped := deliver
+			if o.OnDeliver != nil || o.Raw {
+				wrapped = func(d proto.Deliverable) {
+					if o.OnDeliver != nil {
+						o.OnDeliver(node, d)
+					}
+					if !o.Raw {
+						deliver(d)
+					}
+				}
+			}
+			return core.New(node, core.Options{
+				Bundle:          b,
+				Runtime:         c.Runtime,
+				Rails:           []drivers.Driver{n.Driver},
+				Deliver:         wrapped,
+				Lookahead:       o.Lookahead,
+				NagleDelay:      o.NagleDelay,
+				NagleFlushCount: o.NagleFlush,
+				SearchBudget:    o.SearchBudget,
+				Stats:           n.Stats,
+			})
+		})
+		if err != nil {
+			return fail(err)
+		}
+		n.Session = sess
+		n.Engine = sess.Engine()
+	}
+	return c, nil
+}
+
+// Session returns node n's packing session.
+func (c *Cluster) Session(n packet.NodeID) *mad.Session { return c.Nodes[n].Session }
+
+// Engine returns node n's optimizer engine.
+func (c *Cluster) Engine(n packet.NodeID) *core.Engine { return c.Nodes[n].Engine }
+
+// Len returns the cluster size.
+func (c *Cluster) Len() int { return len(c.Nodes) }
+
+// Close stops every engine and closes every transport endpoint. It is safe
+// on a partially constructed cluster and idempotent.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n.Engine != nil {
+			n.Engine.Close()
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Driver != nil {
+			n.Driver.Close()
+		}
+	}
+}

@@ -7,9 +7,11 @@
 //   - Sim drivers wrap internal/nicsim NIC models (Myrinet/MX,
 //     Quadrics/Elan, InfiniBand, TCP, WAN — built from the capability
 //     database in internal/caps); and
-//   - Loopback, a real TCP driver over localhost sockets, which runs the
-//     very same engine in wall-clock time and validates the asynchronous
-//     upcall contract against a genuine transport.
+//   - real TCP drivers, which run the very same engine in wall-clock time
+//     and validate the asynchronous upcall contract against a genuine
+//     transport: Loopback (pairwise localhost sockets) and Mesh (an
+//     N-node topology — every node listens, dials its peers, and handles
+//     peer failure as a first-class event).
 //
 // The Driver interface is intentionally narrow: the optimizer only ever
 // needs to know what a driver can do (Caps), whether a send unit is free,

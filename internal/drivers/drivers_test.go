@@ -91,166 +91,224 @@ func TestSimDriverRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoopbackRoundTrip(t *testing.T) {
-	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cleanup()
+// --- Shared wall-clock driver conformance suite. --------------------------
+//
+// Every real-socket driver (Loopback, Mesh) must honor the same contract:
+// idle upcalls from sender goroutines, deliveries from reader goroutines,
+// ErrChannelBusy on an occupied channel, errors (not panics) on misuse, and
+// an idempotent Close. The conformance tests below run once per transport.
 
-	recv := make(chan *packet.Frame, 1)
-	idle := make(chan int, 1)
-	nodes[1].SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
-		if src != 0 {
-			t.Errorf("src = %d", src)
-		}
-		recv <- f
-	})
-	nodes[0].SetIdleHandler(func(ch int) { idle <- ch })
+// wallTransport constructs an n-node fully connected cluster of one
+// wall-clock driver kind.
+type wallTransport struct {
+	name string
+	make func(n int, c caps.Caps) ([]Driver, func(), error)
+}
 
-	f := &packet.Frame{
-		Kind: packet.FrameData, Src: 0, Dst: 1,
-		Entries: []packet.Entry{
-			{Flow: 3, Msg: 9, Seq: 0, Last: false, Recv: packet.RecvExpress, Payload: []byte("head")},
-			{Flow: 3, Msg: 9, Seq: 1, Last: true, Payload: []byte("body")},
-		},
-	}
-	if err := nodes[0].Post(0, f, 0); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case got := <-recv:
-		if len(got.Entries) != 2 || string(got.Entries[0].Payload) != "head" {
-			t.Fatalf("frame corrupted: %+v", got)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("frame never arrived over loopback")
-	}
-	select {
-	case <-idle:
-	case <-time.After(5 * time.Second):
-		t.Fatal("idle upcall never fired")
+func wallTransports() []wallTransport {
+	return []wallTransport{
+		{"loopback", func(n int, c caps.Caps) ([]Driver, func(), error) {
+			nodes, cleanup, err := NewLoopbackCluster(n, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			ds := make([]Driver, len(nodes))
+			for i, m := range nodes {
+				ds[i] = m
+			}
+			return ds, cleanup, nil
+		}},
+		{"mesh", func(n int, c caps.Caps) ([]Driver, func(), error) {
+			nodes, cleanup, err := NewMeshCluster(n, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			ds := make([]Driver, len(nodes))
+			for i, m := range nodes {
+				ds[i] = m
+			}
+			return ds, cleanup, nil
+		}},
 	}
 }
 
-func TestLoopbackBidirectional(t *testing.T) {
-	nodes, cleanup, err := NewLoopbackCluster(3, caps.TCP)
-	if err != nil {
-		t.Fatal(err)
+func forEachWallTransport(t *testing.T, fn func(t *testing.T, tr wallTransport)) {
+	for _, tr := range wallTransports() {
+		tr := tr
+		t.Run(tr.name, func(t *testing.T) { fn(t, tr) })
 	}
-	defer cleanup()
+}
 
-	var mu sync.Mutex
-	got := map[packet.NodeID]int{}
-	done := make(chan struct{}, 16)
-	for _, n := range nodes {
-		n := n
-		n.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
-			mu.Lock()
-			got[n.Node()]++
-			mu.Unlock()
-			done <- struct{}{}
+func TestWallDriverRoundTrip(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(2, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+
+		recv := make(chan *packet.Frame, 1)
+		idle := make(chan int, 1)
+		nodes[1].SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+			if src != 0 {
+				t.Errorf("src = %d", src)
+			}
+			recv <- f
 		})
-	}
-	// Every node sends one frame to every other node.
-	sent := 0
-	for _, a := range nodes {
-		for _, b := range nodes {
-			if a.Node() == b.Node() {
-				continue
+		nodes[0].SetIdleHandler(func(ch int) { idle <- ch })
+
+		f := &packet.Frame{
+			Kind: packet.FrameData, Src: 0, Dst: 1,
+			Entries: []packet.Entry{
+				{Flow: 3, Msg: 9, Seq: 0, Last: false, Recv: packet.RecvExpress, Payload: []byte("head")},
+				{Flow: 3, Msg: 9, Seq: 1, Last: true, Payload: []byte("body")},
+			},
+		}
+		if err := nodes[0].Post(0, f, 0); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-recv:
+			if len(got.Entries) != 2 || string(got.Entries[0].Payload) != "head" {
+				t.Fatalf("frame corrupted: %+v", got)
 			}
-			ch, ok := a.FirstIdle()
-			if !ok {
-				t.Fatal("no idle channel")
-			}
-			if err := a.Post(ch, simpleFrame(a.Node(), b.Node(), 32), 0); err != nil {
-				t.Fatal(err)
-			}
-			sent++
-			// Wait for this frame before reusing channels (keep it simple).
-			select {
-			case <-done:
-			case <-time.After(5 * time.Second):
-				t.Fatal("frame lost")
+		case <-time.After(5 * time.Second):
+			t.Fatal("frame never arrived")
+		}
+		select {
+		case <-idle:
+		case <-time.After(5 * time.Second):
+			t.Fatal("idle upcall never fired")
+		}
+	})
+}
+
+func TestWallDriverBidirectional(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(3, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+
+		var mu sync.Mutex
+		got := map[packet.NodeID]int{}
+		done := make(chan struct{}, 16)
+		for _, n := range nodes {
+			n := n
+			n.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+				mu.Lock()
+				got[n.Node()]++
+				mu.Unlock()
+				done <- struct{}{}
+			})
+		}
+		// Every node sends one frame to every other node.
+		sent := 0
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if a.Node() == b.Node() {
+					continue
+				}
+				ch, ok := a.FirstIdle()
+				if !ok {
+					t.Fatal("no idle channel")
+				}
+				if err := a.Post(ch, simpleFrame(a.Node(), b.Node(), 32), 0); err != nil {
+					t.Fatal(err)
+				}
+				sent++
+				// Wait for this frame before reusing channels (keep it simple).
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatal("frame lost")
+				}
 			}
 		}
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	total := 0
-	for _, n := range got {
-		total += n
-	}
-	if total != sent {
-		t.Fatalf("delivered %d of %d", total, sent)
-	}
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, n := range got {
+			total += n
+		}
+		if total != sent {
+			t.Fatalf("delivered %d of %d", total, sent)
+		}
+	})
 }
 
-func TestLoopbackErrors(t *testing.T) {
-	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cleanup()
-	n0 := nodes[0]
-	if err := n0.Post(99, simpleFrame(0, 1, 8), 0); err == nil {
-		t.Fatal("bad channel accepted")
-	}
-	if err := n0.Post(0, simpleFrame(1, 0, 8), 0); err == nil {
-		t.Fatal("foreign src accepted")
-	}
-	if err := n0.Post(0, simpleFrame(0, 7, 8), 0); err == nil {
-		t.Fatal("unconnected destination accepted")
-	}
-	if n0.NumChannels() != caps.TCP.Channels {
-		t.Fatalf("channels = %d", n0.NumChannels())
-	}
-	if n0.Node() != 0 || n0.Caps().Name != "tcp" || n0.Name() == "" {
-		t.Fatal("identity accessors broken")
-	}
+func TestWallDriverErrors(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(2, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		n0 := nodes[0]
+		if err := n0.Post(99, simpleFrame(0, 1, 8), 0); err == nil {
+			t.Fatal("bad channel accepted")
+		}
+		if err := n0.Post(0, simpleFrame(1, 0, 8), 0); err == nil {
+			t.Fatal("foreign src accepted")
+		}
+		if err := n0.Post(0, simpleFrame(0, 7, 8), 0); err == nil {
+			t.Fatal("unconnected destination accepted")
+		}
+		if n0.NumChannels() != caps.TCP.Channels {
+			t.Fatalf("channels = %d", n0.NumChannels())
+		}
+		if n0.Node() != 0 || n0.Caps().Name != "tcp" || n0.Name() == "" {
+			t.Fatal("identity accessors broken")
+		}
+	})
 }
 
-func TestLoopbackCloseIdempotentAndPostAfterClose(t *testing.T) {
-	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cleanup()
-	if err := nodes[0].Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := nodes[0].Close(); err != nil {
-		t.Fatal("second close errored")
-	}
-	if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err == nil {
-		t.Fatal("post after close accepted")
-	}
+func TestWallDriverCloseIdempotentAndPostAfterClose(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(2, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		if err := nodes[0].Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[0].Close(); err != nil {
+			t.Fatal("second close errored")
+		}
+		if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err == nil {
+			t.Fatal("post after close accepted")
+		}
+	})
 }
 
-func TestLoopbackChannelBusySemantics(t *testing.T) {
-	nodes, cleanup, err := NewLoopbackCluster(2, caps.TCP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cleanup()
+func TestWallDriverChannelBusySemantics(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(2, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
 
-	// Saturate channel 0 with a large frame and verify ErrChannelBusy can
-	// occur, then that the channel recovers.
-	idle := make(chan struct{}, 8)
-	nodes[0].SetIdleHandler(func(int) { idle <- struct{}{} })
-	nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) {})
-	if err := nodes[0].Post(0, simpleFrame(0, 1, 1<<20), 0); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case <-idle:
-	case <-time.After(5 * time.Second):
-		t.Fatal("channel never became idle")
-	}
-	if !nodes[0].ChannelIdle(0) {
-		t.Fatal("channel not idle after upcall")
-	}
-	if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err != nil {
-		t.Fatalf("post after idle: %v", err)
-	}
+		// Saturate channel 0 with a large frame and verify ErrChannelBusy can
+		// occur, then that the channel recovers.
+		idle := make(chan struct{}, 8)
+		nodes[0].SetIdleHandler(func(int) { idle <- struct{}{} })
+		nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) {})
+		if err := nodes[0].Post(0, simpleFrame(0, 1, 1<<20), 0); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-idle:
+		case <-time.After(5 * time.Second):
+			t.Fatal("channel never became idle")
+		}
+		if !nodes[0].ChannelIdle(0) {
+			t.Fatal("channel not idle after upcall")
+		}
+		if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err != nil {
+			t.Fatalf("post after idle: %v", err)
+		}
+	})
 }

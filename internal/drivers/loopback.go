@@ -313,34 +313,7 @@ func (l *Loopback) Close() error {
 // NewLoopbackCluster creates n fully connected loopback nodes sharing the
 // given capability profile. The returned cleanup closes every node.
 func NewLoopbackCluster(n int, c caps.Caps) ([]*Loopback, func(), error) {
-	nodes := make([]*Loopback, n)
-	for i := range nodes {
-		l, err := NewLoopback(packet.NodeID(i), c)
-		if err != nil {
-			for _, m := range nodes[:i] {
-				m.Close()
-			}
-			return nil, nil, err
-		}
-		nodes[i] = l
-	}
-	for i, a := range nodes {
-		for j, b := range nodes {
-			if i == j {
-				continue
-			}
-			if err := a.Dial(b.Node(), b.Addr()); err != nil {
-				for _, m := range nodes {
-					m.Close()
-				}
-				return nil, nil, err
-			}
-		}
-	}
-	cleanup := func() {
-		for _, m := range nodes {
-			m.Close()
-		}
-	}
-	return nodes, cleanup, nil
+	return newWallCluster(n, func(node packet.NodeID) (*Loopback, error) {
+		return NewLoopback(node, c)
+	})
 }

@@ -1,0 +1,461 @@
+package drivers
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"newmad/internal/caps"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// ErrPeerDown is returned by Post when the destination peer's connection has
+// failed. Unlike ErrChannelBusy this is not a scheduling bug: real networks
+// lose nodes, and the optimizing layer (or the application above it) decides
+// whether to reroute, buffer, or give up.
+var ErrPeerDown = errors.New("drivers: peer down")
+
+// maxMeshFrame bounds one encoded frame on the wire. Readers treat a larger
+// length prefix as a corrupt stream, so Post enforces the same limit and
+// fails at the call site instead of poisoning the link.
+const maxMeshFrame = 64 << 20
+
+// Mesh is a real multi-node TCP transport: each node listens on one port,
+// dials every peer, and exchanges length-prefixed frames (the same wire
+// encoding as the simulated drivers and the Loopback driver). It generalizes
+// Loopback from the pairwise localhost case to an N-endpoint mesh suitable
+// for multi-machine topologies:
+//
+//   - One outbound connection and one dedicated sender goroutine per peer,
+//     so frames to different destinations never serialize behind a shared
+//     write lock. A send channel is busy from Post until its frame has been
+//     fully written to the destination socket, at which point the idle
+//     upcall fires from that peer's sender goroutine.
+//   - Peer failure is a first-class event: a write or read error marks the
+//     peer down, releases any channels with frames queued toward it (the
+//     engine above must not wedge on a dead destination), and makes
+//     subsequent Posts to that peer fail with ErrPeerDown. The rest of the
+//     mesh keeps running.
+//
+// Addresses are ordinary TCP addresses; nothing restricts the mesh to
+// localhost. Tests and examples use 127.0.0.1 ephemeral ports, but the same
+// driver spans real hosts when given routable listen addresses.
+type Mesh struct {
+	node packet.NodeID
+	caps caps.Caps
+	mem  memsim.Model
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	peers    map[packet.NodeID]*meshPeer
+	inbound  map[packet.NodeID]net.Conn // latest identified inbound conn per peer
+	accepted map[net.Conn]struct{}      // live inbound connections
+	chans    []bool                     // busy flags, one per send channel
+	onIdle   IdleFunc
+	onRecv   RecvFunc
+	onDown   func(peer packet.NodeID)
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// meshPeer is one outbound edge of the mesh: the socket, the queue its
+// sender goroutine drains, the down flag set on first I/O error, and the
+// retired flag set when the queue has been closed (shutdown or replacement
+// by a re-Dial).
+type meshPeer struct {
+	c       net.Conn
+	q       chan meshTx
+	down    bool
+	retired bool
+}
+
+type meshTx struct {
+	ch  int
+	buf []byte
+}
+
+var _ Driver = (*Mesh)(nil)
+
+// NewMesh creates a node endpoint listening on the given TCP address
+// ("127.0.0.1:0" for an ephemeral localhost port, ":0" or a routable
+// host:port to span machines). Wire the topology with Dial, or use
+// NewMeshCluster for the all-pairs localhost case.
+func NewMesh(node packet.NodeID, c caps.Caps, listen string) (*Mesh, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		node:     node,
+		caps:     c,
+		mem:      memsim.DefaultModel(),
+		ln:       ln,
+		peers:    make(map[packet.NodeID]*meshPeer),
+		inbound:  make(map[packet.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		chans:    make([]bool, c.Channels),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listener address other nodes dial.
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// Dial connects this node to a peer's listener. The connection is owned by
+// a dedicated sender goroutine; its queue holds at most one frame per send
+// channel, so enqueueing under the driver lock never blocks.
+//
+// Re-dialing an already connected peer — the recovery from ErrPeerDown —
+// replaces the connection: the old one is retired (its sender drains and
+// exits; late I/O errors on it are ignored) and traffic resumes on the new
+// one.
+func (m *Mesh) Dial(peer packet.NodeID, addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Identify ourselves so the peer's reader can attribute inbound frames.
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(m.node))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.Close()
+		return errors.New("drivers: mesh closed")
+	}
+	if old, dup := m.peers[peer]; dup {
+		retirePeerLocked(old)
+	}
+	p := &meshPeer{c: c, q: make(chan meshTx, len(m.chans))}
+	m.peers[peer] = p
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.sender(peer, p)
+	return nil
+}
+
+// retirePeerLocked takes a peer connection out of service: down stops new
+// Posts and silences its sender's error path, closing the queue lets the
+// sender drain and exit. Idempotent; caller holds m.mu.
+func retirePeerLocked(p *meshPeer) {
+	p.down = true
+	p.c.Close()
+	if !p.retired {
+		p.retired = true
+		close(p.q)
+	}
+}
+
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			c.Close()
+			return
+		}
+		m.accepted[c] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.reader(c)
+	}
+}
+
+// reader drains one inbound connection: hello, then length-prefixed frames.
+// A read error (peer crashed, connection reset, or local shutdown) ends the
+// goroutine cleanly and — if this was still the peer's latest connection —
+// marks the sending peer down so the failure is visible on this side too.
+func (m *Mesh) reader(c net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		delete(m.accepted, c)
+		m.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	var hello [4]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	src := packet.NodeID(binary.BigEndian.Uint32(hello[:]))
+	m.mu.Lock()
+	m.inbound[src] = c
+	m.mu.Unlock()
+	var lenbuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
+			m.inboundFailed(src, c)
+			return
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n > maxMeshFrame {
+			m.inboundFailed(src, c)
+			return // corrupt stream
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			m.inboundFailed(src, c)
+			return
+		}
+		f, _, err := packet.Decode(buf)
+		if err != nil {
+			m.inboundFailed(src, c)
+			return
+		}
+		m.mu.Lock()
+		h := m.onRecv
+		m.mu.Unlock()
+		if h != nil {
+			h(src, f)
+		}
+	}
+}
+
+// sender owns one peer's socket: it writes each queued frame atomically
+// (4-byte length prefix + encoded frame) and then releases the channel that
+// carried it. On a write error the peer is marked down, but the goroutine
+// keeps draining so every channel pointed at the dead peer is released —
+// the engine above sees idle upcalls, not a wedged send unit.
+func (m *Mesh) sender(peer packet.NodeID, p *meshPeer) {
+	defer m.wg.Done()
+	bw := bufio.NewWriter(p.c)
+	broken := false
+	for tx := range p.q {
+		if !broken {
+			var lenbuf [4]byte
+			binary.BigEndian.PutUint32(lenbuf[:], uint32(len(tx.buf)))
+			_, err := bw.Write(lenbuf[:])
+			if err == nil {
+				_, err = bw.Write(tx.buf)
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				broken = true
+				m.outboundFailed(peer, p)
+			}
+		}
+		m.mu.Lock()
+		m.chans[tx.ch] = false
+		h := m.onIdle
+		closed := m.closed
+		m.mu.Unlock()
+		if h != nil && !closed {
+			h(tx.ch)
+		}
+	}
+}
+
+// outboundFailed marks one specific peer connection failed after a write
+// error. The instance check keeps a retired connection's late errors from
+// touching a fresh one installed by a re-Dial.
+func (m *Mesh) outboundFailed(peer packet.NodeID, p *meshPeer) {
+	m.mu.Lock()
+	if p.down || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	p.down = true
+	current := m.peers[peer] == p
+	h := m.onDown
+	m.mu.Unlock()
+	p.c.Close()
+	if h != nil && current {
+		h(peer)
+	}
+}
+
+// inboundFailed handles a read error on an inbound connection. Only the
+// peer's latest identified connection counts: when a re-dialing peer
+// replaces its connection, the EOF of the superseded one (usually observed
+// after the new hello) must not mark the healthy peer down. In the rare
+// interleaving where the old EOF is processed first the peer is marked
+// down conservatively; the remedy, as for any down peer, is a re-Dial.
+func (m *Mesh) inboundFailed(src packet.NodeID, c net.Conn) {
+	m.mu.Lock()
+	if m.closed || m.inbound[src] != c {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.inbound, src)
+	p, ok := m.peers[src]
+	if !ok || p.down {
+		m.mu.Unlock()
+		return
+	}
+	p.down = true
+	h := m.onDown
+	m.mu.Unlock()
+	p.c.Close()
+	if h != nil {
+		h(src)
+	}
+}
+
+// Name identifies the endpoint.
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh@n%d", m.node) }
+
+// Node returns the local node id.
+func (m *Mesh) Node() packet.NodeID { return m.node }
+
+// Caps returns the capability record used for optimization decisions.
+func (m *Mesh) Caps() caps.Caps { return m.caps }
+
+// Mem returns the host memory model.
+func (m *Mesh) Mem() memsim.Model { return m.mem }
+
+// NumChannels returns the configured send-unit count.
+func (m *Mesh) NumChannels() int { return len(m.chans) }
+
+// ChannelIdle reports availability of channel ch.
+func (m *Mesh) ChannelIdle(ch int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.chans[ch]
+}
+
+// FirstIdle returns the lowest idle channel.
+func (m *Mesh) FirstIdle() (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, busy := range m.chans {
+		if !busy {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Post encodes the frame and hands it to the destination peer's sender
+// goroutine. hostExtra is ignored: on a real transport, preparation already
+// took real time. The enqueue happens under the driver lock and the peer
+// queue has one slot per channel, so it can never block or race Close.
+func (m *Mesh) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
+	if ch < 0 || ch >= len(m.chans) {
+		return fmt.Errorf("drivers: mesh node %d has no channel %d", m.node, ch)
+	}
+	if f.Src != m.node {
+		return fmt.Errorf("drivers: frame src %d posted on node %d", f.Src, m.node)
+	}
+	if n := f.WireSize(); n > maxMeshFrame {
+		return fmt.Errorf("drivers: frame of %d bytes exceeds the %d-byte mesh limit", n, maxMeshFrame)
+	}
+	buf := f.Encode(nil)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("drivers: mesh closed")
+	}
+	if m.chans[ch] {
+		return ErrChannelBusy
+	}
+	p, ok := m.peers[f.Dst]
+	if !ok {
+		return fmt.Errorf("drivers: node %d not connected to %d", m.node, f.Dst)
+	}
+	if p.down {
+		return fmt.Errorf("drivers: node %d -> %d: %w", m.node, f.Dst, ErrPeerDown)
+	}
+	m.chans[ch] = true
+	p.q <- meshTx{ch: ch, buf: buf}
+	return nil
+}
+
+// SetIdleHandler installs the idle upcall (called from sender goroutines).
+func (m *Mesh) SetIdleHandler(fn IdleFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onIdle = fn
+}
+
+// SetRecvHandler installs the delivery upcall (called from reader
+// goroutines).
+func (m *Mesh) SetRecvHandler(fn RecvFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRecv = fn
+}
+
+// SetPeerDownHandler installs a callback fired once per failed peer (from
+// the goroutine that observed the failure). Optional; installing none means
+// failures surface only through ErrPeerDown on Post.
+func (m *Mesh) SetPeerDownHandler(fn func(peer packet.NodeID)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onDown = fn
+}
+
+// Peers returns the ids of connected peers that have not failed, sorted.
+func (m *Mesh) Peers() []packet.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]packet.NodeID, 0, len(m.peers))
+	for id, p := range m.peers {
+		if !p.down {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PeerDown reports whether the peer's connection has failed.
+func (m *Mesh) PeerDown(peer packet.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[peer]
+	return ok && p.down
+}
+
+// Close shuts the listener, all connections and the per-peer sender
+// goroutines down and waits for them.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for _, p := range m.peers {
+		retirePeerLocked(p)
+	}
+	for c := range m.accepted {
+		c.Close()
+	}
+	m.mu.Unlock()
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}
+
+// NewMeshCluster creates n fully connected localhost mesh nodes sharing the
+// given capability profile. The returned cleanup closes every node.
+func NewMeshCluster(n int, c caps.Caps) ([]*Mesh, func(), error) {
+	return newWallCluster(n, func(node packet.NodeID) (*Mesh, error) {
+		return NewMesh(node, c, "127.0.0.1:0")
+	})
+}

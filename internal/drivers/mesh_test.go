@@ -1,0 +1,240 @@
+package drivers
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestMeshPeerFailure kills one node of a 3-node mesh and verifies the
+// failure surfaces cleanly on the survivors: the dead peer is detected,
+// Post to it reports ErrPeerDown, no channel stays wedged, traffic between
+// the survivors still flows, and no goroutine outlives the final Close.
+func TestMeshPeerFailure(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nodes, _, err := NewMeshCluster(3, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downCh := make(chan packet.NodeID, 4)
+	nodes[0].SetPeerDownHandler(func(p packet.NodeID) { downCh <- p })
+	recv := make(chan packet.NodeID, 16)
+	idle := make(chan int, 16)
+	nodes[0].SetIdleHandler(func(ch int) { idle <- ch })
+	nodes[1].SetRecvHandler(func(src packet.NodeID, f *packet.Frame) { recv <- src })
+
+	// Kill node 2 abruptly: its sockets close under the survivors.
+	if err := nodes[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 learns of the death from its reader (EOF on the inbound
+	// connection from node 2), without having to post anything.
+	waitFor(t, 5*time.Second, "peer-down detection", func() bool { return nodes[0].PeerDown(2) })
+	select {
+	case p := <-downCh:
+		if p != 2 {
+			t.Fatalf("down handler fired for peer %d", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer-down handler never fired")
+	}
+
+	// Post toward the dead peer is a clean error, not a panic or a wedge.
+	if err := nodes[0].Post(0, simpleFrame(0, 2, 64), 0); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("post to dead peer: %v, want ErrPeerDown", err)
+	}
+	if !nodes[0].ChannelIdle(0) {
+		t.Fatal("failed post left the channel busy")
+	}
+	if got := nodes[0].Peers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("surviving peers = %v, want [1]", got)
+	}
+
+	// The surviving edge keeps carrying traffic.
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case src := <-recv:
+		if src != 0 {
+			t.Fatalf("survivor received from %d", src)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor traffic lost after peer death")
+	}
+	select {
+	case <-idle:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle upcall lost after peer death")
+	}
+
+	nodes[0].Close()
+	nodes[1].Close()
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestMeshPeerDisconnectMidFrame kills the destination while large frames
+// are in flight toward it. The sender's channel must be released (idle
+// upcall), the peer marked down, and no goroutine may leak.
+func TestMeshPeerDisconnectMidFrame(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nodes, _, err := NewMeshCluster(3, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := make(chan int, 64)
+	nodes[0].SetIdleHandler(func(ch int) { idle <- ch })
+	// Stall the victim's reader in the recv upcall of a small first frame:
+	// while it is blocked, the kernel buffers behind it fill up, so the big
+	// write below wedges genuinely mid-frame until the close tears the
+	// connection down under it.
+	unblock := make(chan struct{})
+	nodes[2].SetRecvHandler(func(packet.NodeID, *packet.Frame) { <-unblock })
+
+	if err := nodes[0].Post(0, simpleFrame(0, 2, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-idle:
+	case <-time.After(5 * time.Second):
+		t.Fatal("small frame never finished writing")
+	}
+	if err := nodes[0].Post(1, simpleFrame(0, 2, 32<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Let the writer block against the stalled reader, then kill the node.
+	time.Sleep(50 * time.Millisecond)
+	close(unblock)
+	if err := nodes[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The interrupted channel must come back (write error path fires the
+	// idle upcall), and the peer must end up down.
+	select {
+	case <-idle:
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel wedged after mid-frame disconnect")
+	}
+	waitFor(t, 5*time.Second, "peer-down after mid-frame disconnect", func() bool {
+		return nodes[0].PeerDown(2)
+	})
+	waitFor(t, 5*time.Second, "channel release", func() bool { return nodes[0].ChannelIdle(0) })
+
+	nodes[0].Close()
+	nodes[1].Close()
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestMeshRedial replaces a healthy connection by re-dialing the same peer
+// — the documented recovery from ErrPeerDown. The old sender goroutine must
+// retire (Close must not hang on it, nothing may leak), its late errors
+// must not mark the fresh connection down, and traffic must flow on the
+// replacement.
+func TestMeshRedial(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nodes, _, err := NewMeshCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := make(chan struct{}, 8)
+	nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) { recv <- struct{}{} })
+
+	if err := nodes[0].Dial(1, nodes[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].PeerDown(1) {
+		t.Fatal("re-dial marked the fresh connection down")
+	}
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 64), 0); err != nil {
+		t.Fatalf("post after re-dial: %v", err)
+	}
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame lost after re-dial")
+	}
+
+	// Close must complete: the retired sender goroutine has exited.
+	closed := make(chan struct{})
+	go func() {
+		nodes[0].Close()
+		nodes[1].Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after re-dial (retired sender leaked)")
+	}
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestMeshListenAddr exercises explicit listen addresses (the multi-machine
+// path) and dial errors.
+func TestMeshListenAddr(t *testing.T) {
+	m, err := NewMesh(0, caps.TCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Addr() == "" {
+		t.Fatal("no listen address")
+	}
+	if err := m.Dial(1, "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if err := m.Post(0, simpleFrame(0, 1, maxMeshFrame+1), 0); err == nil {
+		t.Fatal("oversized frame accepted; it would poison the peer link")
+	}
+	if _, err := NewMesh(0, caps.Caps{}, "127.0.0.1:0"); err == nil {
+		t.Fatal("invalid caps accepted")
+	}
+	if _, err := NewMesh(0, caps.TCP, "256.0.0.1:bad"); err == nil {
+		t.Fatal("invalid listen address accepted")
+	}
+}
+
+// TestMeshDialAfterClose verifies Dial on a closed mesh fails cleanly.
+func TestMeshDialAfterClose(t *testing.T) {
+	a, err := NewMesh(0, caps.TCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMesh(1, caps.TCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Close()
+	if err := a.Dial(1, b.Addr()); err == nil {
+		t.Fatal("dial on closed mesh succeeded")
+	}
+}

@@ -1,0 +1,47 @@
+package drivers
+
+import "newmad/internal/packet"
+
+// WallDriver is the extra surface real-socket drivers share beyond Driver:
+// a listener address and the ability to dial a peer's.
+type WallDriver interface {
+	Driver
+	Addr() string
+	Dial(peer packet.NodeID, addr string) error
+}
+
+// newWallCluster creates n nodes with mk and wires them all-to-all,
+// rolling everything back on failure. The returned cleanup closes every
+// node. Shared by NewLoopbackCluster and NewMeshCluster.
+func newWallCluster[T WallDriver](n int, mk func(node packet.NodeID) (T, error)) ([]T, func(), error) {
+	nodes := make([]T, n)
+	for i := range nodes {
+		d, err := mk(packet.NodeID(i))
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				prev.Close()
+			}
+			return nil, nil, err
+		}
+		nodes[i] = d
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			if err := a.Dial(b.Node(), b.Addr()); err != nil {
+				for _, d := range nodes {
+					d.Close()
+				}
+				return nil, nil, err
+			}
+		}
+	}
+	cleanup := func() {
+		for _, d := range nodes {
+			d.Close()
+		}
+	}
+	return nodes, cleanup, nil
+}

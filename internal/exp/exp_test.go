@@ -13,8 +13,8 @@ var quick = Config{Quick: true, Seed: 1}
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("registered %d experiments, want 11 (E1..E10 + X1)", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registered %d experiments, want 12 (E1..E10 + X1, X2)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
@@ -22,8 +22,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Natural ordering: E1..E10, then the X-series addenda.
-	if all[0].ID != "E1" || all[9].ID != "E10" || all[10].ID != "X1" {
-		t.Fatalf("ordering: first=%s ninth=%s last=%s", all[0].ID, all[9].ID, all[10].ID)
+	if all[0].ID != "E1" || all[9].ID != "E10" || all[10].ID != "X1" || all[11].ID != "X2" {
+		t.Fatalf("ordering: first=%s ninth=%s then=%s last=%s", all[0].ID, all[9].ID, all[10].ID, all[11].ID)
 	}
 	if _, ok := Get("E1"); !ok {
 		t.Fatal("Get(E1) failed")
@@ -38,6 +38,33 @@ func TestX1ShapeWANAggregation(t *testing.T) {
 	agg := X1Goodput("aggregate", 8, quick)
 	if agg <= fifo {
 		t.Fatalf("WAN goodput: aggregate %.2f MB/s !> fifo %.2f MB/s", agg, fifo)
+	}
+}
+
+// TestX2ShapeMeshMatchesModel asserts the property X2 exists to check: the
+// optimizer's transaction accounting (it aggregates: fewer frames than
+// messages) holds on both the simulated fabric and the real mesh, and every
+// message survives the real transport.
+func TestX2ShapeMeshMatchesModel(t *testing.T) {
+	sim, err := X2Sim(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := X2Mesh(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Msgs != mesh.Msgs {
+		t.Fatalf("workloads diverge: sim %d msgs, mesh %d msgs", sim.Msgs, mesh.Msgs)
+	}
+	if sim.Frames == 0 || mesh.Frames == 0 {
+		t.Fatalf("frames: sim %d, mesh %d", sim.Frames, mesh.Frames)
+	}
+	if mesh.Frames >= uint64(mesh.Msgs) {
+		t.Fatalf("no aggregation over the mesh: %d frames for %d msgs", mesh.Frames, mesh.Msgs)
+	}
+	if sim.Frames >= uint64(sim.Msgs) {
+		t.Fatalf("no aggregation in the model: %d frames for %d msgs", sim.Frames, sim.Msgs)
 	}
 }
 
