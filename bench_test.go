@@ -146,6 +146,30 @@ func BenchmarkE10DynamicPolicy(b *testing.B) {
 	b.ReportMetric(adaptive, "ctrl_p99_us_adaptive")
 }
 
+// BenchmarkE11AdaptiveController — the closed loop against the phase-
+// alternating workload: end-to-end virtual completion, adaptive versus the
+// best static tuning.
+func BenchmarkE11AdaptiveController(b *testing.B) {
+	var adaptive, bestStatic float64
+	for i := 0; i < b.N; i++ {
+		results, err := exp.E11All(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestStatic = 0
+		for _, r := range results {
+			us := float64(r.Total) / 1e3
+			if r.Name == "adaptive" {
+				adaptive = us
+			} else if bestStatic == 0 || us < bestStatic {
+				bestStatic = us
+			}
+		}
+	}
+	b.ReportMetric(adaptive, "total_us_adaptive")
+	b.ReportMetric(bestStatic, "total_us_best_static")
+}
+
 // --- Micro-benchmarks: host-side cost of the engine's hot paths. ----------
 
 // BenchmarkPlanBuilderAggregate measures one greedy aggregation decision

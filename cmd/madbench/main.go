@@ -28,13 +28,20 @@ import (
 	"newmad/internal/stats"
 )
 
-// jsonReport is the schema of the -json output.
+// jsonReport is the schema of the -json output. madbench/v2 is a strict
+// superset of madbench/v1: every v1 field is carried unchanged (committed
+// v1 snapshots like BENCH_mesh.json still compare field-for-field) and v2
+// adds per-experiment controller decision counts for the closed-loop
+// experiments (E11, X3) plus their fleet total.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "madbench/v1"
+	Schema      string           `json:"schema"` // "madbench/v2"
 	GeneratedAt time.Time        `json:"generated_at"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
 	Experiments []jsonExperiment `json:"experiments"`
+	// ControllerDecisions totals the applied retunes across all selected
+	// experiments (v2).
+	ControllerDecisions uint64 `json:"controller_decisions"`
 }
 
 type jsonExperiment struct {
@@ -43,6 +50,9 @@ type jsonExperiment struct {
 	Claim  string         `json:"claim"`
 	WallMs float64        `json:"wall_ms"`
 	Tables []*stats.Table `json:"tables"`
+	// ControllerDecisions counts retunes the experiment's controllers
+	// applied; omitted for controller-free experiments (v2).
+	ControllerDecisions uint64 `json:"controller_decisions,omitempty"`
 }
 
 func main() {
@@ -77,7 +87,7 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	report := jsonReport{
-		Schema:      "madbench/v1",
+		Schema:      "madbench/v2",
 		GeneratedAt: time.Now().UTC(),
 		Quick:       *quick,
 		Seed:        *seed,
@@ -92,10 +102,13 @@ func main() {
 			fmt.Println(t.String())
 		}
 		fmt.Printf("    (%s in %v)\n\n", e.ID, wall.Round(time.Millisecond))
+		decisions := exp.DecisionCount(e.ID)
+		report.ControllerDecisions += decisions
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
-			WallMs: float64(wall.Microseconds()) / 1e3,
-			Tables: tables,
+			WallMs:              float64(wall.Microseconds()) / 1e3,
+			Tables:              tables,
+			ControllerDecisions: decisions,
 		})
 	}
 

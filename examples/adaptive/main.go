@@ -1,0 +1,118 @@
+// Adaptive: the closed-loop controller retuning a live engine as the
+// traffic regime flips — the runnable demonstration of internal/control.
+//
+// Two engines run over real TCP mesh sockets. Node 0 sends a sparse
+// trickle of small messages (request-response pacing: artificial delay
+// would be pure cost), then a dense back-to-back stream (per-frame
+// overhead dominates: aggregation pays), then goes sparse again. A
+// controller watches node 0's metrics and moves the engine between the
+// registered "latency" and "throughput" operating points as the evidence
+// accumulates — including the flip *back* once the dense stream drains,
+// which experiment X3's two-phase run stops short of. Every decision
+// prints with the signals that triggered it.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"newmad/internal/cluster"
+	"newmad/internal/control"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+)
+
+func main() {
+	const (
+		sparseMsgs = 80
+		sparseGap  = 2 * time.Millisecond
+		denseMsgs  = 12000
+	)
+	total := 2*sparseMsgs + denseMsgs
+
+	var delivered atomic.Int64
+	done := make(chan struct{}, 1)
+	c, err := cluster.New(cluster.Options{
+		Nodes: 2,
+		Raw:   true,
+		OnDeliver: func(packet.NodeID, proto.Deliverable) {
+			if delivered.Add(1) == int64(total) {
+				done <- struct{}{}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	ctl, err := control.New(control.Options{
+		Engine:   c.Engine(0),
+		Runtime:  c.Runtime,
+		Interval: simnet.FromWall(5 * time.Millisecond),
+		HalfLife: simnet.FromWall(20 * time.Millisecond),
+		Confirm:  2,
+		Cooldown: simnet.FromWall(60 * time.Millisecond),
+		HiRate:   20e3, // packets/s: above = throughput regime
+		LoRate:   2e3,  // packets/s: below = latency regime
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Stop()
+
+	eng := c.Engine(0)
+	submit := func(flow packet.FlowID, seq, size int) {
+		p := &packet.Packet{
+			Flow: flow, Msg: packet.MsgID(seq), Seq: seq, Last: true,
+			Src: 0, Dst: 1, Class: packet.ClassSmall,
+			Payload: make([]byte, size),
+		}
+		if err := eng.Submit(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("phase 1: %d messages at %v spacing (~%.0f/s)\n",
+		sparseMsgs, sparseGap, 1/sparseGap.Seconds())
+	for q := 0; q < sparseMsgs; q++ {
+		submit(1, q, 64)
+		eng.Flush()
+		time.Sleep(sparseGap)
+	}
+	fmt.Printf("phase 2: %d messages back-to-back\n", denseMsgs)
+	for q := 0; q < denseMsgs; q++ {
+		submit(2, q, 256)
+	}
+	eng.Flush()
+	fmt.Printf("phase 3: %d messages at %v spacing again\n", sparseMsgs, sparseGap)
+	for q := 0; q < sparseMsgs; q++ {
+		submit(3, q, 64)
+		eng.Flush()
+		time.Sleep(sparseGap)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		log.Fatalf("incomplete: %d of %d delivered", delivered.Load(), total)
+	}
+
+	fmt.Printf("\ncontroller decisions (%d):\n", ctl.Retunes())
+	for _, d := range ctl.Decisions() {
+		fmt.Printf("  %8dms  %-10s → %-10s  %s\n",
+			simnet.ToWall(simnet.Duration(d.At)).Milliseconds(), d.From, d.To, d.Evidence)
+	}
+	m := c.Engine(0).Metrics()
+	fmt.Printf("\nfinal mode %q: %d msgs in %d frames (%.1f pkts/frame), %d retunes\n",
+		ctl.Mode(), m.PacketsSent, m.FramesPosted,
+		float64(m.PacketsSent)/float64(m.FramesPosted), ctl.Retunes())
+}

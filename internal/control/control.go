@@ -1,0 +1,413 @@
+// Package control closes the loop the paper leaves open: it watches a
+// running optimizer engine through its metrics surface and retunes the
+// engine's runtime knobs — artificial delay and flush count, lookahead
+// window, search budget, eager/rendezvous threshold, and the strategy
+// bundle (class→channel assignment) — as the observed traffic regime
+// shifts. The paper notes that "scheduling policies can be changed
+// dynamically as application needs evolve"; this package supplies the
+// component that decides *when*.
+//
+// One Controller runs per engine (per node). It samples the engine's
+// Metrics() snapshot on a fixed period through the shared Runtime
+// abstraction, so the same controller is deterministic under the
+// discrete-event simulator (experiment E11) and live on the wall clock over
+// real mesh sockets (experiment X3).
+//
+// Two mechanisms damp the adjustment cost that Henzinger et al. identify
+// for weight-dynamic reoptimization:
+//
+//   - hysteresis: a regime change must be observed on Confirm consecutive
+//     samples before the controller acts, so a single burst or lull cannot
+//     flip the policy; and
+//   - cooldown: after a retune, further retunes are suppressed for a fixed
+//     window, bounding the retune frequency regardless of how noisy the
+//     evidence is.
+//
+// Every decision is recorded on the trace as a policy event together with
+// the Signals that triggered it, and kept in an inspectable decision log.
+package control
+
+import (
+	"fmt"
+	"sync"
+
+	"newmad/internal/core"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// Mode is a traffic regime the controller can recognize. Each mode maps to
+// a named strategy.Tuning; the built-in mapping uses the registry's
+// "latency", "balanced" and "throughput" operating points.
+type Mode string
+
+// The recognized regimes.
+const (
+	// ModeLatency: sparse, reaction-bound traffic (request-response);
+	// artificial delay is pure cost.
+	ModeLatency Mode = "latency"
+	// ModeBalanced: no strong signal either way; the compromise point.
+	ModeBalanced Mode = "balanced"
+	// ModeThroughput: dense or backlogged traffic; aggregation pays.
+	ModeThroughput Mode = "throughput"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Engine is the optimizer under control (required).
+	Engine *core.Engine
+	// Runtime supplies time and timers; use the engine's runtime (required).
+	Runtime simnet.Runtime
+
+	// Interval is the sampling period (default 10 µs of virtual time;
+	// wall-clock deployments pass milliseconds).
+	Interval simnet.Duration
+	// HalfLife smooths the rate/backlog EWMAs (default 4×Interval).
+	HalfLife simnet.Duration
+	// Window spans the sliding-window ratios (default 8×Interval).
+	Window simnet.Duration
+	// Confirm is how many consecutive samples must agree on a new regime
+	// before the controller retunes (default 3; minimum 1).
+	Confirm int
+	// Cooldown suppresses further retunes after one fires (default
+	// 20×Interval).
+	Cooldown simnet.Duration
+
+	// HiRate/LoRate split the arrival-rate axis (packets/second): above
+	// HiRate the regime reads as throughput, below LoRate as latency, and
+	// the band between is hysteresis (hold the current mode). Defaults
+	// target the simulated profiles: 1e6 and 400e3.
+	HiRate, LoRate float64
+	// DeepBacklog marks a waiting list deep enough to read as throughput
+	// regardless of the arrival rate (default 24).
+	DeepBacklog int
+
+	// Tunings maps each mode to a registered tuning name; defaults to the
+	// built-in registry points ("latency", "balanced", "throughput").
+	Tunings map[Mode]string
+	// Initial is the mode applied at Start (default ModeBalanced).
+	Initial Mode
+
+	// Trace, when non-nil, records every decision as a policy event.
+	Trace *trace.Recorder
+	// Stats receives controller counters; nil allocates a private set.
+	Stats *stats.Set
+}
+
+// Decision is one applied retune, with the evidence that triggered it.
+type Decision struct {
+	// At is when the retune was applied.
+	At simnet.Time
+	// From/To are the tuning names switched between.
+	From, To string
+	// Evidence is the signal snapshot that confirmed the regime change.
+	Evidence Signals
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%v %s→%s [%s]", d.At, d.From, d.To, d.Evidence)
+}
+
+// Controller is the per-node feedback loop.
+type Controller struct {
+	eng *core.Engine
+	rt  simnet.Runtime
+	o   Options
+	set *stats.Set
+
+	// tickMu is held for the whole of each tick; Stop acquires it after
+	// setting closed, so Stop returning guarantees no in-flight tick will
+	// touch the engine afterwards (wall-clock timer cancellation is a
+	// no-op for an already-running callback).
+	tickMu sync.Mutex
+
+	mu        sync.Mutex
+	samp      *sampler
+	mode      Mode
+	pending   Mode // candidate regime accumulating confirmation
+	streak    int
+	last      simnet.Time // time of the last applied retune
+	retuned   bool        // whether any retune was ever applied
+	decisions []Decision
+	tunings   map[Mode]strategy.Tuning
+	cancel    simnet.CancelFunc
+	running   bool
+	closed    bool
+}
+
+// New validates the options and builds a controller. The engine is not
+// touched until Start.
+func New(o Options) (*Controller, error) {
+	if o.Engine == nil {
+		return nil, fmt.Errorf("control: Options.Engine is required")
+	}
+	if o.Runtime == nil {
+		return nil, fmt.Errorf("control: Options.Runtime is required")
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * simnet.Microsecond
+	}
+	if o.HalfLife <= 0 {
+		o.HalfLife = 4 * o.Interval
+	}
+	if o.Window <= 0 {
+		o.Window = 8 * o.Interval
+	}
+	if o.Confirm < 1 {
+		o.Confirm = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 20 * o.Interval
+	}
+	if o.HiRate <= 0 {
+		o.HiRate = 1e6
+	}
+	if o.LoRate <= 0 {
+		o.LoRate = 400e3
+	}
+	if o.LoRate >= o.HiRate {
+		return nil, fmt.Errorf("control: LoRate %.0f must be below HiRate %.0f (the band between is the hysteresis)", o.LoRate, o.HiRate)
+	}
+	if o.DeepBacklog <= 0 {
+		o.DeepBacklog = 24
+	}
+	if o.Initial == "" {
+		o.Initial = ModeBalanced
+	}
+	names := map[Mode]string{
+		ModeLatency:    "latency",
+		ModeBalanced:   "balanced",
+		ModeThroughput: "throughput",
+	}
+	for m, n := range o.Tunings {
+		names[m] = n
+	}
+	tunings := make(map[Mode]strategy.Tuning, len(names))
+	for m, n := range names {
+		t, err := strategy.TuningByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("control: mode %s: %w", m, err)
+		}
+		tunings[m] = t
+	}
+	if _, ok := tunings[o.Initial]; !ok {
+		return nil, fmt.Errorf("control: initial mode %q has no tuning", o.Initial)
+	}
+	set := o.Stats
+	if set == nil {
+		set = &stats.Set{}
+	}
+	return &Controller{
+		eng:     o.Engine,
+		rt:      o.Runtime,
+		o:       o,
+		set:     set,
+		samp:    newSampler(int64(o.HalfLife), int64(o.Window)),
+		mode:    o.Initial,
+		tunings: tunings,
+	}, nil
+}
+
+// Start applies the initial mode's tuning and begins sampling. Starting a
+// started or stopped controller is an error.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("control: controller stopped")
+	}
+	if c.running {
+		c.mu.Unlock()
+		return fmt.Errorf("control: controller already started")
+	}
+	c.running = true
+	tune := c.tunings[c.mode]
+	c.mu.Unlock()
+
+	// The initial application establishes a known operating point; it is
+	// configuration, not a decision, so it does not enter the log.
+	c.apply(tune)
+	c.mu.Lock()
+	if !c.closed {
+		c.cancel = c.rt.Schedule(c.o.Interval, "control.tick", c.tick)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Stop halts sampling and waits out any tick already in flight: once Stop
+// returns, the engine keeps the last applied tuning and is no longer
+// touched. Stop is idempotent; do not call it from inside an engine retune
+// observer (the in-flight tick the observer runs under would deadlock the
+// barrier).
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	c.closed = true
+	cancel := c.cancel
+	c.cancel = nil
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	// Barrier: a tick past its top closed-check completes before we
+	// return; the closed flag stops it from rescheduling.
+	c.tickMu.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: the acquire waits out the in-flight tick
+	c.tickMu.Unlock()
+}
+
+// Mode returns the regime currently in effect.
+func (c *Controller) Mode() Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// Decisions returns the applied retunes, oldest first.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.decisions...)
+}
+
+// Retunes returns the number of applied retunes.
+func (c *Controller) Retunes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint64(len(c.decisions))
+}
+
+// Signals returns the latest derived evidence (zero before the first tick).
+func (c *Controller) Signals() Signals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samp.current
+}
+
+// Stats returns the controller's counter set.
+func (c *Controller) Stats() *stats.Set { return c.set }
+
+// tick is one pass of the loop: sample, classify, maybe retune, reschedule.
+func (c *Controller) tick() {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+
+	// Check closed before touching the engine at all: a wall-clock timer
+	// that fired but had not reached the barrier when Stop ran must not
+	// read a possibly-tearing-down engine.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	m := c.eng.Metrics()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	sig := c.samp.observe(m)
+	c.set.Counter("control.samples").Inc()
+
+	want := c.classify(sig)
+	var applied *Decision
+	var tune strategy.Tuning
+	if want == c.mode {
+		c.pending, c.streak = "", 0
+	} else {
+		if want == c.pending {
+			c.streak++
+		} else {
+			c.pending, c.streak = want, 1
+		}
+		switch {
+		case c.streak < c.o.Confirm:
+			// Hysteresis: not yet confirmed.
+			c.set.Counter("control.holds").Inc()
+		case c.retuned && m.Now.Sub(c.last) < c.o.Cooldown:
+			// Cooldown: confirmed but too soon after the last retune.
+			c.set.Counter("control.cooldown_blocks").Inc()
+		default:
+			d := Decision{
+				At:       m.Now,
+				From:     string(c.mode),
+				To:       string(want),
+				Evidence: sig,
+			}
+			c.decisions = append(c.decisions, d)
+			c.mode = want
+			c.pending, c.streak = "", 0
+			c.last, c.retuned = m.Now, true
+			c.set.Counter("control.retunes").Inc()
+			tune = c.tunings[want]
+			applied = &d
+		}
+	}
+	c.mu.Unlock()
+
+	if applied != nil {
+		c.apply(tune)
+		c.o.Trace.Record(trace.Event{
+			At: applied.At, Kind: trace.KindPolicy, Node: c.eng.Node(),
+			Note: fmt.Sprintf("ctl %s→%s %s", applied.From, applied.To, applied.Evidence),
+		})
+	}
+
+	c.mu.Lock()
+	if !c.closed {
+		c.cancel = c.rt.Schedule(c.o.Interval, "control.tick", c.tick)
+	}
+	c.mu.Unlock()
+}
+
+// classify maps evidence to a desired regime. The band between LoRate and
+// HiRate holds the current mode (rate hysteresis); a deep backlog reads as
+// throughput pressure regardless of the arrival rate.
+func (c *Controller) classify(sig Signals) Mode {
+	if sig.Backlog >= c.o.DeepBacklog {
+		return ModeThroughput
+	}
+	switch {
+	case sig.ArrivalPerSec >= c.o.HiRate:
+		return ModeThroughput
+	case sig.ArrivalPerSec <= c.o.LoRate:
+		return ModeLatency
+	default:
+		return c.mode
+	}
+}
+
+// Apply drives every runtime setter of eng to the tuning's operating
+// point. Bundle instantiation happens per application so stateful policies
+// (adaptive classes) start fresh in the new regime. Exported so experiment
+// harnesses configure their static baselines through the exact sequence
+// the controller uses — any knob added to strategy.Tuning is wired here
+// once.
+func Apply(eng *core.Engine, t strategy.Tuning) error {
+	b, err := strategy.New(t.Bundle)
+	if err != nil {
+		return fmt.Errorf("control: tuning %q: %w", t.Name, err)
+	}
+	if err := eng.SetBundle(b); err != nil {
+		return fmt.Errorf("control: tuning %q: %w", t.Name, err)
+	}
+	eng.SetLookahead(t.Lookahead)
+	eng.SetNagle(t.NagleDelay, t.NagleFlushCount)
+	eng.SetSearchBudget(t.SearchBudget)
+	eng.SetRdvThreshold(t.RdvThreshold)
+	return nil
+}
+
+// apply is Apply against the controller's own engine; tunings were
+// validated against the bundle registry at New, so a failure means the
+// bundle was unregistered mid-run — a programming error worth crashing on.
+func (c *Controller) apply(t strategy.Tuning) {
+	if err := Apply(c.eng, t); err != nil {
+		panic(err)
+	}
+}

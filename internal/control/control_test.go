@@ -1,0 +1,247 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// simPair builds a 2-node simulated cluster with an engine per node and
+// returns (cluster, sender engine, per-flow seq counters).
+func simPair(t *testing.T) (*drivers.Cluster, *core.Engine) {
+	t.Helper()
+	prof := caps.MX
+	prof.Channels = 1
+	cl, err := drivers.NewCluster(2, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*core.Engine, 2)
+	for n := 0; n < 2; n++ {
+		b, err := strategy.New("aggregate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rails []drivers.Driver
+		for _, d := range cl.NodeDrivers(packet.NodeID(n)) {
+			rails = append(rails, d)
+		}
+		eng, err := core.New(packet.NodeID(n), core.Options{
+			Bundle:  b,
+			Runtime: cl.Eng,
+			Rails:   rails,
+			Deliver: func(proto.Deliverable) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[n] = eng
+	}
+	return cl, engines[0]
+}
+
+func TestControllerOptionDefaultsAndValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without engine should fail")
+	}
+	cl, eng := simPair(t)
+	if _, err := New(Options{Engine: eng}); err == nil {
+		t.Fatal("New without runtime should fail")
+	}
+	if _, err := New(Options{Engine: eng, Runtime: cl.Eng, HiRate: 100, LoRate: 200}); err == nil {
+		t.Fatal("inverted rate band should fail")
+	}
+	if _, err := New(Options{Engine: eng, Runtime: cl.Eng, Tunings: map[Mode]string{ModeLatency: "no-such"}}); err == nil {
+		t.Fatal("unknown tuning should fail")
+	}
+	c, err := New(Options{Engine: eng, Runtime: cl.Eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != ModeBalanced {
+		t.Fatalf("default initial mode = %s, want balanced", c.Mode())
+	}
+}
+
+// TestControllerTracksRegimes drives a sparse phase then a dense phase
+// through a live simulated engine and asserts the controller's closed loop:
+// it settles on the latency tuning under sparse traffic, switches to the
+// throughput tuning when the arrival rate crosses the band, never thrashes
+// in between, and spaces retunes by at least the cooldown.
+func TestControllerTracksRegimes(t *testing.T) {
+	cl, eng := simPair(t)
+	rec := trace.New(512)
+	cooldown := 300 * simnet.Microsecond
+	c, err := New(Options{
+		Engine:   eng,
+		Runtime:  cl.Eng,
+		Interval: 10 * simnet.Microsecond,
+		Confirm:  3,
+		Cooldown: cooldown,
+		HiRate:   1e6,
+		LoRate:   400e3,
+		Trace:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("double Start should fail")
+	}
+
+	submit := func(flow packet.FlowID, seq int) func() {
+		return func() {
+			p := &packet.Packet{
+				Flow: flow, Msg: packet.MsgID(seq), Seq: seq, Last: true,
+				Src: 0, Dst: 1, Class: packet.ClassSmall,
+				Payload: make([]byte, 64),
+			}
+			if err := eng.Submit(p); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+	}
+	// Sparse phase: one small packet every 50 µs for 1 ms (20 k/s).
+	for i := 0; i < 20; i++ {
+		cl.Eng.At(simnet.Time(i)*simnet.Time(50*simnet.Microsecond), "sparse", submit(1, i))
+	}
+	// Dense phase from t=1 ms: 8 packets every 4 µs for 1 ms (2 M/s).
+	dense := simnet.Time(1 * simnet.Millisecond)
+	seq := 0
+	for i := 0; i < 250; i++ {
+		at := dense + simnet.Time(i)*simnet.Time(4*simnet.Microsecond)
+		for j := 0; j < 8; j++ {
+			cl.Eng.At(at, "dense", submit(2, seq))
+			seq++
+		}
+	}
+
+	// Stop shortly after the dense phase ends — before the rate EWMA decays
+	// back through the band (that flip-back is itself correct behaviour,
+	// exercised by the cooldown test below).
+	cl.Eng.RunUntil(simnet.Time(2050 * simnet.Microsecond))
+	c.Stop()
+
+	ds := c.Decisions()
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %d (%v), want exactly 2 (balanced→latency, latency→throughput)", len(ds), ds)
+	}
+	if Mode(ds[0].To) != ModeLatency || Mode(ds[0].From) != ModeBalanced {
+		t.Fatalf("first decision %v, want balanced→latency", ds[0])
+	}
+	if Mode(ds[1].To) != ModeThroughput {
+		t.Fatalf("second decision %v, want →throughput", ds[1])
+	}
+	if gap := ds[1].At.Sub(ds[0].At); gap < cooldown {
+		t.Fatalf("retunes %v apart, cooldown is %v", gap, cooldown)
+	}
+	if ds[1].Evidence.ArrivalPerSec < 1e6 {
+		t.Fatalf("throughput decision carries weak evidence: %s", ds[1].Evidence)
+	}
+	if c.Mode() != ModeThroughput {
+		t.Fatalf("final mode = %s, want throughput", c.Mode())
+	}
+	// The engine must actually be at the throughput operating point.
+	m := eng.Metrics()
+	thr, _ := strategy.TuningByName("throughput")
+	if m.NagleDelay != thr.NagleDelay || m.Lookahead != thr.Lookahead {
+		t.Fatalf("engine tuning (nagle=%v lookahead=%d) does not match throughput (%v, %d)",
+			m.NagleDelay, m.Lookahead, thr.NagleDelay, thr.Lookahead)
+	}
+	// Every decision must be on the trace as a policy event.
+	policies := rec.Filter(trace.KindPolicy)
+	ctl := 0
+	for _, ev := range policies {
+		if strings.HasPrefix(ev.Note, "ctl") {
+			ctl++
+		}
+	}
+	if ctl != len(ds) {
+		t.Fatalf("trace has %d controller policy events, want %d", ctl, len(ds))
+	}
+}
+
+// TestControllerCooldownBounds confirms the damping guarantee directly: with
+// an enormous cooldown, a second regime change is recognized but not
+// applied.
+func TestControllerCooldownBounds(t *testing.T) {
+	cl, eng := simPair(t)
+	c, err := New(Options{
+		Engine:   eng,
+		Runtime:  cl.Eng,
+		Interval: 10 * simnet.Microsecond,
+		Confirm:  2,
+		Cooldown: 50 * simnet.Millisecond, // far beyond the run
+		HiRate:   1e6,
+		LoRate:   400e3,
+		Initial:  ModeLatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	// Dense burst to force latency→throughput, then silence (which reads
+	// as latency again) — only the first switch may apply.
+	for i := 0; i < 100; i++ {
+		at := simnet.Time(i) * simnet.Time(4*simnet.Microsecond)
+		for j := 0; j < 8; j++ {
+			s := seq
+			cl.Eng.At(at, "burst", func() {
+				p := &packet.Packet{
+					Flow: 1, Msg: packet.MsgID(s), Seq: s, Last: true,
+					Src: 0, Dst: 1, Class: packet.ClassSmall,
+					Payload: make([]byte, 64),
+				}
+				if err := eng.Submit(p); err != nil {
+					t.Errorf("submit: %v", err)
+				}
+			})
+			seq++
+		}
+	}
+	cl.Eng.RunUntil(simnet.Time(3 * simnet.Millisecond))
+	c.Stop()
+
+	if n := c.Retunes(); n != 1 {
+		t.Fatalf("retunes = %d (%v), want 1 (cooldown must suppress the flip back)", n, c.Decisions())
+	}
+	if c.Stats().CounterValue("control.cooldown_blocks") == 0 {
+		t.Fatal("cooldown suppressed nothing, yet only one retune applied")
+	}
+}
+
+// TestControllerStopIsFinal verifies a stopped controller neither samples
+// nor restarts.
+func TestControllerStopIsFinal(t *testing.T) {
+	cl, eng := simPair(t)
+	c, err := New(Options{Engine: eng, Runtime: cl.Eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	before := c.Stats().CounterValue("control.samples")
+	cl.Eng.RunUntil(simnet.Time(1 * simnet.Millisecond))
+	if after := c.Stats().CounterValue("control.samples"); after != before {
+		t.Fatalf("stopped controller still sampling: %d → %d", before, after)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("restarting a stopped controller should fail")
+	}
+}

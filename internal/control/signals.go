@@ -1,0 +1,180 @@
+package control
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/stats"
+)
+
+// Signals is the controller's distilled evidence: smoothed rates and ratios
+// derived from consecutive engine metric snapshots. Every retune decision
+// carries the Signals that triggered it, so a decision log reads as
+// "what the controller saw" rather than "what it did".
+//
+// Classification acts on ArrivalPerSec and Backlog; the remaining fields
+// are evidence — recorded with each decision, rendered on the trace, and
+// available to custom policies reading Decisions() or Signals().
+type Signals struct {
+	// ArrivalPerSec is the smoothed packet submission rate.
+	ArrivalPerSec float64
+	// Backlog is the waiting-list depth at the latest sample (raw, not
+	// smoothed: regime confirmation across consecutive samples provides the
+	// damping).
+	Backlog int
+	// BacklogMean is the smoothed waiting-list depth.
+	BacklogMean float64
+	// PktsPerFrame is packets per posted frame over the observation window
+	// (1 = no aggregation happening).
+	PktsPerFrame float64
+	// FramesPerIdle is frames posted per scheduler activation over the
+	// window (how often an idle upcall found work).
+	FramesPerIdle float64
+	// NagleFireRatio is the share of artificial delays that ran to their
+	// timer rather than being cut short by backlog pressure, over the
+	// window. High values mean the delay is pure latency: traffic is too
+	// sparse for the flush count to trigger.
+	NagleFireRatio float64
+	// EagerShare is the eager fraction of submitted bytes over the window.
+	EagerShare float64
+	// CtrlShare is the control-class fraction of submissions over the
+	// window.
+	CtrlShare float64
+	// RailShare is each rail's fraction of frames over the window.
+	RailShare []float64
+}
+
+func (s Signals) String() string {
+	out := fmt.Sprintf("rate=%.0f/s backlog=%d~%.1f ppf=%.2f fpi=%.2f eager=%.2f ctrl=%.2f nagle-fire=%.2f",
+		s.ArrivalPerSec, s.Backlog, s.BacklogMean, s.PktsPerFrame,
+		s.FramesPerIdle, s.EagerShare, s.CtrlShare, s.NagleFireRatio)
+	if len(s.RailShare) > 1 {
+		out += " rails="
+		for i, v := range s.RailShare {
+			if i > 0 {
+				out += "/"
+			}
+			out += fmt.Sprintf("%.2f", v)
+		}
+	}
+	return out
+}
+
+// sampler folds consecutive core.Metrics snapshots into Signals.
+type sampler struct {
+	rate    *stats.RateMeter
+	backlog *stats.EWMA
+
+	// windows of per-interval deltas.
+	packets  *stats.Window
+	frames   *stats.Window
+	idles    *stats.Window
+	fires    *stats.Window
+	earlies  *stats.Window
+	eagerB   *stats.Window
+	rdvB     *stats.Window
+	subs     *stats.Window
+	ctrlSubs *stats.Window
+	rails    []*stats.Window
+
+	windowNs int64
+	prev     core.Metrics
+	primed   bool
+	current  Signals
+}
+
+func newSampler(halfLifeNs, windowNs int64) *sampler {
+	const buckets = 8
+	w := func() *stats.Window { return stats.NewWindow(windowNs, buckets) }
+	return &sampler{
+		windowNs: windowNs,
+		rate:     stats.NewRateMeter(halfLifeNs),
+		backlog:  stats.NewEWMA(halfLifeNs),
+		packets:  w(),
+		frames:   w(),
+		idles:    w(),
+		fires:    w(),
+		earlies:  w(),
+		eagerB:   w(),
+		rdvB:     w(),
+		subs:     w(),
+		ctrlSubs: w(),
+	}
+}
+
+// observe folds one snapshot and returns the refreshed signals.
+func (s *sampler) observe(m core.Metrics) Signals {
+	now := int64(m.Now)
+	s.rate.Observe(m.Submitted, now)
+	s.backlog.Update(float64(m.Backlog), now)
+
+	if !s.primed {
+		s.prev, s.primed = m, true
+	}
+	d := func(w *stats.Window, cur, prev uint64) {
+		if cur > prev {
+			w.Add(float64(cur-prev), now)
+		}
+	}
+	d(s.packets, m.PacketsSent, s.prev.PacketsSent)
+	d(s.frames, m.FramesPosted, s.prev.FramesPosted)
+	d(s.idles, m.IdleUpcalls, s.prev.IdleUpcalls)
+	d(s.fires, m.NagleFires, s.prev.NagleFires)
+	d(s.earlies, m.NagleEarly, s.prev.NagleEarly)
+	d(s.eagerB, m.EagerBytes, s.prev.EagerBytes)
+	d(s.rdvB, m.RdvBytes, s.prev.RdvBytes)
+	d(s.subs, m.Submitted, s.prev.Submitted)
+	d(s.ctrlSubs, m.SubmittedCtrl, s.prev.SubmittedCtrl)
+	if len(s.rails) != len(m.RailFrames) {
+		s.rails = make([]*stats.Window, len(m.RailFrames))
+		for i := range s.rails {
+			s.rails[i] = stats.NewWindow(s.windowNs, 8)
+		}
+	}
+	for i, rf := range m.RailFrames {
+		var prev uint64
+		if i < len(s.prev.RailFrames) {
+			prev = s.prev.RailFrames[i]
+		}
+		d(s.rails[i], rf, prev)
+	}
+	s.prev = m
+
+	ratio := func(num, den *stats.Window) float64 {
+		dv := den.Sum(now)
+		if dv == 0 {
+			return 0
+		}
+		return num.Sum(now) / dv
+	}
+	sig := Signals{
+		ArrivalPerSec:  s.rate.PerSecond(),
+		Backlog:        m.Backlog,
+		BacklogMean:    s.backlog.Value(),
+		PktsPerFrame:   ratio(s.packets, s.frames),
+		FramesPerIdle:  ratio(s.frames, s.idles),
+		NagleFireRatio: 0,
+		EagerShare:     0,
+		CtrlShare:      ratio(s.ctrlSubs, s.subs),
+	}
+	if fires, earlies := s.fires.Sum(now), s.earlies.Sum(now); fires+earlies > 0 {
+		sig.NagleFireRatio = fires / (fires + earlies)
+	}
+	if eb, rb := s.eagerB.Sum(now), s.rdvB.Sum(now); eb+rb > 0 {
+		sig.EagerShare = eb / (eb + rb)
+	}
+	var railTotal float64
+	railSums := make([]float64, len(s.rails))
+	for i, w := range s.rails {
+		railSums[i] = w.Sum(now)
+		railTotal += railSums[i]
+	}
+	if railTotal > 0 {
+		sig.RailShare = make([]float64, len(railSums))
+		for i, v := range railSums {
+			sig.RailShare[i] = v / railTotal
+		}
+	}
+	s.current = sig
+	return sig
+}

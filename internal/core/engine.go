@@ -60,11 +60,16 @@ type Options struct {
 	// aggregation opportunities accumulate; 0 sends immediately.
 	NagleDelay simnet.Duration
 	// NagleFlushCount flushes a pending Nagle delay once this many packets
-	// wait (0 = default 4).
+	// wait (0 = DefaultNagleFlushCount).
 	NagleFlushCount int
 	// SearchBudget is passed to the plan builder as the rearrangement
 	// evaluation bound; 0 = builder default.
 	SearchBudget int
+	// RdvThreshold, when positive, overrides the bundle's protocol policy
+	// with a plain size threshold: packets larger than it travel by
+	// rendezvous (express packets stay eager regardless). 0 defers to the
+	// bundle policy. Runtime-tunable via SetRdvThreshold.
+	RdvThreshold int
 	// RdvMaxConcurrent caps concurrently granted inbound rendezvous
 	// transfers (0 = unlimited).
 	RdvMaxConcurrent int
@@ -86,6 +91,12 @@ type Engine struct {
 	cfg    Options
 	rails  []drivers.Driver
 
+	// ctr/railFrames are the engine-private observation counters behind
+	// Metrics(); retuneObs is notified on every runtime tuning change.
+	ctr        counters
+	railFrames []uint64
+	retuneObs  func(RetuneEvent)
+
 	submitSeq uint64
 	backlog   []*packet.Packet // waiting packs, submission order
 	ctrlQ     []*packet.Frame  // reactive control frames (RTS/CTS/Ack)
@@ -94,6 +105,12 @@ type Engine struct {
 
 	nagleArmed  bool
 	nagleCancel simnet.CancelFunc
+	// nagleGen identifies the current arming: it advances on every arm and
+	// disarm so a timer fire that lost the race against a concurrent disarm
+	// (possible on the wall-clock runtime, where cancellation of an
+	// already-running timer callback is a no-op) recognizes itself as stale
+	// instead of clobbering a newer armed delay.
+	nagleGen uint64
 
 	reasm *proto.Reassembler
 	rdvS  *proto.RdvSender
@@ -126,11 +143,12 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	if b.Builder == nil || b.Rail == nil || b.Classes == nil || b.Protocol == nil {
 		return nil, fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
 	}
-	if opt.Lookahead < 0 || opt.NagleDelay < 0 || opt.SearchBudget < 0 {
+	if opt.Lookahead < 0 || opt.NagleDelay < 0 || opt.SearchBudget < 0 ||
+		opt.RdvThreshold < 0 || opt.NagleFlushCount < 0 {
 		return nil, fmt.Errorf("core: negative tuning option")
 	}
 	if opt.NagleFlushCount == 0 {
-		opt.NagleFlushCount = 4
+		opt.NagleFlushCount = DefaultNagleFlushCount
 	}
 	set := opt.Stats
 	if set == nil {
@@ -145,14 +163,15 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	}
 
 	e := &Engine{
-		node:    node,
-		rt:      opt.Runtime,
-		set:     set,
-		rec:     opt.Trace,
-		bundle:  b,
-		cfg:     opt,
-		rails:   rails,
-		deliver: opt.Deliver,
+		node:       node,
+		rt:         opt.Runtime,
+		set:        set,
+		rec:        opt.Trace,
+		bundle:     b,
+		cfg:        opt,
+		rails:      rails,
+		railFrames: make([]uint64, len(rails)),
+		deliver:    opt.Deliver,
 	}
 	e.reasm = proto.NewReassembler(node, func(d proto.Deliverable) {
 		e.pendingDeliver = append(e.pendingDeliver, d)
@@ -186,11 +205,16 @@ func (e *Engine) SetBundle(b strategy.Bundle) error {
 		return fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
 	}
 	e.mu.Lock()
+	changed := e.bundle.Name != b.Name
 	e.bundle = b
 	e.set.Counter("core.policy_switches").Inc()
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindPolicy, Node: e.node, Note: b.Name})
+	obs := e.retuneObs
 	e.mu.Unlock()
 	e.pumpAll()
+	if changed && obs != nil {
+		obs(RetuneEvent{At: e.rt.Now(), Knob: "bundle", Note: "bundle=" + b.Name})
+	}
 	return nil
 }
 
@@ -201,21 +225,93 @@ func (e *Engine) Bundle() strategy.Bundle {
 	return e.bundle
 }
 
-// SetLookahead adjusts the lookahead window at runtime (E2 sweeps this).
+// SetLookahead adjusts the lookahead window at runtime (E2 sweeps this; the
+// adaptive controller drives it from observed backlog depth). Negative
+// values clamp to 0 (unbounded).
 func (e *Engine) SetLookahead(n int) {
+	if n < 0 {
+		n = 0
+	}
 	e.mu.Lock()
+	changed := e.cfg.Lookahead != n
 	e.cfg.Lookahead = n
 	e.mu.Unlock()
+	if changed {
+		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "lookahead", Note: fmt.Sprintf("lookahead=%d", n)})
+	}
 }
 
-// SetNagle adjusts the artificial delay at runtime (E3 sweeps this).
+// DefaultNagleFlushCount is the flush count in effect when none is
+// configured: a pending artificial delay is cut short once this many
+// packets wait.
+const DefaultNagleFlushCount = 4
+
+// SetNagle adjusts the artificial delay at runtime (E3 sweeps this; the
+// adaptive controller toggles it between traffic regimes). A flushCount of
+// 0 restores DefaultNagleFlushCount — symmetric with construction, so a
+// tuning's operating point never depends on which tuning ran before it.
+// Setting a zero delay releases any armed delay immediately, so a
+// latency-sensitive phase never waits out a timer armed under the previous
+// tuning.
 func (e *Engine) SetNagle(d simnet.Duration, flushCount int) {
+	if d < 0 {
+		d = 0
+	}
+	if flushCount <= 0 {
+		flushCount = DefaultNagleFlushCount
+	}
 	e.mu.Lock()
+	changed := e.cfg.NagleDelay != d || e.cfg.NagleFlushCount != flushCount
 	e.cfg.NagleDelay = d
-	if flushCount > 0 {
-		e.cfg.NagleFlushCount = flushCount
+	e.cfg.NagleFlushCount = flushCount
+	release := d == 0 && e.nagleArmed
+	if release {
+		e.ctr.nagleEarly++
+		e.disarmNagleLocked()
 	}
 	e.mu.Unlock()
+	if release {
+		e.pumpAll()
+	}
+	if changed {
+		e.notifyRetune(RetuneEvent{
+			At: e.rt.Now(), Knob: "nagle",
+			Note: fmt.Sprintf("nagle=%v flush=%d", d, flushCount),
+		})
+	}
+}
+
+// SetSearchBudget adjusts the plan builder's rearrangement evaluation bound
+// at runtime (E6 sweeps this; the adaptive controller raises it when deep
+// backlogs make search worthwhile). Negative values clamp to 0 (builder
+// default).
+func (e *Engine) SetSearchBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	changed := e.cfg.SearchBudget != n
+	e.cfg.SearchBudget = n
+	e.mu.Unlock()
+	if changed {
+		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "budget", Note: fmt.Sprintf("budget=%d", n)})
+	}
+}
+
+// SetRdvThreshold adjusts the eager/rendezvous switchover at runtime: a
+// positive value overrides the bundle's protocol policy with a plain size
+// threshold, 0 restores the bundle policy. Negative values clamp to 0.
+func (e *Engine) SetRdvThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	changed := e.cfg.RdvThreshold != n
+	e.cfg.RdvThreshold = n
+	e.mu.Unlock()
+	if changed {
+		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "rdv-threshold", Note: fmt.Sprintf("rdv-threshold=%d", n)})
+	}
 }
 
 // Submit enqueues one packet from the collect layer and returns
@@ -245,6 +341,11 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	e.bundle.Classes.Observe(p)
 	e.set.Counter("core.submitted").Inc()
 	e.set.Counter("core.submitted_bytes").Add(uint64(p.Size()))
+	e.ctr.submitted++
+	e.ctr.submittedBytes += uint64(p.Size())
+	if p.Class == packet.ClassControl {
+		e.ctr.submittedCtrl++
+	}
 	e.rec.Record(trace.Event{
 		At: p.Enqueued, Kind: trace.KindSubmit, Node: e.node,
 		Flow: p.Flow, Seq: p.Seq, A: p.Size(), B: int(p.Class),
@@ -253,15 +354,20 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	// Protocol decision: large cheap packets travel by rendezvous. The
 	// capability record consulted is the first rail this packet may use
 	// (deterministic; multi-rail nodes with diverging thresholds can pin
-	// protocols per class through the rail policy instead).
-	if e.bundle.Protocol.UseRendezvous(p, e.protoCaps(p)) {
+	// protocols per class through the rail policy instead). A runtime
+	// threshold override (SetRdvThreshold) takes precedence over the bundle
+	// policy so the controller can move the switchover without swapping
+	// bundles.
+	if e.useRendezvousLocked(p) {
 		rts := e.rdvS.Start(p)
 		e.ctrlQ = append(e.ctrlQ, rts)
 		e.set.Counter("core.rdv_started").Inc()
+		e.ctr.rdvBytes += uint64(p.Size())
 		e.mu.Unlock()
 		e.pumpAll()
 		return nil
 	}
+	e.ctr.eagerBytes += uint64(p.Size())
 
 	e.backlog = append(e.backlog, p)
 	e.set.SetGauge("core.backlog_peak", maxf(gauge(e.set, "core.backlog_peak"), float64(len(e.backlog))))
@@ -271,7 +377,9 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	if e.cfg.NagleDelay > 0 && len(e.backlog) < e.cfg.NagleFlushCount {
 		if !e.nagleArmed {
 			e.nagleArmed = true
-			e.nagleCancel = e.rt.Schedule(e.cfg.NagleDelay, "core.nagle", e.onNagle)
+			e.nagleGen++
+			gen := e.nagleGen
+			e.nagleCancel = e.rt.Schedule(e.cfg.NagleDelay, "core.nagle", func() { e.onNagle(gen) })
 			e.rec.Record(trace.Event{
 				At: e.rt.Now(), Kind: trace.KindNagleArm, Node: e.node,
 				A: int(e.cfg.NagleDelay), B: len(e.backlog),
@@ -281,11 +389,21 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		return nil
 	}
 	if e.nagleArmed {
+		e.ctr.nagleEarly++
 		e.disarmNagleLocked()
 	}
 	e.mu.Unlock()
 	e.pumpAll()
 	return nil
+}
+
+// useRendezvousLocked applies the runtime threshold override, falling back
+// to the bundle's protocol policy when no override is set.
+func (e *Engine) useRendezvousLocked(p *packet.Packet) bool {
+	if thr := e.cfg.RdvThreshold; thr > 0 {
+		return !packet.EagerOnly(p) && p.Size() > thr
+	}
+	return e.bundle.Protocol.UseRendezvous(p, e.protoCaps(p))
 }
 
 // protoCaps returns the capability record governing protocol selection for
@@ -303,6 +421,7 @@ func (e *Engine) protoCaps(p *packet.Packet) caps.Caps {
 func (e *Engine) Flush() {
 	e.mu.Lock()
 	if e.nagleArmed {
+		e.ctr.nagleEarly++
 		e.disarmNagleLocked()
 	}
 	e.mu.Unlock()
@@ -311,17 +430,25 @@ func (e *Engine) Flush() {
 
 func (e *Engine) disarmNagleLocked() {
 	e.nagleArmed = false
+	e.nagleGen++
 	if e.nagleCancel != nil {
 		e.nagleCancel()
 		e.nagleCancel = nil
 	}
 }
 
-func (e *Engine) onNagle() {
+func (e *Engine) onNagle(gen uint64) {
 	e.mu.Lock()
+	if gen != e.nagleGen {
+		// Stale fire: this arming was disarmed (and possibly re-armed)
+		// while the callback was already in flight.
+		e.mu.Unlock()
+		return
+	}
 	e.nagleArmed = false
 	e.nagleCancel = nil
 	e.set.Counter("core.nagle_flushes").Inc()
+	e.ctr.nagleFires++
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: len(e.backlog)})
 	e.mu.Unlock()
 	e.pumpAll()

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"newmad/internal/simnet"
+	"newmad/internal/trace"
+)
+
+// The engine's observation surface for closed-loop control
+// (internal/control): a point-in-time snapshot of per-engine activity
+// counters plus the tuning currently in effect. Counters here are engine-
+// private — unlike the stats.Set, which experiments routinely share across
+// the engines of one rig — so a controller watching one node never sees a
+// neighbour's traffic folded into its evidence.
+
+// counters is the engine-private activity tally, guarded by Engine.mu.
+type counters struct {
+	submitted      uint64
+	submittedBytes uint64
+	submittedCtrl  uint64
+	eagerBytes     uint64
+	rdvBytes       uint64
+	framesPosted   uint64
+	packetsSent    uint64
+	aggregates     uint64
+	idleUpcalls    uint64
+	nagleFires     uint64 // delay timer expired and triggered a pump
+	nagleEarly     uint64 // delay cut short by backlog pressure or Flush
+	delivered      uint64
+}
+
+// Metrics is a point-in-time snapshot of one engine: queue depths, activity
+// counters since construction, and the runtime tuning currently in effect.
+// Rates and ratios are left to the observer (internal/control derives them
+// over sliding windows); the engine reports only exact totals.
+type Metrics struct {
+	// Now is the engine clock at snapshot time.
+	Now simnet.Time
+
+	// Queue depths at snapshot time.
+	Backlog    int
+	CtrlQueued int
+	BulkQueued int
+
+	// Activity totals since the engine was created.
+	Submitted      uint64
+	SubmittedBytes uint64
+	SubmittedCtrl  uint64 // control-class submissions (class mix evidence)
+	EagerBytes     uint64 // bytes routed eager at submission
+	RdvBytes       uint64 // bytes routed rendezvous at submission
+	FramesPosted   uint64
+	PacketsSent    uint64
+	Aggregates     uint64 // frames carrying more than one packet
+	IdleUpcalls    uint64 // scheduler activations
+	NagleFires     uint64 // artificial delays that ran to their timer
+	NagleEarly     uint64 // artificial delays cut short by backlog pressure
+	Delivered      uint64
+
+	// RailFrames is the per-rail frame count, indexed like Rails().
+	RailFrames []uint64
+
+	// The tuning in effect.
+	Lookahead       int
+	NagleDelay      simnet.Duration
+	NagleFlushCount int
+	SearchBudget    int
+	RdvThreshold    int
+	Bundle          string
+}
+
+// Metrics returns a consistent snapshot of the engine's observation surface.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Metrics{
+		Now:             e.rt.Now(),
+		Backlog:         len(e.backlog),
+		CtrlQueued:      len(e.ctrlQ),
+		BulkQueued:      len(e.bulkQ),
+		Submitted:       e.ctr.submitted,
+		SubmittedBytes:  e.ctr.submittedBytes,
+		SubmittedCtrl:   e.ctr.submittedCtrl,
+		EagerBytes:      e.ctr.eagerBytes,
+		RdvBytes:        e.ctr.rdvBytes,
+		FramesPosted:    e.ctr.framesPosted,
+		PacketsSent:     e.ctr.packetsSent,
+		Aggregates:      e.ctr.aggregates,
+		IdleUpcalls:     e.ctr.idleUpcalls,
+		NagleFires:      e.ctr.nagleFires,
+		NagleEarly:      e.ctr.nagleEarly,
+		Delivered:       e.ctr.delivered,
+		RailFrames:      append([]uint64(nil), e.railFrames...),
+		Lookahead:       e.cfg.Lookahead,
+		NagleDelay:      e.cfg.NagleDelay,
+		NagleFlushCount: e.cfg.NagleFlushCount,
+		SearchBudget:    e.cfg.SearchBudget,
+		RdvThreshold:    e.cfg.RdvThreshold,
+		Bundle:          e.bundle.Name,
+	}
+}
+
+// RetuneEvent describes one runtime tuning change, delivered to the
+// engine's retune observer: which knob moved and how.
+type RetuneEvent struct {
+	At   simnet.Time
+	Knob string // "bundle", "lookahead", "nagle", "budget", "rdv-threshold"
+	Note string // human-readable "knob=value" rendering
+}
+
+// SetRetuneObserver installs fn to be called after every runtime tuning
+// change (SetBundle, SetLookahead, SetNagle, SetSearchBudget,
+// SetRdvThreshold). Pass nil to remove it. The observer runs outside the
+// engine lock and may call back into the engine.
+func (e *Engine) SetRetuneObserver(fn func(RetuneEvent)) {
+	e.mu.Lock()
+	e.retuneObs = fn
+	e.mu.Unlock()
+}
+
+// notifyRetune records the change on the trace and invokes the observer.
+// Call without holding e.mu.
+func (e *Engine) notifyRetune(ev RetuneEvent) {
+	e.rec.Record(trace.Event{At: ev.At, Kind: trace.KindPolicy, Node: e.node, Note: ev.Note})
+	e.mu.Lock()
+	obs := e.retuneObs
+	e.mu.Unlock()
+	if obs != nil {
+		obs(ev)
+	}
+}

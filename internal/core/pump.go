@@ -22,8 +22,9 @@ func (e *Engine) onIdle(ri, ch int) {
 		return
 	}
 	e.set.Counter("core.idle_upcalls").Inc()
+	e.ctr.idleUpcalls++
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindIdle, Node: e.node, A: ri, B: ch})
-	e.pumpLocked(ri, ch)
+	e.pumpLocked(ri, ch, true)
 	deliver, fns := e.takeDeliveriesLocked()
 	e.mu.Unlock()
 	e.dispatchDeliveries(deliver, fns)
@@ -55,6 +56,7 @@ func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
 	e.pendingDeliver = nil
 	fns := e.pendingFns
 	e.pendingFns = nil
+	e.ctr.delivered += uint64(len(d))
 	return d, fns
 }
 
@@ -116,7 +118,7 @@ func (e *Engine) pumpAll() {
 	for ri, r := range e.rails {
 		for ch := 0; ch < r.NumChannels(); ch++ {
 			if r.ChannelIdle(ch) {
-				e.pumpLocked(ri, ch)
+				e.pumpLocked(ri, ch, false)
 			}
 		}
 	}
@@ -133,7 +135,16 @@ func (e *Engine) railInfo(ri int) strategy.RailInfo {
 // work available. Priority: control frames, then alternating fairly
 // between the eager backlog and granted bulk. Returns whether a frame was
 // posted.
-func (e *Engine) pumpLocked(ri, ch int) bool {
+//
+// idleUpcall distinguishes a genuine NIC-idle activation from an
+// opportunistic pump (after a received frame, a policy switch, ...). An
+// armed Nagle delay holds the eager backlog against opportunistic pumps —
+// otherwise any unrelated inbound frame would defeat the artificial delay,
+// which for reaction-driven traffic (request-response) is every frame — but
+// never against a genuine idle upcall: per the paper, the moment a send
+// channel becomes free the optimizer runs with whatever accumulated.
+// Control and granted-bulk frames are never held.
+func (e *Engine) pumpLocked(ri, ch int, idleUpcall bool) bool {
 	r := e.rails[ri]
 	if !r.ChannelIdle(ch) {
 		return false
@@ -151,7 +162,8 @@ func (e *Engine) pumpLocked(ri, ch int) bool {
 		}
 	}
 
-	tryBacklog := func() bool { return e.pumpBacklogLocked(ri, ch) }
+	holdBacklog := e.nagleArmed && !idleUpcall
+	tryBacklog := func() bool { return !holdBacklog && e.pumpBacklogLocked(ri, ch) }
 	tryBulk := func() bool { return e.pumpBulkLocked(ri, ch) }
 	first, second := tryBacklog, tryBulk
 	if e.favorBulk {
@@ -212,6 +224,13 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 		panic(fmt.Sprintf("core: strategy %q produced an order-violating plan", e.bundle.Builder.Name()))
 	}
 	e.removeFromBacklogLocked(plan.Packets)
+	if len(e.backlog) == 0 && e.nagleArmed {
+		// The idle path drained everything the delay was holding; retire
+		// the timer silently (neither a fire nor an early flush — the
+		// packets left through a genuine idle upcall, so the delay was
+		// neither pure latency nor pressure-cut).
+		e.disarmNagleLocked()
+	}
 
 	f := &packet.Frame{Kind: packet.FrameData, Src: e.node, Dst: plan.Packets[0].Dst}
 	for _, p := range plan.Packets {
@@ -235,6 +254,7 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 	if len(plan.Packets) > 1 {
 		e.set.Counter("core.aggregates").Inc()
 		e.set.Counter("core.aggregated_packets").Add(uint64(len(plan.Packets)))
+		e.ctr.aggregates++
 	}
 	return true
 }
@@ -307,11 +327,14 @@ func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, 
 	}
 	e.set.Counter("core.frames_posted").Inc()
 	e.set.Counter(fmt.Sprintf("core.rail.%s.frames", e.rails[ri].Caps().Name)).Inc()
+	e.ctr.framesPosted++
+	e.railFrames[ri]++
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
 		A: ri, B: f.WireSize(), Note: f.Kind.String(),
 	})
 	if len(pkts) > 0 {
 		e.set.Counter("core.packets_sent").Add(uint64(len(pkts)))
+		e.ctr.packetsSent += uint64(len(pkts))
 	}
 }

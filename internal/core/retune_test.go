@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newmad/internal/caps"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+// TestRetuneUnderLiveTraffic hammers every runtime setter — the knobs the
+// adaptive controller drives — from a tuner goroutine while real-socket
+// traffic flows through the engine, under the race detector. The sweeps in
+// internal/exp only ever retune between runs; a controller retunes *during*
+// one, with idle upcalls arriving from sender goroutines and deliveries
+// from reader goroutines, so every setter must be safe against the hot
+// path. The test asserts no packet is lost or reordered regardless of how
+// the tuning churns mid-flight.
+func TestRetuneUnderLiveTraffic(t *testing.T) {
+	nodes, cleanup, err := drivers.NewLoopbackCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	rt := simnet.NewRealRuntime()
+	const flows = 4
+	const total = 400
+
+	var mu sync.Mutex
+	next := map[packet.FlowID]int{}
+	delivered := 0
+	done := make(chan struct{})
+	recv := func(d proto.Deliverable) {
+		mu.Lock()
+		defer mu.Unlock()
+		if d.Pkt.Seq != next[d.Pkt.Flow] {
+			t.Errorf("flow %d delivered seq %d, want %d", d.Pkt.Flow, d.Pkt.Seq, next[d.Pkt.Flow])
+		}
+		next[d.Pkt.Flow]++
+		delivered++
+		if delivered == total {
+			close(done)
+		}
+	}
+
+	mkEngine := func(n packet.NodeID, deliver proto.DeliverFunc) *Engine {
+		b, err := strategy.New("aggregate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(n, Options{
+			Bundle:  b,
+			Runtime: rt,
+			Rails:   []drivers.Driver{nodes[n]},
+			Deliver: deliver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	_ = mkEngine(1, recv)
+	sender := mkEngine(0, func(proto.Deliverable) {})
+
+	var retunes atomic.Int64
+	sender.SetRetuneObserver(func(RetuneEvent) { retunes.Add(1) })
+
+	// The tuner: churn every knob as fast as possible until the traffic
+	// completes, reading the metrics surface between writes exactly as a
+	// controller tick does.
+	stop := make(chan struct{})
+	var tunerWg sync.WaitGroup
+	tunerWg.Add(1)
+	go func() {
+		defer tunerWg.Done()
+		bundles := []string{"fifo", "aggregate", "search", "adaptive"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 6 {
+			case 0:
+				sender.SetNagle(simnet.Duration(i%3)*simnet.FromWall(50*time.Microsecond), i%8)
+			case 1:
+				sender.SetLookahead(i % 16)
+			case 2:
+				b, err := strategy.New(bundles[i%len(bundles)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := sender.SetBundle(b); err != nil {
+					t.Error(err)
+					return
+				}
+			case 3:
+				sender.SetSearchBudget(i % 32)
+			case 4:
+				sender.SetRdvThreshold((i % 4) << 12)
+			case 5:
+				m := sender.Metrics()
+				// Eager packets leave through backlog plans only, so the
+				// sent tally can never outrun submissions — regardless of
+				// how the threshold churn splits eager vs rendezvous.
+				if m.PacketsSent > m.Submitted {
+					t.Errorf("metrics inconsistent: %d packets sent of %d submitted", m.PacketsSent, m.Submitted)
+					return
+				}
+				_ = sender.BacklogLen()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for f := 1; f <= flows; f++ {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < total/flows; s++ {
+				p := &packet.Packet{
+					Flow: packet.FlowID(f), Msg: 1, Seq: s, Src: 0, Dst: 1,
+					Class: packet.ClassSmall, Payload: make([]byte, 64),
+				}
+				if err := sender.Submit(p); err != nil {
+					t.Error(err)
+					return
+				}
+				if s%16 == 0 {
+					sender.Flush()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Tuning may have parked the tail behind an artificial delay with a
+	// high flush count; keep flushing until everything lands.
+	flushTick := time.NewTicker(10 * time.Millisecond)
+	defer flushTick.Stop()
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case <-done:
+			close(stop)
+			tunerWg.Wait()
+			if retunes.Load() == 0 {
+				t.Fatal("retune observer saw no events")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for f := 1; f <= flows; f++ {
+				if next[packet.FlowID(f)] != total/flows {
+					t.Fatalf("flow %d incomplete: %d of %d", f, next[packet.FlowID(f)], total/flows)
+				}
+			}
+			return
+		case <-flushTick.C:
+			sender.SetNagle(0, 0)
+			sender.Flush()
+		case <-deadline:
+			close(stop)
+			tunerWg.Wait()
+			mu.Lock()
+			n := delivered
+			mu.Unlock()
+			t.Fatalf("timed out with %d/%d delivered", n, total)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"newmad/internal/caps"
@@ -45,6 +46,30 @@ func register(e Experiment) {
 		panic("exp: duplicate experiment " + e.ID)
 	}
 	registry[e.ID] = e
+}
+
+// Controller-driven experiments (E11, X3) report how many retune decisions
+// their controllers applied; madbench folds the counts into its
+// machine-readable output (madbench/v2).
+var (
+	decMu          sync.Mutex
+	decisionCounts = map[string]uint64{}
+)
+
+// reportDecisions records the controller decision count of one experiment
+// run, replacing any previous count for that ID.
+func reportDecisions(id string, n uint64) {
+	decMu.Lock()
+	decisionCounts[id] = n
+	decMu.Unlock()
+}
+
+// DecisionCount returns the controller decisions recorded by the last run
+// of the experiment (0 for experiments without controllers).
+func DecisionCount(id string) uint64 {
+	decMu.Lock()
+	defer decMu.Unlock()
+	return decisionCounts[id]
 }
 
 // Get returns the experiment with the given ID.

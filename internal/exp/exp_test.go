@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"newmad/internal/caps"
+	"newmad/internal/control"
 	"newmad/internal/simnet"
 	"newmad/internal/strategy"
 )
@@ -13,17 +14,17 @@ var quick = Config{Quick: true, Seed: 1}
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registered %d experiments, want 12 (E1..E10 + X1, X2)", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered %d experiments, want 14 (E1..E11 + X1, X2, X3)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Natural ordering: E1..E10, then the X-series addenda.
-	if all[0].ID != "E1" || all[9].ID != "E10" || all[10].ID != "X1" || all[11].ID != "X2" {
-		t.Fatalf("ordering: first=%s ninth=%s then=%s last=%s", all[0].ID, all[9].ID, all[10].ID, all[11].ID)
+	// Natural ordering: E1..E11, then the X-series addenda.
+	if all[0].ID != "E1" || all[10].ID != "E11" || all[11].ID != "X1" || all[13].ID != "X3" {
+		t.Fatalf("ordering: first=%s eleventh=%s then=%s last=%s", all[0].ID, all[10].ID, all[11].ID, all[13].ID)
 	}
 	if _, ok := Get("E1"); !ok {
 		t.Fatal("Get(E1) failed")
@@ -188,6 +189,85 @@ func TestE9ShapeConglomerateGains(t *testing.T) {
 	fifo, agg := E9Times(quick)
 	if agg >= fifo {
 		t.Fatalf("conglomerate: aggregate (%v) not faster than fifo (%v)", agg, fifo)
+	}
+}
+
+// TestE11ShapeControllerTracksPhases is the controller's acceptance
+// criterion: within 10% of the best static tuning on every phase of the
+// alternating workload, and strictly ahead of every static tuning
+// end-to-end — while actually retuning (a lucky static draw does not
+// count).
+func TestE11ShapeControllerTracksPhases(t *testing.T) {
+	results, err := E11All(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptive *E11Result
+	statics := map[string]E11Result{}
+	for i := range results {
+		if results[i].Name == "adaptive" {
+			adaptive = &results[i]
+		} else {
+			statics[results[i].Name] = results[i]
+		}
+	}
+	if adaptive == nil || len(statics) < 2 {
+		t.Fatalf("incomplete results: %+v", results)
+	}
+	if adaptive.Retunes == 0 {
+		t.Fatal("controller never retuned — the workload no longer alternates regimes")
+	}
+	for phase := range adaptive.PhaseTimes {
+		best := simnet.Duration(1 << 62)
+		bestName := ""
+		for name, s := range statics {
+			if s.PhaseTimes[phase] < best {
+				best, bestName = s.PhaseTimes[phase], name
+			}
+		}
+		got := adaptive.PhaseTimes[phase]
+		if float64(got) > 1.10*float64(best) {
+			t.Errorf("phase %d: adaptive %v exceeds best static (%s, %v) by more than 10%%",
+				phase, got, bestName, best)
+		}
+	}
+	for name, s := range statics {
+		if adaptive.Total >= s.Total {
+			t.Errorf("end-to-end: adaptive %v does not beat static %s %v",
+				adaptive.Total, name, s.Total)
+		}
+	}
+}
+
+// TestX3ShapeControllerLiveOnMesh asserts the wall-clock property: the
+// controller issues at least one retune on real-socket telemetry, the
+// dense phase drives it into the throughput regime at some point, and it
+// never fires two retunes within one cooldown window. (The *final* mode is
+// deliberately unasserted: once the dense stream drains, flipping back to
+// latency is correct behaviour whose timing depends on the host.)
+func TestX3ShapeControllerLiveOnMesh(t *testing.T) {
+	res, err := X3Mesh(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("controller issued no retune decisions on the live mesh")
+	}
+	sawThroughput := false
+	for _, d := range res.Decisions {
+		if control.Mode(d.To) == control.ModeThroughput {
+			sawThroughput = true
+		}
+	}
+	if !sawThroughput {
+		t.Errorf("dense phase never drove the controller to throughput (decisions: %v)", res.Decisions)
+	}
+	for i := 1; i < len(res.Decisions); i++ {
+		gap := simnet.ToWall(res.Decisions[i].At.Sub(res.Decisions[i-1].At))
+		if gap < res.Cooldown {
+			t.Errorf("decisions %d and %d only %v apart, cooldown is %v",
+				i-1, i, gap, res.Cooldown)
+		}
 	}
 }
 

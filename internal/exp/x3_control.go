@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"newmad/internal/cluster"
+	"newmad/internal/control"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+)
+
+// X3 — controller addendum (not a claim of the paper; added with
+// internal/control).
+//
+// E11 proves the closed loop in virtual time, where telemetry is exact and
+// sampling is free. X3 runs the same controller live: real TCP mesh
+// sockets, wall-clock sampling through the same Runtime abstraction, idle
+// and receive upcalls arriving from transport goroutines. The property
+// under test is that the loop's *decisions* carry over — a sparse phase
+// reads as the latency regime, a dense phase flips it to throughput, and
+// the hysteresis/cooldown damping bounds the retune frequency on noisy
+// wall-clock telemetry exactly as it does on the model.
+
+func init() {
+	register(Experiment{
+		ID:    "X3",
+		Title: "controller addendum: closed-loop retuning live on the TCP mesh",
+		Claim: "reproduction brief: the adaptive controller's decisions fire on wall-clock telemetry over real sockets, damped by hysteresis and cooldown (not in the paper)",
+		Run:   runX3,
+	})
+}
+
+// X3Result is the wall-clock controller run's outcome.
+type X3Result struct {
+	// Sparse/Dense are the wall durations of the two phases.
+	Sparse, Dense time.Duration
+	// SparseMsgs/DenseMsgs count the messages of each phase.
+	SparseMsgs, DenseMsgs int
+	// Decisions is the controller's applied-retune log.
+	Decisions []control.Decision
+	// SparseEndAt is the phase boundary on the runtime clock — the same
+	// clock decision timestamps use, so decisions attribute to phases
+	// without wall/runtime origin skew.
+	SparseEndAt simnet.Time
+	// Cooldown echoes the configured damping window.
+	Cooldown time.Duration
+	// FinalMode is the regime in effect at the end.
+	FinalMode control.Mode
+}
+
+func x3Shape(cfg Config) (sparseMsgs int, sparseGap time.Duration, denseMsgs int) {
+	if cfg.Quick {
+		return 60, 2 * time.Millisecond, 8000
+	}
+	return 150, 2 * time.Millisecond, 30000
+}
+
+// X3Mesh boots a 2-node mesh cluster, attaches a controller to node 0's
+// engine, and drives a sparse phase then a dense phase through it.
+func X3Mesh(cfg Config) (X3Result, error) {
+	sparseMsgs, sparseGap, denseMsgs := x3Shape(cfg)
+	total := sparseMsgs + denseMsgs
+
+	var delivered atomic.Int64
+	done := make(chan struct{}, 1)
+	c, err := cluster.New(cluster.Options{
+		Nodes: 2,
+		Raw:   true,
+		OnDeliver: func(packet.NodeID, proto.Deliverable) {
+			if delivered.Add(1) == int64(total) {
+				done <- struct{}{}
+			}
+		},
+	})
+	if err != nil {
+		return X3Result{}, err
+	}
+	defer c.Close()
+
+	cooldown := 60 * time.Millisecond
+	ctl, err := control.New(control.Options{
+		Engine:   c.Engine(0),
+		Runtime:  c.Runtime,
+		Interval: simnet.FromWall(5 * time.Millisecond),
+		HalfLife: simnet.FromWall(20 * time.Millisecond),
+		Confirm:  2,
+		Cooldown: simnet.FromWall(cooldown),
+		HiRate:   20e3,
+		LoRate:   2e3,
+	})
+	if err != nil {
+		return X3Result{}, err
+	}
+	if err := ctl.Start(); err != nil {
+		return X3Result{}, err
+	}
+	defer ctl.Stop()
+
+	res := X3Result{Cooldown: cooldown, SparseMsgs: sparseMsgs, DenseMsgs: denseMsgs}
+	eng := c.Engine(0)
+	mk := func(flow packet.FlowID, seq, size int) *packet.Packet {
+		return &packet.Packet{
+			Flow: flow, Msg: packet.MsgID(seq), Seq: seq, Last: true,
+			Src: 0, Dst: 1, Class: packet.ClassSmall,
+			Payload: make([]byte, size),
+		}
+	}
+
+	// Sparse phase: one small message per gap — hundreds per second, well
+	// under LoRate: the loop must settle on the latency tuning.
+	start := time.Now()
+	for q := 0; q < sparseMsgs; q++ {
+		if err := eng.Submit(mk(1, q, 64)); err != nil {
+			return X3Result{}, err
+		}
+		eng.Flush()
+		time.Sleep(sparseGap)
+	}
+	res.Sparse = time.Since(start)
+	res.SparseEndAt = c.Runtime.Now()
+
+	// Dense phase: a back-to-back stream — tens of thousands per second,
+	// beyond HiRate: the loop must flip to the throughput tuning.
+	start = time.Now()
+	for q := 0; q < denseMsgs; q++ {
+		if err := eng.Submit(mk(2, q, 256)); err != nil {
+			return X3Result{}, err
+		}
+	}
+	eng.Flush()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return X3Result{}, fmt.Errorf("exp: X3 incomplete, %d of %d delivered", delivered.Load(), total)
+	}
+	res.Dense = time.Since(start)
+
+	// Stop before snapshotting (idempotent with the deferred Stop): the
+	// decision log and the final mode must describe the same instant, not
+	// race a still-ticking loop.
+	ctl.Stop()
+	res.Decisions = ctl.Decisions()
+	res.FinalMode = ctl.Mode()
+	return res, nil
+}
+
+func runX3(cfg Config) []*stats.Table {
+	res, err := X3Mesh(cfg)
+	if err != nil {
+		panic(err)
+	}
+	t := stats.NewTable("X3 — adaptive controller live on 2-node TCP mesh sockets",
+		"phase", "msgs", "wall(ms)", "regime decisions")
+	t.Caption = fmt.Sprintf("retunes damped to at most one per %v cooldown; final mode %q", res.Cooldown, res.FinalMode)
+	decs := func(lo, hi simnet.Time) string {
+		out := ""
+		for _, d := range res.Decisions {
+			if d.At < lo || d.At >= hi {
+				continue
+			}
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s→%s@%dms", d.From, d.To,
+				simnet.ToWall(simnet.Duration(d.At)).Milliseconds())
+		}
+		if out == "" {
+			return "-"
+		}
+		return out
+	}
+	t.AddRow("sparse", fmt.Sprintf("%d", res.SparseMsgs),
+		stats.FormatFloat(float64(res.Sparse.Microseconds())/1e3), decs(0, res.SparseEndAt))
+	t.AddRow("dense", fmt.Sprintf("%d", res.DenseMsgs),
+		stats.FormatFloat(float64(res.Dense.Microseconds())/1e3), decs(res.SparseEndAt, simnet.Infinity))
+	reportDecisions("X3", uint64(len(res.Decisions)))
+	return []*stats.Table{t}
+}

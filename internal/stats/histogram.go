@@ -108,6 +108,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.Max()
 	}
+	if h.count == 1 || h.min == h.max {
+		// One sample, or a degenerate distribution collapsed into a single
+		// value: every quantile is that value, whichever bucket it fell in.
+		return h.min
+	}
 	if !h.overflow {
 		s := append([]float64(nil), h.samples...)
 		sort.Float64s(s)
@@ -120,7 +125,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 		frac := idx - float64(lo)
 		return s[lo]*(1-frac) + s[hi]*frac
 	}
-	// Bucket interpolation.
+	// Bucket interpolation. The interpolated point is clamped to the exact
+	// [Min, Max] envelope: log buckets are wider than the data they hold, so
+	// raw interpolation can otherwise report a quantile outside the range of
+	// any recorded sample (acute for single-bucket distributions, where every
+	// quantile must collapse toward the one occupied bucket's samples).
 	target := q * float64(h.count)
 	idxs := make([]int, 0, len(h.buckets))
 	for b := range h.buckets {
@@ -133,11 +142,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum+n >= target {
 			lo, hi := bucketBounds(b)
 			frac := (target - cum) / n
-			return lo + frac*(hi-lo)
+			return h.clamp(lo + frac*(hi-lo))
 		}
 		cum += n
 	}
 	return h.Max()
+}
+
+// clamp bounds an interpolated quantile to the exact sample envelope.
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
 }
 
 func bucketBounds(b int) (lo, hi float64) {

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The controller (internal/control) reads p99s off engine histograms, which
+// makes the quantile edge paths load-bearing: empty histograms, single
+// samples, degenerate single-bucket distributions, and the overflowed
+// bucket-interpolation fallback must all stay inside the sample envelope.
+func TestQuantileEdgeCases(t *testing.T) {
+	overflowWith := func(vals ...float64) *Histogram {
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Add(v)
+		}
+		// Push past the reservoir so Quantile takes the bucket path.
+		for h.Count() <= reservoirCap {
+			h.Add(vals[int(h.Count())%len(vals)])
+		}
+		return h
+	}
+
+	cases := []struct {
+		name string
+		hist *Histogram
+		q    float64
+		want float64
+	}{
+		{"empty p0", &Histogram{}, 0, 0},
+		{"empty p50", &Histogram{}, 0.5, 0},
+		{"empty p99", &Histogram{}, 0.99, 0},
+		{"empty p100", &Histogram{}, 1, 0},
+
+		{"single sample p0", addAll(7), 0, 7},
+		{"single sample p50", addAll(7), 0.5, 7},
+		{"single sample p99", addAll(7), 0.99, 7},
+		{"single sample p100", addAll(7), 1, 7},
+
+		{"two samples p0", addAll(10, 20), 0, 10},
+		{"two samples p50", addAll(10, 20), 0.5, 15},
+		{"two samples p100", addAll(10, 20), 1, 20},
+
+		{"constant samples p50", addAll(100, 100, 100), 0.5, 100},
+		{"constant samples p99", addAll(100, 100, 100), 0.99, 100},
+
+		{"negative q clamps to min", addAll(3, 9), -1, 3},
+		{"q beyond 1 clamps to max", addAll(3, 9), 2, 9},
+
+		// Overflowed, single-bucket: every sample is 100 (bucket [64,128)).
+		// Raw interpolation would report ~96 at p50; the envelope clamp must
+		// collapse every quantile to 100.
+		{"overflow single value p1", overflowWith(100), 0.01, 100},
+		{"overflow single value p50", overflowWith(100), 0.5, 100},
+		{"overflow single value p99", overflowWith(100), 0.99, 100},
+
+		// Overflowed, one occupied bucket, two distinct values 96 and 100:
+		// quantiles must stay within [96, 100].
+		{"overflow narrow bucket p50", overflowWith(96, 100), 0.5, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.hist.Quantile(tc.q)
+			if tc.want >= 0 {
+				if got != tc.want {
+					t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+				}
+				return
+			}
+			// Envelope-only assertion.
+			if got < tc.hist.Min() || got > tc.hist.Max() {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]",
+					tc.q, got, tc.hist.Min(), tc.hist.Max())
+			}
+		})
+	}
+}
+
+func addAll(vals ...float64) *Histogram {
+	h := &Histogram{}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h
+}
+
+// TestQuantileOverflowEnvelope fuzzes the bucket-interpolation path: for an
+// overflowed two-band distribution, every quantile must lie within the exact
+// sample envelope and be monotone in q.
+func TestQuantileOverflowEnvelope(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i <= reservoirCap; i++ {
+		if i%2 == 0 {
+			h.Add(10)
+		} else {
+			h.Add(1000)
+		}
+	}
+	if !h.overflow {
+		t.Fatal("expected overflow")
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%.2f) = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+		}
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
