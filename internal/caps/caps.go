@@ -85,6 +85,18 @@ type Caps struct {
 	// Channels is the number of independent virtualized send units the NIC
 	// exposes (the "network multiplexing units" the paper pools together).
 	Channels int
+
+	// --- Wire emulation ----------------------------------------------------
+
+	// EmulateWire asks real-socket drivers to enforce this record's wire
+	// model: each posted frame occupies its send unit for
+	// (size+PacketHeader)/Bandwidth of wall-clock time, shared across the
+	// rail like a NIC's serialization pipe. A plain TCP rail then
+	// reproduces the bandwidth class of the technology it stands in for,
+	// which is what makes heterogeneous multi-rail scenarios expressible
+	// on localhost sockets (exp X4). Profiles without the flag run at host
+	// speed; simulated drivers ignore it (they always model the wire).
+	EmulateWire bool
 }
 
 // Validate reports the first inconsistency in the capability record.
@@ -132,6 +144,27 @@ func (c Caps) SendCost(n int) simnet.Duration {
 	d += simnet.BandwidthTime(total, c.Bandwidth)
 	d += c.WireLatency + c.RecvOverhead
 	return d
+}
+
+// Rail derives the capability record for rail k of a multi-rail node: the
+// same limits and costs under a distinct name ("tcp.r0", "tcp.r1", ...), so
+// several rails built from one base profile stay individually addressable —
+// drivers require distinct rail names and per-rail statistics are keyed by
+// profile name.
+func (c Caps) Rail(k int) Caps {
+	c.Name = fmt.Sprintf("%s.r%d", c.Name, k)
+	return c
+}
+
+// RailProfiles derives n uniquely named per-rail variants of base — the
+// homogeneous multi-rail case (n identical NICs). Heterogeneous nodes build
+// their profile list by hand from distinct base profiles instead.
+func RailProfiles(base Caps, n int) []Caps {
+	out := make([]Caps, n)
+	for i := range out {
+		out[i] = base.Rail(i)
+	}
+	return out
 }
 
 // String renders a single-line summary.

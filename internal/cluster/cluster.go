@@ -2,17 +2,21 @@
 // the wall-clock counterpart of the simulated rigs in internal/exp.
 //
 // Where drivers.NewCluster assembles simulated NICs on a discrete-event
-// engine, cluster.New assembles one drivers.Mesh endpoint, one core.Engine
-// and one mad.Session per node on a shared wall-clock runtime, with every
-// pair of nodes connected over genuine TCP. The result is the paper's full
-// Figure-1 stack — collect layer, optimizing scheduler, transfer layer —
-// replicated N ways over an actual transport, which is what multi-node
-// examples (examples/mesh), wall-clock experiments (exp X2) and failure
-// tests drive.
+// engine, cluster.New assembles one or more drivers.Mesh rail endpoints,
+// one core.Engine and one mad.Session per node on a shared wall-clock
+// runtime, with every pair of nodes connected over genuine TCP — one
+// connection per rail. The result is the paper's full Figure-1 stack —
+// collect layer, optimizing scheduler, transfer layer — replicated N ways
+// over an actual transport, which is what multi-node examples
+// (examples/mesh), wall-clock experiments (exp X2–X4) and failure tests
+// drive. Multi-rail nodes (Options.Rails) give each engine several
+// independent TCP rails per peer, each with its own capability record, so
+// heterogeneous-NIC scheduling runs over real sockets.
 package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"newmad/internal/caps"
 	"newmad/internal/core"
@@ -30,13 +34,28 @@ type Options struct {
 	// Nodes is the cluster size (>= 2).
 	Nodes int
 	// Caps is the capability profile every endpoint advertises to the
-	// optimizer; default caps.TCP (the kernel-TCP profile).
+	// optimizer; default caps.TCP (the kernel-TCP profile). Ignored when
+	// Rails is set.
 	Caps caps.Caps
+	// Rails optionally gives the per-node rail profiles: every node runs
+	// one mesh endpoint (one TCP connection per peer) per profile, and its
+	// engine schedules over all of them. Profile names must be distinct
+	// (caps.RailProfiles derives uniquely named variants of one base).
+	// Empty means a single rail of Caps.
+	Rails []caps.Caps
+	// RailPolicy overrides the bundle's rail policy on every engine —
+	// typically strategy.NewScheduledRail over the (sorted) rail profiles
+	// for capability-aware striping. The instance is shared by every
+	// engine, so it must be safe for concurrent use (ScheduledRail is);
+	// nil keeps the bundle's own policy.
+	RailPolicy strategy.RailPolicy
 	// Bundle names the strategy bundle each engine runs; default
 	// "aggregate" (the paper's optimizing configuration).
 	Bundle string
 	// Listen optionally gives one TCP listen address per node (to span
 	// real machines or pin ports). Default: "127.0.0.1:0" everywhere.
+	// Only supported for single-rail clusters; multi-rail nodes listen on
+	// one ephemeral port per rail.
 	Listen []string
 
 	// Engine tuning, passed through to core.Options.
@@ -55,10 +74,14 @@ type Options struct {
 	Raw bool
 }
 
-// Node is one member of the cluster: its transport endpoint, its optimizer,
-// its packing session, and its private metric set.
+// Node is one member of the cluster: its transport endpoints (one per
+// rail), its optimizer, its packing session, and its private metric set.
 type Node struct {
-	Driver  *drivers.Mesh
+	// Driver is the primary (first) rail — the whole transport of a
+	// single-rail node.
+	Driver *drivers.Mesh
+	// Rails holds every rail endpoint, in the engine's rail order.
+	Rails   []*drivers.Mesh
 	Engine  *core.Engine
 	Session *mad.Session
 	Stats   *stats.Set
@@ -70,22 +93,47 @@ type Cluster struct {
 	Nodes   []*Node
 }
 
-// New boots the cluster: every node listens, dials every peer, and runs its
-// own engine and session against the shared wall-clock runtime. On error,
-// everything already started is torn down.
+// RailCaps returns the rail capability profiles a cluster built from o will
+// run, in the engine's rail order. Use it to build a matching
+// strategy.NewScheduledRail.
+//
+// core.New sorts a node's rails by Driver.Name(), which for mesh rails is
+// "mesh:<profile>@n<id>" — so the sort key here must be the profile name
+// *as embedded in that string*, i.e. followed by '@'. Sorting bare names
+// would diverge whenever one profile name is a strict prefix of another
+// ("net" vs "net2": '@' > '2', so the engine orders net2 first), and a
+// mis-indexed rail table would pin control traffic to the wrong rail.
+func (o Options) RailCaps() []caps.Caps {
+	profiles := o.Rails
+	if len(profiles) == 0 {
+		c := o.Caps
+		if c.Name == "" {
+			c = caps.TCP
+		}
+		profiles = []caps.Caps{c}
+	}
+	out := append([]caps.Caps(nil), profiles...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name+"@" < out[j].Name+"@" })
+	return out
+}
+
+// New boots the cluster: every node listens (once per rail), dials every
+// peer, and runs its own engine and session against the shared wall-clock
+// runtime. On error, everything already started is torn down.
 func New(o Options) (*Cluster, error) {
 	if o.Nodes < 2 {
 		return nil, fmt.Errorf("cluster: need at least 2 nodes, got %d", o.Nodes)
 	}
-	if o.Caps.Name == "" {
-		o.Caps = caps.TCP
-	}
 	if o.Bundle == "" {
 		o.Bundle = "aggregate"
+	}
+	if o.Listen != nil && len(o.Rails) > 1 {
+		return nil, fmt.Errorf("cluster: explicit listen addresses are only supported for single-rail clusters")
 	}
 	if o.Listen != nil && len(o.Listen) != o.Nodes {
 		return nil, fmt.Errorf("cluster: %d listen addresses for %d nodes", len(o.Listen), o.Nodes)
 	}
+	profiles := o.RailCaps()
 
 	c := &Cluster{Runtime: simnet.NewRealRuntime()}
 	fail := func(err error) (*Cluster, error) {
@@ -93,28 +141,29 @@ func New(o Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Transport first: all listeners up, then the full dial mesh, so no
-	// engine ever sees a partially connected fabric.
-	meshes := make([]*drivers.Mesh, o.Nodes)
-	for i := range meshes {
-		addr := "127.0.0.1:0"
+	// Transport first: all listeners up, then the full dial mesh (every
+	// rail separately), so no engine ever sees a partially connected
+	// fabric.
+	for i := 0; i < o.Nodes; i++ {
+		var listen []string
 		if o.Listen != nil {
-			addr = o.Listen[i]
+			listen = []string{o.Listen[i]}
 		}
-		m, err := drivers.NewMesh(packet.NodeID(i), o.Caps, addr)
+		rails, err := drivers.NewMeshRails(packet.NodeID(i), profiles, listen)
 		if err != nil {
 			return fail(err)
 		}
-		meshes[i] = m
-		c.Nodes = append(c.Nodes, &Node{Driver: m, Stats: &stats.Set{}})
+		c.Nodes = append(c.Nodes, &Node{Driver: rails[0], Rails: rails, Stats: &stats.Set{}})
 	}
-	for i, a := range meshes {
-		for j, b := range meshes {
-			if i == j {
-				continue
-			}
-			if err := a.Dial(b.Node(), b.Addr()); err != nil {
-				return fail(err)
+	for r := range profiles {
+		for i, a := range c.Nodes {
+			for j, b := range c.Nodes {
+				if i == j {
+					continue
+				}
+				if err := a.Rails[r].Dial(b.Rails[r].Node(), b.Rails[r].Addr()); err != nil {
+					return fail(err)
+				}
 			}
 		}
 	}
@@ -126,6 +175,9 @@ func New(o Options) (*Cluster, error) {
 		b, err := strategy.New(o.Bundle)
 		if err != nil {
 			return fail(err)
+		}
+		if o.RailPolicy != nil {
+			b.Rail = o.RailPolicy
 		}
 		n := n
 		sess, err := mad.Bind(node, func(deliver proto.DeliverFunc) (*core.Engine, error) {
@@ -140,10 +192,14 @@ func New(o Options) (*Cluster, error) {
 					}
 				}
 			}
+			rails := make([]drivers.Driver, len(n.Rails))
+			for k, m := range n.Rails {
+				rails[k] = m
+			}
 			return core.New(node, core.Options{
 				Bundle:          b,
 				Runtime:         c.Runtime,
-				Rails:           []drivers.Driver{n.Driver},
+				Rails:           rails,
 				Deliver:         wrapped,
 				Lookahead:       o.Lookahead,
 				NagleDelay:      o.NagleDelay,
@@ -179,8 +235,8 @@ func (c *Cluster) Close() {
 		}
 	}
 	for _, n := range c.Nodes {
-		if n.Driver != nil {
-			n.Driver.Close()
+		for _, r := range n.Rails {
+			r.Close()
 		}
 	}
 }

@@ -393,6 +393,18 @@ func Apply(eng *core.Engine, t strategy.Tuning) error {
 	if err != nil {
 		return fmt.Errorf("control: tuning %q: %w", t.Name, err)
 	}
+	// The rail policy is topology-bound, not regime-bound: a multi-rail
+	// node's scheduler (e.g. strategy.ScheduledRail) is built from the
+	// node's physical rail records, which no registry bundle knows about.
+	// Preserve a weight-tunable rail policy across the bundle swap —
+	// otherwise the first retune would silently evict the scheduler for
+	// the registry default and every subsequent SetRailWeights would be a
+	// no-op.
+	if cur := eng.Bundle().Rail; cur != nil {
+		if _, tunable := cur.(strategy.RailWeightSetter); tunable {
+			b.Rail = cur
+		}
+	}
 	if err := eng.SetBundle(b); err != nil {
 		return fmt.Errorf("control: tuning %q: %w", t.Name, err)
 	}
@@ -400,6 +412,9 @@ func Apply(eng *core.Engine, t strategy.Tuning) error {
 	eng.SetNagle(t.NagleDelay, t.NagleFlushCount)
 	eng.SetSearchBudget(t.SearchBudget)
 	eng.SetRdvThreshold(t.RdvThreshold)
+	if len(t.RailWeights) > 0 {
+		eng.SetRailWeights(t.RailWeights)
+	}
 	return nil
 }
 

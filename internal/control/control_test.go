@@ -48,6 +48,49 @@ func simPair(t *testing.T) (*drivers.Cluster, *core.Engine) {
 	return cl, engines[0]
 }
 
+// TestApplyPreservesTunableRailPolicy pins the topology/regime split: a
+// weight-tunable rail policy (the multi-rail scheduler, built from the
+// node's physical rail records) must survive Apply's bundle swap, so that
+// the tuning's RailWeights land on it instead of on the registry bundle's
+// default policy — which knows nothing of the node's rails and has no
+// weight knob.
+func TestApplyPreservesTunableRailPolicy(t *testing.T) {
+	_, eng := simPair(t)
+	sched := strategy.NewScheduledRail([]caps.Caps{caps.MX})
+	b := eng.Bundle()
+	b.Rail = sched
+	if err := eng.SetBundle(b); err != nil {
+		t.Fatal(err)
+	}
+	tune, err := strategy.TuningByName("throughput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune.RailWeights = []float64{7}
+	if err := Apply(eng, tune); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Bundle().Rail; got != strategy.RailPolicy(sched) {
+		t.Fatalf("bundle swap evicted the rail scheduler: now %T", got)
+	}
+	if w := sched.Weights(); len(w) != 1 || w[0] != 7 {
+		t.Fatalf("tuning's rail weights not applied: %v", w)
+	}
+	// A weight-free policy is left alone: the registry bundle's own rail
+	// policy takes over as before.
+	b = eng.Bundle()
+	b.Rail = strategy.PinnedRail{}
+	if err := eng.SetBundle(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(eng, tune); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := eng.Bundle().Rail.(strategy.RailWeightSetter); still {
+		t.Fatal("weight-free policy unexpectedly replaced by a tunable one")
+	}
+}
+
 func TestControllerOptionDefaultsAndValidation(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Fatal("New without engine should fail")

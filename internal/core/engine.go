@@ -314,6 +314,28 @@ func (e *Engine) SetRdvThreshold(n int) {
 	}
 }
 
+// SetRailWeights adjusts the per-rail scheduling weights at runtime, when
+// the bundle's rail policy supports it (strategy.RailWeightSetter — e.g.
+// the capability-aware ScheduledRail). Reports whether the weights were
+// applied; a bundle with a weight-free rail policy ignores the knob.
+// SetBundle replaces the rail policy, so weights are re-applied by whoever
+// switches bundles (the controller does this through its tunings).
+func (e *Engine) SetRailWeights(w []float64) bool {
+	e.mu.Lock()
+	rs, ok := e.bundle.Rail.(strategy.RailWeightSetter)
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	rs.SetWeights(w)
+	e.set.Counter("core.rail_retunes").Inc()
+	e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "rail-weights", Note: fmt.Sprintf("rail-weights=%v", w)})
+	// Re-pump: packets held ineligible under the old weights may have a
+	// rail now.
+	e.pumpAll()
+	return true
+}
+
 // Submit enqueues one packet from the collect layer and returns
 // immediately. Packets of one flow must be submitted with consecutive Seq
 // values starting at zero; the mad layer guarantees this.

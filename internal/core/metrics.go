@@ -102,13 +102,13 @@ func (e *Engine) Metrics() Metrics {
 // engine's retune observer: which knob moved and how.
 type RetuneEvent struct {
 	At   simnet.Time
-	Knob string // "bundle", "lookahead", "nagle", "budget", "rdv-threshold"
+	Knob string // "bundle", "lookahead", "nagle", "budget", "rdv-threshold", "rail-weights"
 	Note string // human-readable "knob=value" rendering
 }
 
 // SetRetuneObserver installs fn to be called after every runtime tuning
 // change (SetBundle, SetLookahead, SetNagle, SetSearchBudget,
-// SetRdvThreshold). Pass nil to remove it. The observer runs outside the
+// SetRdvThreshold, SetRailWeights). Pass nil to remove it. The observer runs outside the
 // engine lock and may call back into the engine.
 func (e *Engine) SetRetuneObserver(fn func(RetuneEvent)) {
 	e.mu.Lock()

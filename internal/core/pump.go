@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"newmad/internal/drivers"
 	"newmad/internal/packet"
 	"newmad/internal/proto"
 	"newmad/internal/simnet"
@@ -189,7 +191,12 @@ func (e *Engine) pumpBulkLocked(ri, ch int) bool {
 		if !e.bundle.Classes.Allowed(class, ch, numCh) {
 			continue
 		}
-		if !e.bundle.Rail.Eligible(&packet.Packet{Class: class, Flow: f.Ctrl.Flow}, info) {
+		// The probe carries the transfer's full identity (flow, msg,
+		// fragment seq) so striping rail policies can spread distinct bulk
+		// transfers across rails while keeping each transfer's placement
+		// stable.
+		probe := &packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
+		if !e.bundle.Rail.Eligible(probe, info) {
 			continue
 		}
 		e.bulkQ = append(e.bulkQ[:i], e.bulkQ[i+1:]...)
@@ -321,8 +328,22 @@ func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
 // channel state diverged from the driver's, which is a bug worth crashing
 // on in the simulator. Under the loopback driver a race between FirstIdle
 // and a concurrent Post is impossible because all posts happen under e.mu.
+//
+// ErrPeerDown is the exception: real transports lose peers at any moment,
+// and the contract is that a dead destination releases rather than wedges.
+// The frame is dropped and surfaced (counter + trace event); recovery —
+// re-dialing the peer, re-sending at the application layer — belongs
+// above the engine.
 func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
 	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
+		if errors.Is(err, drivers.ErrPeerDown) {
+			e.set.Counter("core.peer_down_drops").Inc()
+			e.rec.Record(trace.Event{
+				At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
+				A: ri, B: f.WireSize(), Note: "drop:peer-down",
+			})
+			return
+		}
 		panic(fmt.Sprintf("core: post on %s ch%d failed: %v", e.rails[ri].Name(), ch, err))
 	}
 	e.set.Counter("core.frames_posted").Inc()

@@ -1,6 +1,7 @@
 package drivers
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -102,12 +103,55 @@ func TestSimDriverRoundTrip(t *testing.T) {
 // wall-clock driver kind.
 type wallTransport struct {
 	name string
-	make func(n int, c caps.Caps) ([]Driver, func(), error)
+	// capsName is the profile name the transport's Caps() must report;
+	// channels the expected NumChannels() when built from caps.TCP.
+	capsName string
+	channels int
+	make     func(n int, c caps.Caps) ([]Driver, func(), error)
+	// railOf maps a channel index to the rail (independent FIFO pipe) it
+	// belongs to; single-connection transports map everything to rail 0.
+	railOf func(d Driver, ch int) int
+}
+
+func oneRail(Driver, int) int { return 0 }
+
+// perChannel is the FIFO granularity of Loopback: each channel has its own
+// sender goroutine, and the channels share the destination connection
+// under a write lock, so only frames of the same channel are ordered.
+func perChannel(_ Driver, ch int) int { return ch }
+
+// multiRailTransport builds the conformance adapter for an R-rail mesh:
+// each node is one MultiRail bundling R mesh endpoints derived from the
+// base profile.
+func multiRailTransport(rails int) wallTransport {
+	return wallTransport{
+		name:     fmt.Sprintf("mesh-%drail", rails),
+		capsName: "tcp.r0",
+		channels: rails * caps.TCP.Channels,
+		make: func(n int, c caps.Caps) ([]Driver, func(), error) {
+			nodes, cleanup, err := NewMultiRailMeshCluster(n, caps.RailProfiles(c, rails))
+			if err != nil {
+				return nil, nil, err
+			}
+			ds := make([]Driver, len(nodes))
+			for i, m := range nodes {
+				ds[i] = m
+			}
+			return ds, cleanup, nil
+		},
+		railOf: func(d Driver, ch int) int {
+			ri, _, err := d.(*MultiRail).RailOf(ch)
+			if err != nil {
+				panic(err)
+			}
+			return ri
+		},
+	}
 }
 
 func wallTransports() []wallTransport {
 	return []wallTransport{
-		{"loopback", func(n int, c caps.Caps) ([]Driver, func(), error) {
+		{"loopback", "tcp", caps.TCP.Channels, func(n int, c caps.Caps) ([]Driver, func(), error) {
 			nodes, cleanup, err := NewLoopbackCluster(n, c)
 			if err != nil {
 				return nil, nil, err
@@ -117,8 +161,8 @@ func wallTransports() []wallTransport {
 				ds[i] = m
 			}
 			return ds, cleanup, nil
-		}},
-		{"mesh", func(n int, c caps.Caps) ([]Driver, func(), error) {
+		}, perChannel},
+		{"mesh", "tcp", caps.TCP.Channels, func(n int, c caps.Caps) ([]Driver, func(), error) {
 			nodes, cleanup, err := NewMeshCluster(n, c)
 			if err != nil {
 				return nil, nil, err
@@ -128,7 +172,10 @@ func wallTransports() []wallTransport {
 				ds[i] = m
 			}
 			return ds, cleanup, nil
-		}},
+		}, oneRail},
+		multiRailTransport(1),
+		multiRailTransport(2),
+		multiRailTransport(4),
 	}
 }
 
@@ -255,10 +302,10 @@ func TestWallDriverErrors(t *testing.T) {
 		if err := n0.Post(0, simpleFrame(0, 7, 8), 0); err == nil {
 			t.Fatal("unconnected destination accepted")
 		}
-		if n0.NumChannels() != caps.TCP.Channels {
-			t.Fatalf("channels = %d", n0.NumChannels())
+		if n0.NumChannels() != tr.channels {
+			t.Fatalf("channels = %d, want %d", n0.NumChannels(), tr.channels)
 		}
-		if n0.Node() != 0 || n0.Caps().Name != "tcp" || n0.Name() == "" {
+		if n0.Node() != 0 || n0.Caps().Name != tr.capsName || n0.Name() == "" {
 			t.Fatal("identity accessors broken")
 		}
 	})
@@ -279,6 +326,100 @@ func TestWallDriverCloseIdempotentAndPostAfterClose(t *testing.T) {
 		}
 		if err := nodes[0].Post(0, simpleFrame(0, 1, 8), 0); err == nil {
 			t.Fatal("post after close accepted")
+		}
+	})
+}
+
+// TestWallDriverFlowOrderAcrossRails pins down the ordering contract when
+// one flow stripes across send units: frames that travel the same rail
+// (the same underlying connection) arrive in post order — TCP FIFO per
+// rail — while frames on different rails may race, which is why every
+// frame carries its sequence number and reassembly happens above the
+// driver. The test posts one flow round-robin over every channel of every
+// rail and verifies (a) nothing is lost or duplicated and (b) per-rail
+// arrival order equals per-rail post order.
+func TestWallDriverFlowOrderAcrossRails(t *testing.T) {
+	forEachWallTransport(t, func(t *testing.T, tr wallTransport) {
+		nodes, cleanup, err := tr.make(2, caps.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+
+		const frames = 96
+		numCh := nodes[0].NumChannels()
+
+		type arrival struct{ rail, seq int }
+		var mu sync.Mutex
+		var got []arrival
+		nodes[1].SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+			if len(f.Entries) != 1 || len(f.Entries[0].Payload) < 8 {
+				t.Errorf("malformed striped frame: %+v", f)
+				return
+			}
+			p := f.Entries[0].Payload
+			mu.Lock()
+			got = append(got, arrival{
+				rail: int(p[0])<<8 | int(p[1]),
+				seq:  int(p[4])<<8 | int(p[5]),
+			})
+			mu.Unlock()
+		})
+		idle := make(chan struct{}, numCh*4)
+		nodes[0].SetIdleHandler(func(int) {
+			select {
+			case idle <- struct{}{}:
+			default:
+			}
+		})
+
+		for seq := 0; seq < frames; seq++ {
+			ch := seq % numCh
+			for !nodes[0].ChannelIdle(ch) {
+				select {
+				case <-idle:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("channel %d never freed at seq %d", ch, seq)
+				}
+			}
+			rail := tr.railOf(nodes[0], ch)
+			f := &packet.Frame{
+				Kind: packet.FrameData, Src: 0, Dst: 1,
+				Entries: []packet.Entry{{
+					Flow: 1, Msg: 1, Seq: seq, Last: seq == frames-1,
+					Payload: []byte{byte(rail >> 8), byte(rail), 0, 0, byte(seq >> 8), byte(seq), 0, 0},
+				}},
+			}
+			if err := nodes[0].Post(ch, f, 0); err != nil {
+				t.Fatalf("post seq %d on ch %d: %v", seq, ch, err)
+			}
+		}
+
+		waitFor(t, 10*time.Second, "all striped frames", func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(got) >= frames
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != frames {
+			t.Fatalf("received %d frames, posted %d", len(got), frames)
+		}
+		seen := make([]bool, frames)
+		lastPerRail := map[int]int{}
+		for i, a := range got {
+			if a.seq < 0 || a.seq >= frames || seen[a.seq] {
+				t.Fatalf("arrival %d: bad or duplicate seq %d", i, a.seq)
+			}
+			seen[a.seq] = true
+			if last, ok := lastPerRail[a.rail]; ok && a.seq < last {
+				t.Fatalf("rail %d reordered: seq %d arrived after %d", a.rail, a.seq, last)
+			}
+			lastPerRail[a.rail] = a.seq
+		}
+		// Multi-rail transports must actually have striped the flow.
+		if want := tr.railOf(nodes[0], numCh-1) + 1; len(lastPerRail) != want {
+			t.Fatalf("flow touched %d rails, transport has %d", len(lastPerRail), want)
 		}
 	})
 }

@@ -33,29 +33,43 @@ const maxMeshFrame = 64 << 20
 // Loopback from the pairwise localhost case to an N-endpoint mesh suitable
 // for multi-machine topologies:
 //
-//   - One outbound connection and one dedicated sender goroutine per peer,
-//     so frames to different destinations never serialize behind a shared
-//     write lock. A send channel is busy from Post until its frame has been
-//     fully written to the destination socket, at which point the idle
-//     upcall fires from that peer's sender goroutine.
+//   - One outbound connection per peer, owned by a dedicated sender
+//     goroutine (the rail lifecycle in rails.go), so frames to different
+//     destinations never serialize behind a shared write lock. A send
+//     channel is busy from Post until its frame has been fully written to
+//     the destination socket, at which point the idle upcall fires from
+//     that peer's sender goroutine.
 //   - Peer failure is a first-class event: a write or read error marks the
 //     peer down, releases any channels with frames queued toward it (the
 //     engine above must not wedge on a dead destination), and makes
 //     subsequent Posts to that peer fail with ErrPeerDown. The rest of the
 //     mesh keeps running.
+//   - Re-dialing a connected peer replaces the connection through an
+//     explicit retire→drain→replace transition (redial.go): frames queued
+//     on the retired connection drain onto its socket and arrive, or the
+//     loss is surfaced through the peer-down handler — never dropped
+//     silently.
+//
+// One Mesh is one *rail* of a node: it advertises exactly one capability
+// record. Multi-rail nodes — several NICs, possibly of different
+// technologies, emulated here as several TCP connections per peer — run one
+// Mesh per rail and hand all of them to the engine (see MultiRail and
+// NewMeshRails in multirail.go).
 //
 // Addresses are ordinary TCP addresses; nothing restricts the mesh to
 // localhost. Tests and examples use 127.0.0.1 ephemeral ports, but the same
 // driver spans real hosts when given routable listen addresses.
 type Mesh struct {
-	node packet.NodeID
-	caps caps.Caps
-	mem  memsim.Model
+	node  packet.NodeID
+	caps  caps.Caps
+	mem   memsim.Model
+	pacer *wirePacer // non-nil iff caps.EmulateWire
 
 	ln net.Listener
 
 	mu       sync.Mutex
-	peers    map[packet.NodeID]*meshPeer
+	peers    map[packet.NodeID]*rail
+	draining map[*rail]struct{}         // retired rails whose owners are still draining
 	inbound  map[packet.NodeID]net.Conn // latest identified inbound conn per peer
 	accepted map[net.Conn]struct{}      // live inbound connections
 	chans    []bool                     // busy flags, one per send channel
@@ -66,23 +80,8 @@ type Mesh struct {
 	wg       sync.WaitGroup
 }
 
-// meshPeer is one outbound edge of the mesh: the socket, the queue its
-// sender goroutine drains, the down flag set on first I/O error, and the
-// retired flag set when the queue has been closed (shutdown or replacement
-// by a re-Dial).
-type meshPeer struct {
-	c       net.Conn
-	q       chan meshTx
-	down    bool
-	retired bool
-}
-
-type meshTx struct {
-	ch  int
-	buf []byte
-}
-
 var _ Driver = (*Mesh)(nil)
+var _ WallDriver = (*Mesh)(nil)
 
 // NewMesh creates a node endpoint listening on the given TCP address
 // ("127.0.0.1:0" for an ephemeral localhost port, ":0" or a routable
@@ -101,10 +100,14 @@ func NewMesh(node packet.NodeID, c caps.Caps, listen string) (*Mesh, error) {
 		caps:     c,
 		mem:      memsim.DefaultModel(),
 		ln:       ln,
-		peers:    make(map[packet.NodeID]*meshPeer),
+		peers:    make(map[packet.NodeID]*rail),
+		draining: make(map[*rail]struct{}),
 		inbound:  make(map[packet.NodeID]net.Conn),
 		accepted: make(map[net.Conn]struct{}),
 		chans:    make([]bool, c.Channels),
+	}
+	if c.EmulateWire {
+		m.pacer = newWirePacer(c.Bandwidth)
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -113,55 +116,6 @@ func NewMesh(node packet.NodeID, c caps.Caps, listen string) (*Mesh, error) {
 
 // Addr returns the listener address other nodes dial.
 func (m *Mesh) Addr() string { return m.ln.Addr().String() }
-
-// Dial connects this node to a peer's listener. The connection is owned by
-// a dedicated sender goroutine; its queue holds at most one frame per send
-// channel, so enqueueing under the driver lock never blocks.
-//
-// Re-dialing an already connected peer — the recovery from ErrPeerDown —
-// replaces the connection: the old one is retired (its sender drains and
-// exits; late I/O errors on it are ignored) and traffic resumes on the new
-// one.
-func (m *Mesh) Dial(peer packet.NodeID, addr string) error {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	// Identify ourselves so the peer's reader can attribute inbound frames.
-	var hello [4]byte
-	binary.BigEndian.PutUint32(hello[:], uint32(m.node))
-	if _, err := c.Write(hello[:]); err != nil {
-		c.Close()
-		return err
-	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		c.Close()
-		return errors.New("drivers: mesh closed")
-	}
-	if old, dup := m.peers[peer]; dup {
-		retirePeerLocked(old)
-	}
-	p := &meshPeer{c: c, q: make(chan meshTx, len(m.chans))}
-	m.peers[peer] = p
-	m.wg.Add(1)
-	m.mu.Unlock()
-	go m.sender(peer, p)
-	return nil
-}
-
-// retirePeerLocked takes a peer connection out of service: down stops new
-// Posts and silences its sender's error path, closing the queue lets the
-// sender drain and exit. Idempotent; caller holds m.mu.
-func retirePeerLocked(p *meshPeer) {
-	p.down = true
-	p.c.Close()
-	if !p.retired {
-		p.retired = true
-		close(p.q)
-	}
-}
 
 func (m *Mesh) acceptLoop() {
 	defer m.wg.Done()
@@ -211,6 +165,18 @@ func (m *Mesh) reader(c net.Conn) {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n == 0 {
+			// Graceful retire marker: the peer replaced this connection (a
+			// re-dial) and has drained it. Unregister so the EOF that
+			// follows reads as clean retirement, not as a peer failure —
+			// even when the replacement's hello has not been processed yet.
+			m.mu.Lock()
+			if m.inbound[src] == c {
+				delete(m.inbound, src)
+			}
+			m.mu.Unlock()
+			return
+		}
 		if n > maxMeshFrame {
 			m.inboundFailed(src, c)
 			return // corrupt stream
@@ -234,90 +200,9 @@ func (m *Mesh) reader(c net.Conn) {
 	}
 }
 
-// sender owns one peer's socket: it writes each queued frame atomically
-// (4-byte length prefix + encoded frame) and then releases the channel that
-// carried it. On a write error the peer is marked down, but the goroutine
-// keeps draining so every channel pointed at the dead peer is released —
-// the engine above sees idle upcalls, not a wedged send unit.
-func (m *Mesh) sender(peer packet.NodeID, p *meshPeer) {
-	defer m.wg.Done()
-	bw := bufio.NewWriter(p.c)
-	broken := false
-	for tx := range p.q {
-		if !broken {
-			var lenbuf [4]byte
-			binary.BigEndian.PutUint32(lenbuf[:], uint32(len(tx.buf)))
-			_, err := bw.Write(lenbuf[:])
-			if err == nil {
-				_, err = bw.Write(tx.buf)
-			}
-			if err == nil {
-				err = bw.Flush()
-			}
-			if err != nil {
-				broken = true
-				m.outboundFailed(peer, p)
-			}
-		}
-		m.mu.Lock()
-		m.chans[tx.ch] = false
-		h := m.onIdle
-		closed := m.closed
-		m.mu.Unlock()
-		if h != nil && !closed {
-			h(tx.ch)
-		}
-	}
-}
-
-// outboundFailed marks one specific peer connection failed after a write
-// error. The instance check keeps a retired connection's late errors from
-// touching a fresh one installed by a re-Dial.
-func (m *Mesh) outboundFailed(peer packet.NodeID, p *meshPeer) {
-	m.mu.Lock()
-	if p.down || m.closed {
-		m.mu.Unlock()
-		return
-	}
-	p.down = true
-	current := m.peers[peer] == p
-	h := m.onDown
-	m.mu.Unlock()
-	p.c.Close()
-	if h != nil && current {
-		h(peer)
-	}
-}
-
-// inboundFailed handles a read error on an inbound connection. Only the
-// peer's latest identified connection counts: when a re-dialing peer
-// replaces its connection, the EOF of the superseded one (usually observed
-// after the new hello) must not mark the healthy peer down. In the rare
-// interleaving where the old EOF is processed first the peer is marked
-// down conservatively; the remedy, as for any down peer, is a re-Dial.
-func (m *Mesh) inboundFailed(src packet.NodeID, c net.Conn) {
-	m.mu.Lock()
-	if m.closed || m.inbound[src] != c {
-		m.mu.Unlock()
-		return
-	}
-	delete(m.inbound, src)
-	p, ok := m.peers[src]
-	if !ok || p.down {
-		m.mu.Unlock()
-		return
-	}
-	p.down = true
-	h := m.onDown
-	m.mu.Unlock()
-	p.c.Close()
-	if h != nil {
-		h(src)
-	}
-}
-
-// Name identifies the endpoint.
-func (m *Mesh) Name() string { return fmt.Sprintf("mesh@n%d", m.node) }
+// Name identifies the endpoint; the capability profile name distinguishes
+// the rails of a multi-rail node.
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh:%s@n%d", m.caps.Name, m.node) }
 
 // Node returns the local node id.
 func (m *Mesh) Node() packet.NodeID { return m.node }
@@ -350,10 +235,18 @@ func (m *Mesh) FirstIdle() (int, bool) {
 	return 0, false
 }
 
-// Post encodes the frame and hands it to the destination peer's sender
-// goroutine. hostExtra is ignored: on a real transport, preparation already
-// took real time. The enqueue happens under the driver lock and the peer
-// queue has one slot per channel, so it can never block or race Close.
+// Post hands the frame to the destination peer's sender goroutine.
+// hostExtra is ignored: on a real transport, preparation already took real
+// time. The enqueue happens under the driver lock and the rail queue has
+// one slot per channel, so it can never block or race Close.
+//
+// Wire encoding happens in the rail's owner goroutine, not here: Post runs
+// under the optimizer's engine lock, and serializing every payload copy
+// there would make rails share one memory bandwidth-bound critical section
+// — deferring the copy is what lets N rails encode and write N frames
+// genuinely in parallel. The caller must therefore treat the frame and its
+// payloads as immutable once posted, exactly as with the simulated drivers
+// (which hand the same frame object to the receiving engine).
 func (m *Mesh) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 	if ch < 0 || ch >= len(m.chans) {
 		return fmt.Errorf("drivers: mesh node %d has no channel %d", m.node, ch)
@@ -364,7 +257,6 @@ func (m *Mesh) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 	if n := f.WireSize(); n > maxMeshFrame {
 		return fmt.Errorf("drivers: frame of %d bytes exceeds the %d-byte mesh limit", n, maxMeshFrame)
 	}
-	buf := f.Encode(nil)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -381,7 +273,7 @@ func (m *Mesh) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 		return fmt.Errorf("drivers: node %d -> %d: %w", m.node, f.Dst, ErrPeerDown)
 	}
 	m.chans[ch] = true
-	p.q <- meshTx{ch: ch, buf: buf}
+	p.q <- railTx{ch: ch, f: f}
 	return nil
 }
 
@@ -431,8 +323,17 @@ func (m *Mesh) PeerDown(peer packet.NodeID) bool {
 	return ok && p.down
 }
 
-// Close shuts the listener, all connections and the per-peer sender
-// goroutines down and waits for them.
+// Draining returns the number of retired rails whose owners are still
+// writing out their queues (diagnostic; 0 once every drain has completed).
+func (m *Mesh) Draining() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.draining)
+}
+
+// Close shuts the listener, all connections and the per-rail sender
+// goroutines down and waits for them. In-flight drains are aborted: their
+// sockets close, which unwedges blocked writes.
 func (m *Mesh) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -441,7 +342,10 @@ func (m *Mesh) Close() error {
 	}
 	m.closed = true
 	for _, p := range m.peers {
-		retirePeerLocked(p)
+		m.retireLocked(p, false)
+	}
+	for r := range m.draining {
+		r.c.Close()
 	}
 	for c := range m.accepted {
 		c.Close()

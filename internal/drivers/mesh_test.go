@@ -3,6 +3,7 @@ package drivers
 import (
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -192,6 +193,114 @@ func TestMeshRedial(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("Close hung after re-dial (retired sender leaked)")
 	}
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestMeshRedialWithPending covers the post-with-pending-re-dial window
+// that TestMeshRedial (which only posts after the re-dial) misses: frames
+// queued toward a healthy peer before a re-Dial must either arrive on the
+// drained connection or surface through the peer-down handler — they may
+// never be marked sent and silently dropped. Against the pre-rework driver
+// this test fails: retiring the old connection closed its socket mid-write
+// and released the queued frames as if sent, so `got` stalled below
+// `posted` with no down event.
+func TestMeshRedialWithPending(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nodes, _, err := NewMeshCluster(2, caps.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := 0
+	downs := 0
+	// Stall the receiver in the first frame's upcall: the kernel buffers
+	// behind it fill, so the big frame below wedges genuinely mid-write and
+	// the subsequent post stays queued on the old connection.
+	unblock := make(chan struct{})
+	first := true
+	nodes[1].SetRecvHandler(func(packet.NodeID, *packet.Frame) {
+		if first {
+			first = false
+			<-unblock
+		}
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+	nodes[0].SetPeerDownHandler(func(packet.NodeID) {
+		mu.Lock()
+		downs++
+		mu.Unlock()
+	})
+
+	posted := 0
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	posted++
+	waitFor(t, 5*time.Second, "channel 0 release", func() bool { return nodes[0].ChannelIdle(0) })
+	// Channel 0: a frame large enough to wedge mid-write against the
+	// stalled reader. Channel 1: a frame that stays fully queued behind it.
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 8<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	posted++
+	if err := nodes[0].Post(1, simpleFrame(0, 1, 64<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	posted++
+	time.Sleep(50 * time.Millisecond) // let the big write wedge
+
+	// Re-dial while both frames are pending on the old connection.
+	if err := nodes[0].Dial(1, nodes[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].PeerDown(1) {
+		t.Fatal("re-dial marked the fresh connection down")
+	}
+	// Both channels stay busy: their frames are pending on the draining
+	// rail, and a channel is only released when its frame has been written
+	// out (or the peer reported down) — never silently.
+	if nodes[0].ChannelIdle(0) || nodes[0].ChannelIdle(1) {
+		t.Fatal("pending frame's channel released before the frame was drained")
+	}
+	close(unblock)
+
+	// Every pending frame must arrive (graceful drain) — or, had the drain
+	// failed, the peer-down handler must have fired. Silent loss is the one
+	// outcome the lifecycle rework forbids.
+	waitFor(t, 10*time.Second, "pending frames to arrive or error", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == posted || downs > 0
+	})
+	mu.Lock()
+	if downs == 0 && got != posted {
+		mu.Unlock()
+		t.Fatalf("delivered %d of %d with no peer-down event", got, posted)
+	}
+	mu.Unlock()
+
+	// The drained rail's owner exits once its queue is empty.
+	waitFor(t, 5*time.Second, "drain completion", func() bool { return nodes[0].Draining() == 0 })
+
+	// A post after the re-dial travels the replacement.
+	waitFor(t, 5*time.Second, "channel 0 idle", func() bool { return nodes[0].ChannelIdle(0) })
+	if err := nodes[0].Post(0, simpleFrame(0, 1, 64), 0); err != nil {
+		t.Fatalf("post after re-dial: %v", err)
+	}
+	posted++
+	waitFor(t, 5*time.Second, "post-re-dial delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == posted || downs > 0
+	})
+
+	nodes[0].Close()
+	nodes[1].Close()
 	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
 		return runtime.NumGoroutine() <= before+2
 	})

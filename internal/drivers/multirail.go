@@ -1,0 +1,299 @@
+package drivers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"newmad/internal/caps"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// MultiRail bundles N mesh rail endpoints of one node into a single
+// transport: each rail is a full Mesh — its own listener, its own TCP
+// connection per peer, its own capability record — so a multi-rail node
+// carries N independent connections to every peer, emulating multiple NICs
+// (possibly of different technologies) on plain TCP.
+//
+// Two views exist over the same rails:
+//
+//   - The optimizer's view: Rails() returns the endpoints individually, and
+//     the engine treats each as one rail with its own caps.Record — gather
+//     limits, eager/rendezvous thresholds, bandwidth class — exactly as it
+//     does for simulated multi-rail fabrics. This is how cluster boots
+//     multi-rail engines.
+//   - The transport view: MultiRail itself implements Driver/WallDriver
+//     with the union of the rails' send channels, so the shared wall-clock
+//     conformance suite (and any single-driver consumer) can exercise the
+//     bundle as one endpoint. Post maps a global channel index onto
+//     (rail, local channel); frames on the same rail stay FIFO, frames on
+//     different rails race — the same guarantee real striped NICs give.
+//
+// Addr joins the per-rail listener addresses with commas and Dial splits
+// them again, so the all-pairs wiring helper used by single-rail transports
+// works unchanged.
+type MultiRail struct {
+	node  packet.NodeID
+	rails []*Mesh
+	base  []int // global channel offset of each rail
+	total int
+
+	mu        sync.Mutex
+	onDown    func(packet.NodeID)
+	downFired map[packet.NodeID]bool
+}
+
+var _ Driver = (*MultiRail)(nil)
+var _ WallDriver = (*MultiRail)(nil)
+
+// NewMeshRails creates one Mesh endpoint per capability profile for a node.
+// Profile names must be distinct (use caps.RailProfiles to derive uniquely
+// named variants of one base profile); listen optionally pins one TCP
+// listen address per rail, defaulting to ephemeral localhost ports.
+func NewMeshRails(node packet.NodeID, profiles []caps.Caps, listen []string) ([]*Mesh, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("drivers: multi-rail node %d needs at least one rail profile", node)
+	}
+	if listen != nil && len(listen) != len(profiles) {
+		return nil, fmt.Errorf("drivers: %d listen addresses for %d rails", len(listen), len(profiles))
+	}
+	seen := make(map[string]bool, len(profiles))
+	for _, p := range profiles {
+		if seen[p.Name] {
+			return nil, fmt.Errorf("drivers: duplicate rail profile %q on node %d (rail names must be distinct)", p.Name, node)
+		}
+		seen[p.Name] = true
+	}
+	rails := make([]*Mesh, len(profiles))
+	for i, p := range profiles {
+		addr := "127.0.0.1:0"
+		if listen != nil {
+			addr = listen[i]
+		}
+		m, err := NewMesh(node, p, addr)
+		if err != nil {
+			for _, prev := range rails[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		rails[i] = m
+	}
+	return rails, nil
+}
+
+// NewMultiRail bundles the given rails (all belonging to the same node)
+// into one transport endpoint.
+func NewMultiRail(rails []*Mesh) (*MultiRail, error) {
+	if len(rails) == 0 {
+		return nil, fmt.Errorf("drivers: empty rail bundle")
+	}
+	mr := &MultiRail{
+		node:      rails[0].Node(),
+		rails:     rails,
+		base:      make([]int, len(rails)),
+		downFired: make(map[packet.NodeID]bool),
+	}
+	for i, r := range rails {
+		if r.Node() != mr.node {
+			return nil, fmt.Errorf("drivers: rail %s belongs to node %d, bundle is node %d", r.Name(), r.Node(), mr.node)
+		}
+		mr.base[i] = mr.total
+		mr.total += r.NumChannels()
+	}
+	return mr, nil
+}
+
+// NewMultiRailMesh creates a multi-rail endpoint: one Mesh per profile,
+// bundled.
+func NewMultiRailMesh(node packet.NodeID, profiles []caps.Caps, listen []string) (*MultiRail, error) {
+	rails, err := NewMeshRails(node, profiles, listen)
+	if err != nil {
+		return nil, err
+	}
+	return NewMultiRail(rails)
+}
+
+// Rails returns the per-rail endpoints — the view the optimizer engine
+// consumes, one Driver per rail with its own capability record.
+func (mr *MultiRail) Rails() []*Mesh { return append([]*Mesh(nil), mr.rails...) }
+
+// RailOf maps a global channel index to (rail index, rail-local channel).
+func (mr *MultiRail) RailOf(ch int) (rail, local int, err error) {
+	if ch < 0 || ch >= mr.total {
+		return 0, 0, fmt.Errorf("drivers: multirail node %d has no channel %d", mr.node, ch)
+	}
+	for i := len(mr.rails) - 1; i >= 0; i-- {
+		if ch >= mr.base[i] {
+			return i, ch - mr.base[i], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("drivers: multirail node %d has no channel %d", mr.node, ch)
+}
+
+// Name identifies the bundle.
+func (mr *MultiRail) Name() string {
+	return fmt.Sprintf("multirail[%d]@n%d", len(mr.rails), mr.node)
+}
+
+// Node returns the local node id.
+func (mr *MultiRail) Node() packet.NodeID { return mr.node }
+
+// Caps returns the primary (first) rail's capability record. Consumers that
+// schedule per rail use Rails() and read each rail's own record instead.
+func (mr *MultiRail) Caps() caps.Caps { return mr.rails[0].Caps() }
+
+// Mem returns the host memory model (shared by all rails of the node).
+func (mr *MultiRail) Mem() memsim.Model { return mr.rails[0].Mem() }
+
+// NumChannels returns the union send-unit count across rails.
+func (mr *MultiRail) NumChannels() int { return mr.total }
+
+// ChannelIdle reports availability of global channel ch.
+func (mr *MultiRail) ChannelIdle(ch int) bool {
+	ri, local, err := mr.RailOf(ch)
+	if err != nil {
+		return false
+	}
+	return mr.rails[ri].ChannelIdle(local)
+}
+
+// FirstIdle returns the lowest idle global channel.
+func (mr *MultiRail) FirstIdle() (int, bool) {
+	for i, r := range mr.rails {
+		if ch, ok := r.FirstIdle(); ok {
+			return mr.base[i] + ch, true
+		}
+	}
+	return 0, false
+}
+
+// Post maps the global channel onto its rail and posts there.
+func (mr *MultiRail) Post(ch int, f *packet.Frame, hostExtra simnet.Duration) error {
+	ri, local, err := mr.RailOf(ch)
+	if err != nil {
+		return err
+	}
+	return mr.rails[ri].Post(local, f, hostExtra)
+}
+
+// SetIdleHandler installs the idle upcall, translated to global channels.
+func (mr *MultiRail) SetIdleHandler(fn IdleFunc) {
+	for i, r := range mr.rails {
+		if fn == nil {
+			r.SetIdleHandler(nil)
+			continue
+		}
+		base := mr.base[i]
+		r.SetIdleHandler(func(ch int) { fn(base + ch) })
+	}
+}
+
+// SetRecvHandler installs the delivery upcall on every rail.
+func (mr *MultiRail) SetRecvHandler(fn RecvFunc) {
+	for _, r := range mr.rails {
+		r.SetRecvHandler(fn)
+	}
+}
+
+// SetPeerDownHandler installs a callback fired once per failed peer, even
+// when several rails toward that peer fail.
+func (mr *MultiRail) SetPeerDownHandler(fn func(peer packet.NodeID)) {
+	mr.mu.Lock()
+	mr.onDown = fn
+	mr.downFired = make(map[packet.NodeID]bool)
+	mr.mu.Unlock()
+	for _, r := range mr.rails {
+		if fn == nil {
+			r.SetPeerDownHandler(nil)
+			continue
+		}
+		r.SetPeerDownHandler(mr.peerDown)
+	}
+}
+
+func (mr *MultiRail) peerDown(peer packet.NodeID) {
+	mr.mu.Lock()
+	fired := mr.downFired[peer]
+	mr.downFired[peer] = true
+	h := mr.onDown
+	mr.mu.Unlock()
+	if !fired && h != nil {
+		h(peer)
+	}
+}
+
+// PeerDown reports whether any rail toward the peer has failed.
+func (mr *MultiRail) PeerDown(peer packet.NodeID) bool {
+	for _, r := range mr.rails {
+		if r.PeerDown(peer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Peers returns the ids of peers reachable on every rail, sorted.
+func (mr *MultiRail) Peers() []packet.NodeID {
+	count := make(map[packet.NodeID]int)
+	for _, r := range mr.rails {
+		for _, id := range r.Peers() {
+			count[id]++
+		}
+	}
+	out := make([]packet.NodeID, 0, len(count))
+	for id, n := range count {
+		if n == len(mr.rails) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Addr returns the comma-joined per-rail listener addresses.
+func (mr *MultiRail) Addr() string {
+	addrs := make([]string, len(mr.rails))
+	for i, r := range mr.rails {
+		addrs[i] = r.Addr()
+	}
+	return strings.Join(addrs, ",")
+}
+
+// Dial connects every local rail to the peer's matching rail listener;
+// addr is the peer's Addr() (one address per rail, comma-joined).
+func (mr *MultiRail) Dial(peer packet.NodeID, addr string) error {
+	parts := strings.Split(addr, ",")
+	if len(parts) != len(mr.rails) {
+		return fmt.Errorf("drivers: dialing %d-rail node %d with %d addresses", len(mr.rails), peer, len(parts))
+	}
+	for i, r := range mr.rails {
+		if err := r.Dial(peer, parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every rail down; the first error wins.
+func (mr *MultiRail) Close() error {
+	var first error
+	for _, r := range mr.rails {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NewMultiRailMeshCluster creates n fully connected localhost multi-rail
+// nodes, each running one rail per profile. The returned cleanup closes
+// every node.
+func NewMultiRailMeshCluster(n int, profiles []caps.Caps) ([]*MultiRail, func(), error) {
+	return newWallCluster(n, func(node packet.NodeID) (*MultiRail, error) {
+		return NewMultiRailMesh(node, profiles, nil)
+	})
+}

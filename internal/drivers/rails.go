@@ -1,0 +1,187 @@
+package drivers
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"newmad/internal/packet"
+)
+
+// The rail lifecycle.
+//
+// One rail is one TCP connection toward one peer. Exactly one goroutine —
+// the rail's owner, started by Dial — writes to the socket, and in the
+// graceful paths it is also the only goroutine that closes it. Every state
+// transition happens under Mesh.mu:
+//
+//	       Dial                Dial (replace)           queue drained
+//	───▶ railActive ─────────▶ railDraining ──────────▶ railClosed
+//	         │                      │                        ▲
+//	         │ Close                │ write error            │
+//	         └──────────────────────┴── down=true ───────────┘
+//	                                    (loss surfaced via onDown /
+//	                                     ErrPeerDown, never silent)
+//
+// railActive: the rail is m.peers[peer]; Post enqueues frames, the owner
+// writes them. railDraining: a re-Dial installed a replacement. The queue
+// is closed but the socket stays open: the owner keeps writing the frames
+// that were queued before the replacement (the drain), announces the
+// retirement in-band, then closes the socket and exits. Frames queued on
+// the retired connection therefore arrive; they are never marked sent and
+// dropped. railClosed: the owner has exited and the socket is closed.
+//
+// A write error at any point sets the orthogonal down flag. If it strikes
+// during a drain, the frames still queued on the dying connection are lost
+// with it, so the peer as a whole is taken down (the replacement included):
+// the loss surfaces through the peer-down handler and ErrPeerDown instead
+// of wedging the destination flow silently. Close retires abruptly — it
+// closes sockets immediately to unwedge blocked writes — and the closed
+// flag silences every error path.
+type rail struct {
+	c     net.Conn
+	q     chan railTx
+	state railState
+	down  bool
+}
+
+type railState uint8
+
+const (
+	// railActive: current connection for its peer; accepts posts.
+	railActive railState = iota
+	// railDraining: replaced by a re-Dial; owner is writing out the queue.
+	railDraining
+	// railClosed: owner exited, socket closed.
+	railClosed
+)
+
+// railTx is one queued frame: the channel it occupies and the frame itself.
+// Encoding is deferred to the rail's owner (see Mesh.Post), so the payload
+// copy runs on the rail's goroutine instead of under the engine lock.
+type railTx struct {
+	ch int
+	f  *packet.Frame
+}
+
+// maxScratch bounds the encode buffer a sender keeps between frames;
+// anything larger is released back to the GC after the write.
+const maxScratch = 1 << 20
+
+// newRail builds the rail for a freshly dialed connection. The queue holds
+// at most one frame per send channel, so enqueueing under the driver lock
+// never blocks.
+func newRail(c net.Conn, slots int) *rail {
+	return &rail{c: c, q: make(chan railTx, slots)}
+}
+
+// sender is the rail's owner goroutine: it writes each queued frame
+// atomically (4-byte length prefix + encoded frame) and then releases the
+// channel that carried it. On a write error the peer is taken down
+// (railWriteFailed), but the goroutine keeps draining so every channel
+// pointed at the dead connection is released — the engine above sees idle
+// upcalls, not a wedged send unit. When the queue closes (retirement) the
+// owner finishes the drain and disposes of the socket.
+func (m *Mesh) sender(peer packet.NodeID, r *rail) {
+	defer m.wg.Done()
+	bw := bufio.NewWriter(r.c)
+	broken := false
+	var scratch []byte // reused encode buffer, grown to the largest frame
+	for tx := range r.q {
+		if !broken {
+			scratch = tx.f.Encode(scratch[:0])
+			var lenbuf [4]byte
+			binary.BigEndian.PutUint32(lenbuf[:], uint32(len(scratch)))
+			_, err := bw.Write(lenbuf[:])
+			if err == nil {
+				_, err = bw.Write(scratch)
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				broken = true
+				m.railWriteFailed(peer, r)
+			} else if m.pacer != nil {
+				m.pacer.serialize(len(scratch) + m.caps.PacketHeader)
+			}
+			if cap(scratch) > maxScratch {
+				// Don't let one oversized rendezvous frame pin a
+				// frame-sized buffer to this connection for its lifetime.
+				scratch = nil
+			}
+		}
+		m.releaseChannel(tx.ch)
+	}
+	// Queue closed and drained. Announce the graceful retirement in-band (a
+	// zero length prefix) so the peer's reader unregisters this connection
+	// instead of reading the imminent EOF as a failure — without the
+	// marker, an EOF processed before the replacement's hello would mark a
+	// healthy peer down.
+	if !broken {
+		var zero [4]byte
+		if _, err := bw.Write(zero[:]); err == nil {
+			bw.Flush()
+		}
+	}
+	m.railRetired(r)
+}
+
+// wirePacer enforces a capability record's bandwidth class on a real-socket
+// rail (caps.EmulateWire): every frame reserves a serialization slot on the
+// rail's emulated wire — one pipe shared by all peers, like a NIC's
+// serializer — and the sender holds its channel busy until the slot has
+// drained. Kernel sockets move the bytes as fast as they like; the pacing
+// is what the optimizer observes, so a plain TCP rail behaves like the
+// technology its record describes.
+type wirePacer struct {
+	bandwidth float64 // bytes per second
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+func newWirePacer(bandwidth float64) *wirePacer {
+	return &wirePacer{bandwidth: bandwidth}
+}
+
+// serialize reserves the wire for n bytes and sleeps until the reservation
+// has drained.
+func (p *wirePacer) serialize(n int) {
+	d := time.Duration(float64(n) / p.bandwidth * float64(time.Second))
+	now := time.Now()
+	p.mu.Lock()
+	start := p.nextFree
+	if now.After(start) {
+		start = now
+	}
+	end := start.Add(d)
+	p.nextFree = end
+	p.mu.Unlock()
+	time.Sleep(end.Sub(now))
+}
+
+// releaseChannel frees one send channel and fires the idle upcall.
+func (m *Mesh) releaseChannel(ch int) {
+	m.mu.Lock()
+	m.chans[ch] = false
+	h := m.onIdle
+	closed := m.closed
+	m.mu.Unlock()
+	if h != nil && !closed {
+		h(ch)
+	}
+}
+
+// railRetired finalizes an owner's exit: the socket is closed (idempotent —
+// the error paths may have closed it already) and the rail leaves the
+// draining set so Close stops tracking it.
+func (m *Mesh) railRetired(r *rail) {
+	r.c.Close()
+	m.mu.Lock()
+	r.state = railClosed
+	delete(m.draining, r)
+	m.mu.Unlock()
+}

@@ -1,0 +1,133 @@
+package drivers
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+
+	"newmad/internal/packet"
+)
+
+// Connection replacement and failure surfacing — the retire→drain→replace
+// half of the rail state machine in rails.go.
+
+// Dial connects this node to a peer's listener. The connection is owned by
+// a dedicated sender goroutine; its queue holds at most one frame per send
+// channel, so enqueueing under the driver lock never blocks.
+//
+// Re-dialing an already connected peer — the recovery from ErrPeerDown, or
+// a deliberate connection refresh — replaces the connection: new posts go
+// to the replacement immediately, while the old rail retires gracefully.
+// Its owner drains every frame that was queued before the replacement onto
+// the old socket (the peer's reader keeps the superseded connection open
+// until it sees EOF, so those frames still arrive), then closes it and
+// exits. Pending frames are never marked sent and dropped; if the drain
+// itself fails, the loss is surfaced through the peer-down handler and
+// ErrPeerDown like any other connection failure.
+func (m *Mesh) Dial(peer packet.NodeID, addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Identify ourselves so the peer's reader can attribute inbound frames.
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(m.node))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.Close()
+		return errors.New("drivers: mesh closed")
+	}
+	if old, dup := m.peers[peer]; dup {
+		m.retireLocked(old, true)
+	}
+	r := newRail(c, len(m.chans))
+	m.peers[peer] = r
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.sender(peer, r)
+	return nil
+}
+
+// retireLocked takes a rail out of service. A graceful retirement (re-dial
+// replacement) closes the queue but leaves the socket open so the owner can
+// drain the queued frames onto it; an abrupt one (shutdown) also closes the
+// socket immediately, which unwedges a blocked write. Idempotent; caller
+// holds m.mu.
+func (m *Mesh) retireLocked(r *rail, graceful bool) {
+	if r.state == railActive {
+		r.state = railDraining
+		close(r.q)
+		m.draining[r] = struct{}{}
+	}
+	if !graceful {
+		r.down = true
+		r.c.Close()
+	}
+}
+
+// railWriteFailed handles a write error on rail r toward peer. Whether r is
+// the peer's current connection or a draining predecessor, the error loses
+// every frame still queued on r (plus the one mid-write), so the peer as a
+// whole goes down: the current rail is marked down (subsequent Posts fail
+// with ErrPeerDown), both sockets close, and the peer-down handler fires
+// once. Surfacing the loss — rather than letting a retired connection die
+// quietly with frames aboard — is what keeps a destination flow from
+// wedging with no error anywhere. During shutdown every error is expected
+// and silenced.
+func (m *Mesh) railWriteFailed(peer packet.NodeID, r *rail) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	r.down = true
+	var curConn net.Conn
+	fire := false
+	if cur, ok := m.peers[peer]; ok && !cur.down {
+		cur.down = true
+		curConn = cur.c
+		fire = true
+	}
+	h := m.onDown
+	m.mu.Unlock()
+	r.c.Close()
+	if curConn != nil && curConn != r.c {
+		curConn.Close()
+	}
+	if fire && h != nil {
+		h(peer)
+	}
+}
+
+// inboundFailed handles a read error on an inbound connection. Only the
+// peer's latest identified connection counts: a connection superseded by a
+// re-dial retires through the in-band marker (see reader), so its EOF
+// never lands here; and once the replacement's hello registers, late
+// errors of older connections are ignored. What remains is the genuine
+// failure surface — a connection that died without announcing retirement.
+func (m *Mesh) inboundFailed(src packet.NodeID, c net.Conn) {
+	m.mu.Lock()
+	if m.closed || m.inbound[src] != c {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.inbound, src)
+	p, ok := m.peers[src]
+	if !ok || p.down {
+		m.mu.Unlock()
+		return
+	}
+	p.down = true
+	conn := p.c
+	h := m.onDown
+	m.mu.Unlock()
+	conn.Close()
+	if h != nil {
+		h(src)
+	}
+}

@@ -1,0 +1,182 @@
+package strategy
+
+import (
+	"math"
+	"sync"
+
+	"newmad/internal/caps"
+	"newmad/internal/packet"
+)
+
+// ScheduledRail is the capability-aware rail scheduler for multi-rail
+// nodes: every placement decision reads the capability records of the
+// node's rails, so the same policy serves homogeneous striped NICs and
+// heterogeneous technology mixes (and, over the real-socket transport,
+// TCP rails emulating either).
+//
+//   - Control frames (RTS/CTS/acks) go to the lowest-latency rail: they are
+//     tiny, and their delay is paid on every rendezvous round trip.
+//   - Small eager aggregates prefer the low-latency rail but may overflow
+//     to any rail whose eager limit (MaxAggregate) admits them — per-rail
+//     caps bound the decision exactly as they bound the plan builder.
+//   - Bulk transfers (granted rendezvous data, RMA payloads) are striped:
+//     each transfer hashes onto one rail in proportion to the scheduling
+//     weights, which default to rail bandwidth. On a heterogeneous node the
+//     low-latency rail is kept out of the stripe set (bulk on the latency
+//     rail is what the class/rail separation exists to prevent) unless it
+//     is the only weighted rail left.
+//
+// Weights are runtime-tunable (SetWeights) — the adaptive controller's rail
+// knob: a weight of 0 removes a rail from the stripe set and from small
+// overflow, draining traffic off it without reconfiguring the topology.
+type ScheduledRail struct {
+	rails  []caps.Caps
+	lowLat int  // index of the lowest-latency rail
+	hetero bool // lowLat rail is strictly slower than the fastest rail
+
+	mu      sync.Mutex
+	weights []float64
+}
+
+// NewScheduledRail builds the scheduler for a node's rails (indexed like
+// RailInfo.Index; must match the engine's rail order). Initial weights are
+// bandwidth-proportional.
+func NewScheduledRail(rails []caps.Caps) *ScheduledRail {
+	s := &ScheduledRail{rails: append([]caps.Caps(nil), rails...)}
+	maxBW := 0.0
+	for i, c := range s.rails {
+		lat := c.PostOverhead + c.WireLatency
+		if best := s.rails[s.lowLat]; lat < best.PostOverhead+best.WireLatency {
+			s.lowLat = i
+		}
+		if c.Bandwidth > maxBW {
+			maxBW = c.Bandwidth
+		}
+	}
+	if len(s.rails) > 0 {
+		s.hetero = s.rails[s.lowLat].Bandwidth < maxBW
+	}
+	s.weights = s.defaultWeights()
+	return s
+}
+
+func (s *ScheduledRail) defaultWeights() []float64 {
+	w := make([]float64, len(s.rails))
+	for i, c := range s.rails {
+		w[i] = c.Bandwidth
+	}
+	return w
+}
+
+// Name returns "rail-sched".
+func (s *ScheduledRail) Name() string { return "rail-sched" }
+
+// SetWeights replaces the scheduling weights. Missing entries keep their
+// bandwidth default, negative entries are ignored; if every weight would be
+// zero the defaults are restored (a scheduler with nowhere to place bulk is
+// a configuration error, not a useful state).
+func (s *ScheduledRail) SetWeights(w []float64) {
+	ws := s.defaultWeights()
+	anyPositive := false
+	for i := range ws {
+		if i < len(w) && w[i] >= 0 {
+			ws[i] = w[i]
+		}
+		if ws[i] > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		ws = s.defaultWeights()
+	}
+	s.mu.Lock()
+	s.weights = ws
+	s.mu.Unlock()
+}
+
+// Weights returns the weights currently in effect.
+func (s *ScheduledRail) Weights() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.weights...)
+}
+
+// Eligible implements RailPolicy.
+func (s *ScheduledRail) Eligible(p *packet.Packet, rail RailInfo) bool {
+	if rail.Count <= 1 || len(s.rails) != rail.Count {
+		// Single rail, or a rail table that does not describe this node:
+		// admit everything rather than strand traffic.
+		return true
+	}
+	switch p.Class {
+	case packet.ClassControl:
+		return rail.Index == s.lowLat
+	case packet.ClassBulk, packet.ClassRMA:
+		return rail.Index == s.stripe(p)
+	default:
+		if rail.Index == s.lowLat {
+			return true
+		}
+		s.mu.Lock()
+		w := s.weights[rail.Index]
+		s.mu.Unlock()
+		return w > 0 && p.Size() <= s.rails[rail.Index].MaxAggregate
+	}
+}
+
+// stripe deterministically maps one bulk transfer (identified by flow, msg
+// and fragment seq) onto a weighted rail slot, so consecutive transfers of
+// one flow spread across rails while every frame of one transfer keeps a
+// stable placement. Placement is a low-discrepancy walk (golden-ratio
+// increments per seq/msg, an R2-sequence offset per flow) rather than a
+// plain hash: a burst of only a handful of transfers still splits
+// near-proportionally, which a hash cannot guarantee.
+func (s *ScheduledRail) stripe(p *packet.Packet) int {
+	s.mu.Lock()
+	w := append([]float64(nil), s.weights...)
+	s.mu.Unlock()
+	if s.hetero {
+		// Keep bulk off the latency rail when another weighted rail exists.
+		rest := 0.0
+		for i, v := range w {
+			if i != s.lowLat {
+				rest += v
+			}
+		}
+		if rest > 0 {
+			w[s.lowLat] = 0
+		}
+	}
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		return s.lowLat
+	}
+	const (
+		phi = 0.6180339887498949 // 1/φ
+		r21 = 0.7548776662466927 // R2 sequence, first coordinate
+		r22 = 0.5698402909980532 // R2 sequence, second coordinate
+	)
+	x := float64(uint32(p.Flow))*r21 + float64(uint64(p.Msg)%(1<<20))*r22 + float64(uint32(p.Seq))*phi
+	x = (x - math.Floor(x)) * total
+	for i, v := range w {
+		x -= v
+		if x < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// RailWeightSetter is implemented by rail policies whose per-rail
+// scheduling weights are runtime-tunable (the engine's SetRailWeights knob
+// and the controller's rail retuning go through it).
+type RailWeightSetter interface {
+	SetWeights([]float64)
+	Weights() []float64
+}
+
+var _ RailPolicy = (*ScheduledRail)(nil)
+var _ RailWeightSetter = (*ScheduledRail)(nil)

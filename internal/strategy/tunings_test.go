@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -59,6 +60,7 @@ func TestRegisterTuningRoundTrip(t *testing.T) {
 		Name: "test-custom", Bundle: "fifo",
 		Lookahead: 4, NagleDelay: 2 * simnet.Microsecond,
 		NagleFlushCount: 6, SearchBudget: 8, RdvThreshold: 1024,
+		RailWeights: []float64{2, 1},
 	}
 	if err := RegisterTuning(in); err != nil {
 		t.Fatal(err)
@@ -67,7 +69,7 @@ func TestRegisterTuningRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("round trip: got %+v, want %+v", out, in)
 	}
 	found := false
