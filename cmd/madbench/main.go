@@ -6,6 +6,7 @@
 //	madbench               # run every experiment, full size
 //	madbench -quick        # reduced workloads (seconds, not minutes)
 //	madbench -run E1,E3    # a subset
+//	madbench -chaos        # only the chaos battery (X5), faults from -seed
 //	madbench -list         # list experiments and the claims they test
 //	madbench -seed 7       # change the workload seed
 //	madbench -json out.json  # also write machine-readable results
@@ -28,13 +29,15 @@ import (
 	"newmad/internal/stats"
 )
 
-// jsonReport is the schema of the -json output. madbench/v2 is a strict
-// superset of madbench/v1: every v1 field is carried unchanged (committed
-// v1 snapshots like BENCH_mesh.json still compare field-for-field) and v2
-// adds per-experiment controller decision counts for the closed-loop
-// experiments (E11, X3) plus their fleet total.
+// jsonReport is the schema of the -json output. Each schema is a strict
+// superset of its predecessor, so committed snapshots keep comparing
+// field-for-field: madbench/v2 added per-experiment controller decision
+// counts (E11, X3) over v1, and madbench/v3 adds fault/recovery counters
+// for the chaos experiments (X5) — how many faults were injected into each
+// run and how many recovery actions (failovers, rendezvous retries) the
+// engines fired in response — plus their fleet totals.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "madbench/v2"
+	Schema      string           `json:"schema"` // "madbench/v3"
 	GeneratedAt time.Time        `json:"generated_at"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
@@ -42,6 +45,10 @@ type jsonReport struct {
 	// ControllerDecisions totals the applied retunes across all selected
 	// experiments (v2).
 	ControllerDecisions uint64 `json:"controller_decisions"`
+	// FaultsInjected/Recoveries total the chaos accounting across all
+	// selected experiments (v3).
+	FaultsInjected uint64 `json:"faults_injected"`
+	Recoveries     uint64 `json:"recoveries"`
 }
 
 type jsonExperiment struct {
@@ -53,15 +60,21 @@ type jsonExperiment struct {
 	// ControllerDecisions counts retunes the experiment's controllers
 	// applied; omitted for controller-free experiments (v2).
 	ControllerDecisions uint64 `json:"controller_decisions,omitempty"`
+	// FaultsInjected/Recoveries count the faults that hit the run and the
+	// recovery actions the engines fired; omitted for fault-free
+	// experiments (v3).
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	Recoveries     uint64 `json:"recoveries,omitempty"`
 }
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "run reduced workloads")
-		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		seed     = flag.Uint64("seed", 1, "workload RNG seed")
-		jsonPath = flag.String("json", "", "write results as JSON to this file")
+		quick     = flag.Bool("quick", false, "run reduced workloads")
+		run       = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		seed      = flag.Uint64("seed", 1, "workload RNG seed")
+		jsonPath  = flag.String("json", "", "write results as JSON to this file")
+		chaosOnly = flag.Bool("chaos", false, "run only the chaos battery (X5): scripted faults from -seed, fault/recovery counters in the JSON")
 	)
 	flag.Parse()
 
@@ -73,6 +86,13 @@ func main() {
 	}
 
 	selected := exp.All()
+	if *chaosOnly {
+		if *run != "" {
+			fmt.Fprintln(os.Stderr, "madbench: -chaos and -run are mutually exclusive")
+			os.Exit(2)
+		}
+		*run = "X5"
+	}
 	if *run != "" {
 		selected = selected[:0]
 		for _, id := range strings.Split(*run, ",") {
@@ -87,7 +107,7 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	report := jsonReport{
-		Schema:      "madbench/v2",
+		Schema:      "madbench/v3",
 		GeneratedAt: time.Now().UTC(),
 		Quick:       *quick,
 		Seed:        *seed,
@@ -103,12 +123,17 @@ func main() {
 		}
 		fmt.Printf("    (%s in %v)\n\n", e.ID, wall.Round(time.Millisecond))
 		decisions := exp.DecisionCount(e.ID)
+		injected, recovered := exp.FaultCounts(e.ID)
 		report.ControllerDecisions += decisions
+		report.FaultsInjected += injected
+		report.Recoveries += recovered
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
 			WallMs:              float64(wall.Microseconds()) / 1e3,
 			Tables:              tables,
 			ControllerDecisions: decisions,
+			FaultsInjected:      injected,
+			Recoveries:          recovered,
 		})
 	}
 

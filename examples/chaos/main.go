@@ -1,0 +1,50 @@
+// Chaos: deterministic fault injection against a live multi-rail cluster.
+//
+// Three nodes, two wire-paced TCP rails each, carry a conglomerate
+// workload while a scripted scenario — generated from a seed — rolls rail
+// flaps across the surviving pair and crashes the bystander node mid-run,
+// and the frame-level injectors drop a fraction of the rendezvous control
+// frames. The engines fight back with the machinery this repository's
+// chaos subsystem added: frames reclaimed from dead connections fail over
+// onto surviving rails, lost RTS/CTS frames are re-sent by the rendezvous
+// retry, and the reassembler's sequence dedupe keeps delivery exactly-once.
+//
+// The run prints the executed fault schedule (identical on every run with
+// the same -seed — that is the point) and the recovery accounting.
+//
+//	go run ./examples/chaos
+//	go run ./examples/chaos -seed 7   # a different, equally reproducible storm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"newmad/internal/exp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "fault schedule seed")
+	flag.Parse()
+
+	cfg := exp.Config{Quick: true, Seed: *seed}
+	res, err := exp.X5Chaos(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executed fault schedule (seed %d — rerun to get the identical storm):\n\n", *seed)
+	fmt.Print(res.Trace.String())
+	fmt.Printf("\nworkload: %d payloads, %.1f MB between the surviving pair\n",
+		res.Msgs, float64(res.Bytes)/1e6)
+	fmt.Printf("completed in %v: %d lost, %d duplicated\n", res.Completion.Round(1e6), res.Lost, res.Duplicated)
+	fmt.Printf("\nfaults:    %d frame faults injected, %d rail peer-down events\n",
+		res.FaultsInjected, res.PeerDowns)
+	fmt.Printf("recovery:  %d failovers, %d frames reclaimed from dead rails, %d rendezvous retries\n",
+		res.Failovers, res.Reclaimed, res.RdvRetries)
+	if res.Lost != 0 || res.Duplicated != 0 {
+		log.Fatal("delivery was not exactly-once — this is a bug")
+	}
+	fmt.Println("\nevery payload arrived exactly once.")
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"newmad/internal/chaos"
+	"newmad/internal/drivers"
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// Chaos integration: frame-fault injectors on every rail (ChaosPlan) and
+// the scenario runner that executes a chaos.Script against the live
+// cluster. Together they are what the resilience battery and experiment X5
+// drive: deterministic faults from one seed, recovery by the engines under
+// test.
+
+// ChaosPlan configures frame-level fault injection for a cluster.
+type ChaosPlan struct {
+	// Seed feeds the per-rail RNGs: rail (node, rail) derives its stream
+	// deterministically from it, so each rail's fault decisions are a pure
+	// function of the frames it sees, in the order it sees them. Note the
+	// scope of that determinism: over real sockets, frames from different
+	// sources interleave in wall-clock arrival order, so per-frame fault
+	// *counts* vary between runs of the same seed — the event-for-event
+	// replay guarantee belongs to the scripted schedule (RunScript +
+	// chaos.Trace), not to the probabilistic rules.
+	Seed uint64
+	// Rules apply to every rail of every node.
+	Rules []chaos.Rule
+}
+
+// wrap builds the injector for one rail, with a per-rail decorrelated RNG.
+func (p *ChaosPlan) wrap(node packet.NodeID, rail int, d drivers.Driver) (*chaos.Injector, error) {
+	// One fork per (node, rail), derived purely from the plan seed: the
+	// decision streams are decorrelated but reproducible.
+	rng := simnet.NewRNG(p.Seed ^ (uint64(node)+1)<<32 ^ uint64(rail+1))
+	return chaos.NewInjector(d, rng, p.Rules...)
+}
+
+// FaultsInjected totals the frame-level faults applied across the cluster.
+func (c *Cluster) FaultsInjected() uint64 {
+	n := uint64(0)
+	for _, node := range c.Nodes {
+		for _, inj := range node.Injectors {
+			if inj != nil {
+				n += inj.InjectedTotal()
+			}
+		}
+	}
+	return n
+}
+
+// RunScript executes a chaos scenario against the cluster on the wall
+// clock, blocking until the last event has run. Each event is recorded
+// into tr (when non-nil) with its *scheduled* offset, and only after it
+// executed successfully — so a complete trace proves the whole schedule
+// ran, and two complete traces from the same script are identical
+// event-for-event (the replay guarantee X5 asserts).
+//
+// Event semantics:
+//
+//   - OpRailDown severs rail R between the two nodes in both directions
+//     (BreakPeer on each side; the TCP reset also propagates, but breaking
+//     both ends makes the cut symmetric regardless of traffic direction).
+//   - OpRailHeal re-dials rail R in both directions and flushes both
+//     engines so frames retained in failover queues travel immediately.
+//   - OpPartition / OpHeal do the same for every rail between the pair.
+//   - OpCrash closes the node's engine and every rail; there is no heal.
+//
+// The script must validate against the cluster's shape.
+func (c *Cluster) RunScript(s chaos.Script, tr *chaos.Trace) error {
+	rails := len(c.Nodes[0].Rails)
+	if err := s.Validate(len(c.Nodes), rails); err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, e := range s.Sorted() {
+		if wait := e.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := c.execute(e); err != nil {
+			return fmt.Errorf("cluster: executing %v: %w", e, err)
+		}
+		tr.Record(e)
+	}
+	return nil
+}
+
+func (c *Cluster) execute(e chaos.Event) error {
+	switch e.Op {
+	case chaos.OpRailDown:
+		c.breakRail(e.Node, e.Peer, e.Rail)
+	case chaos.OpRailHeal:
+		return c.healRail(e.Node, e.Peer, e.Rail)
+	case chaos.OpPartition:
+		for r := range c.Nodes[e.Node].Rails {
+			c.breakRail(e.Node, e.Peer, r)
+		}
+	case chaos.OpHeal:
+		for r := range c.Nodes[e.Node].Rails {
+			if err := c.healRail(e.Node, e.Peer, r); err != nil {
+				return err
+			}
+		}
+	case chaos.OpCrash:
+		n := c.Nodes[e.Node]
+		n.Engine.Close()
+		for _, r := range n.Rails {
+			r.Close()
+		}
+	}
+	return nil
+}
+
+// breakRail severs one rail between a and b in both directions. Breaking
+// an already-dead (or crashed) side is a no-op, so scripts stay valid
+// after a crash.
+func (c *Cluster) breakRail(a, b, rail int) {
+	c.Nodes[a].Rails[rail].BreakPeer(packet.NodeID(b))
+	c.Nodes[b].Rails[rail].BreakPeer(packet.NodeID(a))
+}
+
+// healRail re-dials one rail in both directions and flushes both engines.
+// Healing toward a crashed node fails its dial; the error is surfaced
+// (scripts should not heal crashed nodes).
+func (c *Cluster) healRail(a, b, rail int) error {
+	na, nb := c.Nodes[a], c.Nodes[b]
+	if err := na.Rails[rail].Dial(packet.NodeID(b), nb.Rails[rail].Addr()); err != nil {
+		return err
+	}
+	if err := nb.Rails[rail].Dial(packet.NodeID(a), na.Rails[rail].Addr()); err != nil {
+		return err
+	}
+	// Retained frames (failover queues) travel as soon as the path is back.
+	na.Engine.Flush()
+	nb.Engine.Flush()
+	return nil
+}

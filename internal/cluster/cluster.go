@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"newmad/internal/caps"
+	"newmad/internal/chaos"
 	"newmad/internal/core"
 	"newmad/internal/drivers"
 	"newmad/internal/mad"
@@ -63,6 +64,21 @@ type Options struct {
 	NagleDelay   simnet.Duration
 	NagleFlush   int
 	SearchBudget int
+	// RdvRetry/RdvRetryMax enable rendezvous timeout-and-retry on every
+	// engine (see core.Options); chaos scenarios that drop control frames
+	// need it for exactly-once completion.
+	RdvRetry    simnet.Duration
+	RdvRetryMax int
+
+	// Chaos, when non-nil, wraps every rail of every node in a chaos
+	// frame-fault injector (internal/chaos): per-rail RNGs forked
+	// deterministically from Seed apply Rules on the receive path. The
+	// injectors are exposed as Node.Injectors for fault accounting.
+	Chaos *ChaosPlan
+
+	// OnPeerDown, when set, observes every rail-level peer-down event
+	// across the cluster (node observing, rail index, peer observed down).
+	OnPeerDown func(node packet.NodeID, rail int, peer packet.NodeID)
 
 	// OnDeliver, when set, observes every delivery before it reaches the
 	// node's mad session (for counting in experiments).
@@ -85,6 +101,9 @@ type Node struct {
 	Engine  *core.Engine
 	Session *mad.Session
 	Stats   *stats.Set
+	// Injectors holds the per-rail chaos injectors when Options.Chaos is
+	// set (indexed like Rails); nil otherwise.
+	Injectors []*chaos.Injector
 }
 
 // Cluster is N Figure-1 stacks wired all-to-all over real TCP sockets.
@@ -196,6 +215,21 @@ func New(o Options) (*Cluster, error) {
 			for k, m := range n.Rails {
 				rails[k] = m
 			}
+			if o.Chaos != nil {
+				n.Injectors = make([]*chaos.Injector, len(n.Rails))
+				for k, m := range n.Rails {
+					inj, err := o.Chaos.wrap(node, k, m)
+					if err != nil {
+						return nil, err
+					}
+					n.Injectors[k] = inj
+					rails[k] = inj
+				}
+			}
+			var onPeerDown func(rail int, peer packet.NodeID)
+			if o.OnPeerDown != nil {
+				onPeerDown = func(rail int, peer packet.NodeID) { o.OnPeerDown(node, rail, peer) }
+			}
 			return core.New(node, core.Options{
 				Bundle:          b,
 				Runtime:         c.Runtime,
@@ -205,6 +239,9 @@ func New(o Options) (*Cluster, error) {
 				NagleDelay:      o.NagleDelay,
 				NagleFlushCount: o.NagleFlush,
 				SearchBudget:    o.SearchBudget,
+				RdvRetry:        o.RdvRetry,
+				RdvRetryMax:     o.RdvRetryMax,
+				OnPeerDown:      onPeerDown,
 				Stats:           n.Stats,
 			})
 		})

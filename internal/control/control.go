@@ -90,6 +90,19 @@ type Options struct {
 	// Initial is the mode applied at Start (default ModeBalanced).
 	Initial Mode
 
+	// DemoteLossyRails enables the rail-health loop: a rail whose peer-down
+	// count grew since the previous sample is demoted — its scheduling
+	// weight driven to zero through the engine's rail-weight knob, draining
+	// new traffic off the flapping connection — and restored after
+	// RailHealSamples consecutive clean samples. Regime retunes and rail
+	// demotion compose: a retune re-applies its tuning's RailWeights, then
+	// the controller re-zeroes whatever is still demoted. No-op on engines
+	// whose rail policy is not weight-tunable. Off by default.
+	DemoteLossyRails bool
+	// RailHealSamples is how many consecutive loss-free samples restore a
+	// demoted rail (default 8).
+	RailHealSamples int
+
 	// Trace, when non-nil, records every decision as a policy event.
 	Trace *trace.Recorder
 	// Stats receives controller counters; nil allocates a private set.
@@ -135,6 +148,13 @@ type Controller struct {
 	cancel    simnet.CancelFunc
 	running   bool
 	closed    bool
+
+	// Rail-health state (DemoteLossyRails).
+	lastDowns   []uint64 // per-rail peer-down counts at the previous sample
+	demoted     []bool
+	cleanStreak []int
+	demotions   uint64
+	restores    uint64
 }
 
 // New validates the options and builds a controller. The engine is not
@@ -175,6 +195,9 @@ func New(o Options) (*Controller, error) {
 	}
 	if o.Initial == "" {
 		o.Initial = ModeBalanced
+	}
+	if o.RailHealSamples <= 0 {
+		o.RailHealSamples = 8
 	}
 	names := map[Mode]string{
 		ModeLatency:    "latency",
@@ -358,11 +381,111 @@ func (c *Controller) tick() {
 		})
 	}
 
+	if c.o.DemoteLossyRails {
+		// After a regime retune re-applied its tuning's weights, re-zero
+		// whatever is still demoted (compose, don't fight).
+		c.railHealth(m, applied != nil)
+	}
+
 	c.mu.Lock()
 	if !c.closed {
 		c.cancel = c.rt.Schedule(c.o.Interval, "control.tick", c.tick)
 	}
 	c.mu.Unlock()
+}
+
+// railHealth is the lossy-rail demotion loop: one pass per sample. A rail
+// with new peer-down events since the last sample loses its scheduling
+// weight; RailHealSamples clean samples earn it back. reassert forces the
+// demotion zeroes back onto the engine after a regime retune replaced the
+// weights.
+func (c *Controller) railHealth(m core.Metrics, reassert bool) {
+	c.mu.Lock()
+	if c.lastDowns == nil {
+		// Baseline at zero, where the engine's counters start: a rail that
+		// failed between engine creation and the first sample is still
+		// evidence, not history.
+		c.lastDowns = make([]uint64, len(m.RailDowns))
+		c.demoted = make([]bool, len(m.RailDowns))
+		c.cleanStreak = make([]int, len(m.RailDowns))
+	}
+	changed := reassert
+	var events []string
+	var restored []int
+	for i := range m.RailDowns {
+		if i >= len(c.lastDowns) {
+			break
+		}
+		if m.RailDowns[i] > c.lastDowns[i] {
+			c.cleanStreak[i] = 0
+			if !c.demoted[i] {
+				c.demoted[i] = true
+				c.demotions++
+				changed = true
+				events = append(events, fmt.Sprintf("rail %d demoted (+%d downs)", i, m.RailDowns[i]-c.lastDowns[i]))
+			}
+		} else if c.demoted[i] {
+			c.cleanStreak[i]++
+			if c.cleanStreak[i] >= c.o.RailHealSamples {
+				c.demoted[i] = false
+				c.cleanStreak[i] = 0
+				c.restores++
+				changed = true
+				restored = append(restored, i)
+				events = append(events, fmt.Sprintf("rail %d restored", i))
+			}
+		}
+		c.lastDowns[i] = m.RailDowns[i]
+	}
+	demoted := append([]bool(nil), c.demoted...)
+	c.mu.Unlock()
+
+	if !changed {
+		return
+	}
+	if len(events) > 0 {
+		c.set.Counter("control.rail_health_events").Add(uint64(len(events)))
+	}
+	// Compose: start from the weights in effect (the tuning's operating
+	// point), zero the demoted rails, and hand just-restored rails back
+	// their capability default (-1 means "default" to the weight setter)
+	// rather than the zero this loop wrote earlier.
+	w, ok := c.eng.RailWeights()
+	if !ok {
+		return
+	}
+	for i := range w {
+		if i < len(demoted) && demoted[i] {
+			w[i] = 0
+		}
+	}
+	for _, i := range restored {
+		if i < len(w) {
+			w[i] = -1
+		}
+	}
+	c.eng.SetRailWeights(w)
+	for _, ev := range events {
+		c.o.Trace.Record(trace.Event{
+			At: m.Now, Kind: trace.KindFault, Node: c.eng.Node(), Note: "ctl " + ev,
+		})
+	}
+}
+
+// RailDemotions returns (demotions, restores) applied by the rail-health
+// loop.
+func (c *Controller) RailDemotions() (demotions, restores uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.demotions, c.restores
+}
+
+// DemotedRails returns a copy of the per-rail demotion flags (nil before
+// the first sample).
+func (c *Controller) DemotedRails() []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]bool(nil), c.demoted...)
 }
 
 // classify maps evidence to a desired regime. The band between LoRate and

@@ -73,6 +73,23 @@ type Options struct {
 	// RdvMaxConcurrent caps concurrently granted inbound rendezvous
 	// transfers (0 = unlimited).
 	RdvMaxConcurrent int
+	// RdvRetry, when positive, arms a timeout per rendezvous start: if no
+	// CTS arrives within the window, the RTS is rebuilt and re-sent (the
+	// receiver deduplicates by token, so a retry can never double-deliver).
+	// 0 disables retry — correct on loss-free fabrics, where a missing CTS
+	// means a partition, not a lost frame. Retries back off: each doubles
+	// the previous window.
+	RdvRetry simnet.Duration
+	// RdvRetryMax bounds the retries per rendezvous (0 = DefaultRdvRetryMax).
+	// After the last retry the transfer is abandoned to the application
+	// layer: the engine stops re-sending but keeps the payload, so a very
+	// late CTS still completes it.
+	RdvRetryMax int
+	// OnPeerDown, when set, observes rail-level peer failures: rail is the
+	// engine's rail index, peer the unreachable node. Called outside the
+	// engine lock; installed only on rails that can report failures
+	// (drivers.PeerDownNotifier).
+	OnPeerDown func(rail int, peer packet.NodeID)
 	// Stats receives counters and histograms; nil allocates a private set.
 	Stats *stats.Set
 	// Trace, when non-nil, records the engine's decision timeline.
@@ -102,6 +119,19 @@ type Engine struct {
 	ctrlQ     []*packet.Frame  // reactive control frames (RTS/CTS/Ack)
 	bulkQ     []*packet.Frame  // granted rendezvous data, RMA frames
 	favorBulk bool             // round-robin fairness between backlog and bulkQ
+
+	// failQ holds frames whose rail failed under them — reclaimed from a
+	// dead connection by the driver, or refused with ErrPeerDown at post
+	// time. They are re-posted on any rail that still reaches their
+	// destination, bypassing the rail policy (whose preferred rail is the
+	// one that just died); with no such rail they wait for a heal. See
+	// pumpFailoverLocked.
+	failQ []*packet.Frame
+	// railDowns counts peer-down events per rail — the controller's
+	// evidence for demoting a lossy rail.
+	railDowns []uint64
+	// rdvTimers tracks the retry timer armed per outstanding rendezvous.
+	rdvTimers map[uint64]simnet.CancelFunc
 
 	nagleArmed  bool
 	nagleCancel simnet.CancelFunc
@@ -144,11 +174,15 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
 	}
 	if opt.Lookahead < 0 || opt.NagleDelay < 0 || opt.SearchBudget < 0 ||
-		opt.RdvThreshold < 0 || opt.NagleFlushCount < 0 {
+		opt.RdvThreshold < 0 || opt.NagleFlushCount < 0 ||
+		opt.RdvRetry < 0 || opt.RdvRetryMax < 0 {
 		return nil, fmt.Errorf("core: negative tuning option")
 	}
 	if opt.NagleFlushCount == 0 {
 		opt.NagleFlushCount = DefaultNagleFlushCount
+	}
+	if opt.RdvRetryMax == 0 {
+		opt.RdvRetryMax = DefaultRdvRetryMax
 	}
 	set := opt.Stats
 	if set == nil {
@@ -171,6 +205,8 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		cfg:        opt,
 		rails:      rails,
 		railFrames: make([]uint64, len(rails)),
+		railDowns:  make([]uint64, len(rails)),
+		rdvTimers:  make(map[uint64]simnet.CancelFunc),
 		deliver:    opt.Deliver,
 	}
 	e.reasm = proto.NewReassembler(node, func(d proto.Deliverable) {
@@ -185,8 +221,66 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		i, r := i, r
 		r.SetIdleHandler(func(ch int) { e.onIdle(i, ch) })
 		r.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) { e.onFrame(src, f) })
+		// Rails that can hand back undeliverable frames and report peer
+		// failures feed the engine's failover machinery; simulated fabrics
+		// implement neither and keep the historical loss-free contract.
+		if ln, ok := r.(drivers.FrameLossNotifier); ok {
+			ln.SetFrameLossHandler(func(peer packet.NodeID, frames []*packet.Frame) {
+				e.onFrameLoss(i, peer, frames)
+			})
+		}
+		if dn, ok := r.(drivers.PeerDownNotifier); ok {
+			dn.SetPeerDownHandler(func(peer packet.NodeID) { e.onPeerDown(i, peer) })
+		}
 	}
 	return e, nil
+}
+
+// DefaultRdvRetryMax bounds rendezvous RTS retries when Options.RdvRetry
+// is enabled without an explicit cap.
+const DefaultRdvRetryMax = 6
+
+// onFrameLoss receives frames a failing rail reclaimed from its queue.
+// They join the failover queue and re-travel on whatever rail still
+// reaches their destination; the receiver's sequence-number dedupe turns
+// the possible duplicate (the mid-write ambiguous frame) back into
+// exactly-once delivery.
+func (e *Engine) onFrameLoss(ri int, peer packet.NodeID, frames []*packet.Frame) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.failQ = append(e.failQ, frames...)
+	e.ctr.framesReclaimed += uint64(len(frames))
+	e.set.Counter("core.frames_reclaimed").Add(uint64(len(frames)))
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
+		A: ri, B: len(frames), Note: "reclaim:rail-down",
+	})
+	e.mu.Unlock()
+	e.pumpAll()
+}
+
+// onPeerDown counts a rail-level peer failure and forwards it to the
+// observer. The count per rail is the controller's lossy-rail evidence.
+func (e *Engine) onPeerDown(ri int, peer packet.NodeID) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.railDowns[ri]++
+	e.set.Counter("core.rail_peer_downs").Inc()
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
+		A: ri, B: int(peer), Note: "peer-down",
+	})
+	obs := e.cfg.OnPeerDown
+	e.mu.Unlock()
+	if obs != nil {
+		obs(ri, peer)
+	}
 }
 
 // Node returns the engine's node id.
@@ -336,6 +430,20 @@ func (e *Engine) SetRailWeights(w []float64) bool {
 	return true
 }
 
+// RailWeights returns the per-rail scheduling weights currently in effect,
+// when the bundle's rail policy is weight-tunable; ok is false otherwise.
+// The controller's rail-demotion logic reads this to compose its zeroes
+// with whatever operating point the tuning established.
+func (e *Engine) RailWeights() (w []float64, ok bool) {
+	e.mu.Lock()
+	rs, tunable := e.bundle.Rail.(strategy.RailWeightSetter)
+	e.mu.Unlock()
+	if !tunable {
+		return nil, false
+	}
+	return rs.Weights(), true
+}
+
 // Submit enqueues one packet from the collect layer and returns
 // immediately. Packets of one flow must be submitted with consecutive Seq
 // values starting at zero; the mad layer guarantees this.
@@ -385,6 +493,7 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		e.ctrlQ = append(e.ctrlQ, rts)
 		e.set.Counter("core.rdv_started").Inc()
 		e.ctr.rdvBytes += uint64(p.Size())
+		e.armRdvRetryLocked(rts.Ctrl.Token, 0)
 		e.mu.Unlock()
 		e.pumpAll()
 		return nil
@@ -476,11 +585,65 @@ func (e *Engine) onNagle(gen uint64) {
 	e.pumpAll()
 }
 
+// armRdvRetryLocked schedules the attempt-th RTS retry for token, with
+// exponential backoff. No-op when retry is disabled or the budget is spent.
+func (e *Engine) armRdvRetryLocked(token uint64, attempt int) {
+	if e.cfg.RdvRetry <= 0 || attempt >= e.cfg.RdvRetryMax {
+		return
+	}
+	delay := e.cfg.RdvRetry << uint(attempt)
+	e.rdvTimers[token] = e.rt.Schedule(delay, "core.rdv-retry", func() {
+		e.onRdvRetry(token, attempt)
+	})
+}
+
+// onRdvRetry fires when a rendezvous has waited out its CTS window: if the
+// transfer is still ungranted, the RTS is rebuilt and re-queued (the
+// receiver's token dedupe makes the duplicate harmless) and the next
+// backoff is armed.
+func (e *Engine) onRdvRetry(token uint64, attempt int) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.rdvTimers, token)
+	rts := e.rdvS.RetryRTS(token)
+	if rts == nil {
+		// Granted while the timer was in flight: nothing to do.
+		e.mu.Unlock()
+		return
+	}
+	e.ctrlQ = append(e.ctrlQ, rts)
+	e.ctr.rdvRetries++
+	e.set.Counter("core.rdv_retries").Inc()
+	e.rec.Record(trace.Event{
+		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
+		Flow: rts.Ctrl.Flow, Seq: rts.Ctrl.Seq, A: attempt + 1,
+		Note: "rdv-retry",
+	})
+	e.armRdvRetryLocked(token, attempt+1)
+	e.mu.Unlock()
+	e.pumpAll()
+}
+
+// cancelRdvRetryLocked disarms the retry timer for a granted token.
+func (e *Engine) cancelRdvRetryLocked(token uint64) {
+	if c, ok := e.rdvTimers[token]; ok {
+		delete(e.rdvTimers, token)
+		c()
+	}
+}
+
 // Close detaches the engine from its rails.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true
 	e.disarmNagleLocked()
+	for tok, c := range e.rdvTimers {
+		delete(e.rdvTimers, tok)
+		c()
+	}
 	rails := e.rails
 	e.mu.Unlock()
 	for _, r := range rails {

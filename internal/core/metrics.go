@@ -26,6 +26,11 @@ type counters struct {
 	nagleFires     uint64 // delay timer expired and triggered a pump
 	nagleEarly     uint64 // delay cut short by backlog pressure or Flush
 	delivered      uint64
+
+	// Resilience counters (the chaos observation surface).
+	framesReclaimed uint64 // frames handed back by failing rails
+	failovers       uint64 // failover-queue frames re-posted on a live rail
+	rdvRetries      uint64 // rendezvous RTS retries fired
 }
 
 // Metrics is a point-in-time snapshot of one engine: queue depths, activity
@@ -58,6 +63,13 @@ type Metrics struct {
 	// RailFrames is the per-rail frame count, indexed like Rails().
 	RailFrames []uint64
 
+	// Resilience surface: what the failure machinery has been doing.
+	FramesReclaimed uint64   // frames handed back by failing rails
+	Failovers       uint64   // reclaimed/refused frames re-posted on a live rail
+	FailoverQueued  int      // frames still waiting for any rail to their peer
+	RdvRetries      uint64   // rendezvous RTS retries fired
+	RailDowns       []uint64 // per-rail peer-down events, indexed like Rails()
+
 	// The tuning in effect.
 	Lookahead       int
 	NagleDelay      simnet.Duration
@@ -89,6 +101,11 @@ func (e *Engine) Metrics() Metrics {
 		NagleEarly:      e.ctr.nagleEarly,
 		Delivered:       e.ctr.delivered,
 		RailFrames:      append([]uint64(nil), e.railFrames...),
+		FramesReclaimed: e.ctr.framesReclaimed,
+		Failovers:       e.ctr.failovers,
+		FailoverQueued:  len(e.failQ),
+		RdvRetries:      e.ctr.rdvRetries,
+		RailDowns:       append([]uint64(nil), e.railDowns...),
 		Lookahead:       e.cfg.Lookahead,
 		NagleDelay:      e.cfg.NagleDelay,
 		NagleFlushCount: e.cfg.NagleFlushCount,

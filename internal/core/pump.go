@@ -98,9 +98,10 @@ func (e *Engine) enqueueReactive(f *packet.Frame) {
 }
 
 // onRdvGrant fires when a CTS arrives for a rendezvous this node started:
-// the bulk payload becomes schedulable.
+// the bulk payload becomes schedulable and the retry timer stands down.
 func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
 	// Called with e.mu held (CTS arrives via onFrame -> dispatcher).
+	e.cancelRdvRetryLocked(token)
 	rdata := e.rdvS.BuildRData(token)
 	e.bulkQ = append(e.bulkQ, rdata)
 	e.set.Counter("core.rdv_granted").Inc()
@@ -164,6 +165,13 @@ func (e *Engine) pumpLocked(ri, ch int, idleUpcall bool) bool {
 		}
 	}
 
+	// 2. Failover traffic: frames whose original rail died re-travel on the
+	// first live channel that admits their class — ahead of fresh work, so
+	// recovery latency stays bounded by one pump cycle, not by queue depth.
+	if e.pumpFailoverLocked(ri, ch) {
+		return true
+	}
+
 	holdBacklog := e.nagleArmed && !idleUpcall
 	tryBacklog := func() bool { return !holdBacklog && e.pumpBacklogLocked(ri, ch) }
 	tryBulk := func() bool { return e.pumpBulkLocked(ri, ch) }
@@ -176,6 +184,65 @@ func (e *Engine) pumpLocked(ri, ch int, idleUpcall bool) bool {
 		return true
 	}
 	return second()
+}
+
+// frameClass maps a frame to the scheduling class governing its channel
+// admission.
+func frameClass(f *packet.Frame) packet.ClassID {
+	switch f.Kind {
+	case packet.FrameData:
+		if len(f.Entries) > 0 {
+			return f.Entries[0].Class
+		}
+		return packet.ClassSmall
+	case packet.FramePut, packet.FrameGet, packet.FrameGetReply:
+		return packet.ClassRMA
+	case packet.FrameRData:
+		return packet.ClassBulk
+	default:
+		return packet.ClassControl
+	}
+}
+
+// railReaches reports whether rail ri currently reaches peer: rails that
+// track liveness (drivers.PeerChecker) answer for themselves, all others —
+// the simulated fabrics — count as reachable.
+func (e *Engine) railReaches(ri int, peer packet.NodeID) bool {
+	if pc, ok := e.rails[ri].(drivers.PeerChecker); ok {
+		return !pc.PeerDown(peer)
+	}
+	return true
+}
+
+// pumpFailoverLocked re-posts the first failover frame this (rail, channel)
+// can carry: the class policy still applies (control lanes stay protected),
+// but the rail policy is bypassed — its preferred rail for the frame is
+// exactly the one that died — and rails that do not reach the frame's
+// destination are skipped. Frames nothing currently reaches stay queued for
+// a heal.
+func (e *Engine) pumpFailoverLocked(ri, ch int) bool {
+	if len(e.failQ) == 0 {
+		return false
+	}
+	numCh := e.rails[ri].NumChannels()
+	for i, f := range e.failQ {
+		if !e.bundle.Classes.Allowed(frameClass(f), ch, numCh) {
+			continue
+		}
+		if !e.railReaches(ri, f.Dst) {
+			continue
+		}
+		e.failQ = append(e.failQ[:i], e.failQ[i+1:]...)
+		e.ctr.failovers++
+		e.set.Counter("core.failovers").Inc()
+		e.rec.Record(trace.Event{
+			At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
+			A: ri, B: f.WireSize(), Note: "failover:" + f.Kind.String(),
+		})
+		e.postLocked(ri, ch, f, nil, 0)
+		return true
+	}
+	return false
 }
 
 // pumpBulkLocked posts the first bulk frame admitted on this channel.
@@ -197,6 +264,9 @@ func (e *Engine) pumpBulkLocked(ri, ch int) bool {
 		// stable.
 		probe := &packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
 		if !e.bundle.Rail.Eligible(probe, info) {
+			continue
+		}
+		if !e.railReaches(ri, f.Dst) {
 			continue
 		}
 		e.bulkQ = append(e.bulkQ[:i], e.bulkQ[i+1:]...)
@@ -282,6 +352,11 @@ func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet
 		if !e.bundle.Rail.Eligible(p, info) {
 			continue
 		}
+		if !e.railReaches(info.Index, p.Dst) {
+			// A rail that lost this peer does not plan toward it; a sibling
+			// rail's pump (or a heal) picks the packet up instead.
+			continue
+		}
 		view = append(view, p)
 	}
 	return view
@@ -331,16 +406,17 @@ func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
 //
 // ErrPeerDown is the exception: real transports lose peers at any moment,
 // and the contract is that a dead destination releases rather than wedges.
-// The frame is dropped and surfaced (counter + trace event); recovery —
-// re-dialing the peer, re-sending at the application layer — belongs
-// above the engine.
+// The frame joins the failover queue — to re-travel on a rail that still
+// reaches the peer, or to wait out a partition until a heal — instead of
+// being dropped: the engine owns the frame until some rail accepts it.
 func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
 	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
 		if errors.Is(err, drivers.ErrPeerDown) {
-			e.set.Counter("core.peer_down_drops").Inc()
+			e.failQ = append(e.failQ, f)
+			e.set.Counter("core.peer_down_posts").Inc()
 			e.rec.Record(trace.Event{
-				At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
-				A: ri, B: f.WireSize(), Note: "drop:peer-down",
+				At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
+				A: ri, B: f.WireSize(), Note: "requeue:peer-down",
 			})
 			return
 		}

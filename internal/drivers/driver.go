@@ -40,6 +40,37 @@ type IdleFunc func(ch int)
 // RecvFunc delivers a fully received frame.
 type RecvFunc func(src packet.NodeID, f *packet.Frame)
 
+// FrameLossHandler receives frames a rail could not deliver: the connection
+// carrying them failed with the frames still queued (or mid-write). The
+// frames are intact — encoding happens in the rail owner, so an undelivered
+// frame is exactly the object that was posted — and the layer above decides
+// whether to fail them over onto another rail, hold them for a heal, or
+// drop them. The mid-write frame is included even though it *may* have
+// reached the peer: a broken TCP stream cannot say, so exactly-once is the
+// receiver's job (the reassembler deduplicates by sequence number).
+type FrameLossHandler func(peer packet.NodeID, frames []*packet.Frame)
+
+// FrameLossNotifier is implemented by drivers that can hand undeliverable
+// frames back instead of dropping them — the hook engine-level failover
+// (internal/core) and the multi-rail bundle build on.
+type FrameLossNotifier interface {
+	SetFrameLossHandler(fn FrameLossHandler)
+}
+
+// PeerChecker is implemented by drivers that track per-peer liveness. The
+// optimizing layer consults it to route failover traffic around dead
+// connections; drivers without the method (simulated fabrics) are treated
+// as always-reachable.
+type PeerChecker interface {
+	PeerDown(peer packet.NodeID) bool
+}
+
+// PeerDownNotifier is implemented by drivers that can report peer failure
+// as an event (once per failed peer).
+type PeerDownNotifier interface {
+	SetPeerDownHandler(fn func(peer packet.NodeID))
+}
+
 // Driver is one node's endpoint on one network.
 type Driver interface {
 	// Name identifies the driver instance for diagnostics.

@@ -76,6 +76,8 @@ type Mesh struct {
 	onIdle   IdleFunc
 	onRecv   RecvFunc
 	onDown   func(peer packet.NodeID)
+	onLost   FrameLossHandler
+	lost     uint64 // frames reclaimed from failed connections
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -299,6 +301,95 @@ func (m *Mesh) SetPeerDownHandler(fn func(peer packet.NodeID)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.onDown = fn
+}
+
+// SetFrameLossHandler installs the handler that receives frames reclaimed
+// from a failed connection (see FrameLossHandler). Optional; installing
+// none restores the historical behavior of dropping undelivered frames
+// with the connection. Called from the failed rail's owner goroutine.
+func (m *Mesh) SetFrameLossHandler(fn FrameLossHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onLost = fn
+}
+
+// framesLost counts and hands reclaimed frames to the loss handler (unless
+// the mesh is shutting down, where every loss is expected).
+func (m *Mesh) framesLost(peer packet.NodeID, frames []*packet.Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	m.mu.Lock()
+	h := m.onLost
+	closed := m.closed
+	m.lost += uint64(len(frames))
+	m.mu.Unlock()
+	if h != nil && !closed {
+		h(peer, frames)
+	}
+}
+
+// LostFrames returns the number of frames reclaimed from failed
+// connections since the mesh was created (whether or not a loss handler
+// consumed them).
+func (m *Mesh) LostFrames() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lost
+}
+
+// Requeue enqueues a frame on the destination peer's rail without
+// occupying a send channel — the failover path the multi-rail bundle uses
+// to re-route frames reclaimed from a dead sibling rail. The slack beyond
+// the per-channel slots is bounded (requeueSlack); a full queue returns
+// ErrChannelBusy and the caller retries on a later idle. Ordering relative
+// to channel traffic follows queue order, like any post.
+func (m *Mesh) Requeue(f *packet.Frame) error {
+	if f.Src != m.node {
+		return fmt.Errorf("drivers: frame src %d requeued on node %d", f.Src, m.node)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("drivers: mesh closed")
+	}
+	p, ok := m.peers[f.Dst]
+	if !ok {
+		return fmt.Errorf("drivers: node %d not connected to %d", m.node, f.Dst)
+	}
+	if p.down {
+		return fmt.Errorf("drivers: node %d -> %d: %w", m.node, f.Dst, ErrPeerDown)
+	}
+	select {
+	case p.q <- railTx{ch: -1, f: f}:
+		return nil
+	default:
+		return fmt.Errorf("drivers: node %d -> %d requeue slack full: %w", m.node, f.Dst, ErrChannelBusy)
+	}
+}
+
+// BreakPeer forces the connection toward peer down, exactly as if the
+// network had severed it: the socket closes (so the owner's next write
+// fails and reclaims the queued frames, and the remote reader observes the
+// reset), subsequent Posts fail with ErrPeerDown, and the peer-down
+// handler fires once. The chaos layer's rail-flap fault; recovery is the
+// ordinary re-Dial. Reports whether a live connection was broken.
+func (m *Mesh) BreakPeer(peer packet.NodeID) bool {
+	m.mu.Lock()
+	p, ok := m.peers[peer]
+	if !ok || m.closed || p.down {
+		m.mu.Unlock()
+		return false
+	}
+	p.down = true
+	conn := p.c
+	h := m.onDown
+	m.mu.Unlock()
+	conn.Close()
+	if h != nil {
+		h(peer)
+	}
+	return true
 }
 
 // Peers returns the ids of connected peers that have not failed, sorted.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"newmad/internal/caps"
 	"newmad/internal/memsim"
@@ -35,6 +36,17 @@ import (
 // Addr joins the per-rail listener addresses with commas and Dial splits
 // them again, so the all-pairs wiring helper used by single-rail transports
 // works unchanged.
+//
+// Failure semantics: the bundle treats a peer as down only when EVERY rail
+// toward it has failed — one dead rail out of N is degraded capacity, not
+// a dead peer. Frames a dying rail reclaims from its queue (see
+// FrameLossHandler) automatically fail over onto a surviving rail toward
+// the same peer, riding that rail's requeue slack so they never race the
+// consumer for send channels; frames with no surviving rail wait in the
+// bundle's failover queue for a heal (re-Dial). New posts mapped onto a
+// dead rail's channels still fail with ErrPeerDown — the channel-busy
+// contract has no honest way to borrow another rail's channel — and the
+// consumer routes around using the remaining channels.
 type MultiRail struct {
 	node  packet.NodeID
 	rails []*Mesh
@@ -44,6 +56,13 @@ type MultiRail struct {
 	mu        sync.Mutex
 	onDown    func(packet.NodeID)
 	downFired map[packet.NodeID]bool
+	failq     map[packet.NodeID][]*packet.Frame // reclaimed, no surviving rail yet
+	failovers uint64                            // frames re-routed onto a surviving rail
+
+	// failPending mirrors "failq is non-empty" so the per-frame idle path
+	// stays lock-free in the (overwhelmingly common) fault-free steady
+	// state; it may read stale for one idle cycle, never permanently.
+	failPending atomic.Bool
 }
 
 var _ Driver = (*MultiRail)(nil)
@@ -96,6 +115,7 @@ func NewMultiRail(rails []*Mesh) (*MultiRail, error) {
 		rails:     rails,
 		base:      make([]int, len(rails)),
 		downFired: make(map[packet.NodeID]bool),
+		failq:     make(map[packet.NodeID][]*packet.Frame),
 	}
 	for i, r := range rails {
 		if r.Node() != mr.node {
@@ -103,6 +123,16 @@ func NewMultiRail(rails []*Mesh) (*MultiRail, error) {
 		}
 		mr.base[i] = mr.total
 		mr.total += r.NumChannels()
+	}
+	// The bundle owns its rails' failure surface: per-rail peer-down events
+	// aggregate into the all-rails-down bundle event, and reclaimed frames
+	// enter the failover path.
+	for i, r := range rails {
+		i, r := i, r
+		r.SetPeerDownHandler(func(peer packet.NodeID) { mr.railDown(peer) })
+		r.SetFrameLossHandler(func(peer packet.NodeID, frames []*packet.Frame) {
+			mr.railLost(i, peer, frames)
+		})
 	}
 	return mr, nil
 }
@@ -181,14 +211,20 @@ func (mr *MultiRail) Post(ch int, f *packet.Frame, hostExtra simnet.Duration) er
 }
 
 // SetIdleHandler installs the idle upcall, translated to global channels.
+// Every idle also gives the failover queue a drain opportunity — requeue
+// slack that was full when a rail died frees up as frames serialize — but
+// the steady-state check is a single atomic load, not a lock.
 func (mr *MultiRail) SetIdleHandler(fn IdleFunc) {
 	for i, r := range mr.rails {
-		if fn == nil {
-			r.SetIdleHandler(nil)
-			continue
-		}
 		base := mr.base[i]
-		r.SetIdleHandler(func(ch int) { fn(base + ch) })
+		r.SetIdleHandler(func(ch int) {
+			if mr.failPending.Load() {
+				mr.drainFailq()
+			}
+			if fn != nil {
+				fn(base + ch)
+			}
+		})
 	}
 }
 
@@ -199,23 +235,22 @@ func (mr *MultiRail) SetRecvHandler(fn RecvFunc) {
 	}
 }
 
-// SetPeerDownHandler installs a callback fired once per failed peer, even
-// when several rails toward that peer fail.
+// SetPeerDownHandler installs a callback fired once per peer that has lost
+// its LAST surviving rail — one dead rail of several is degraded capacity
+// the failover machinery absorbs, not a peer failure.
 func (mr *MultiRail) SetPeerDownHandler(fn func(peer packet.NodeID)) {
 	mr.mu.Lock()
 	mr.onDown = fn
 	mr.downFired = make(map[packet.NodeID]bool)
 	mr.mu.Unlock()
-	for _, r := range mr.rails {
-		if fn == nil {
-			r.SetPeerDownHandler(nil)
-			continue
-		}
-		r.SetPeerDownHandler(mr.peerDown)
-	}
 }
 
-func (mr *MultiRail) peerDown(peer packet.NodeID) {
+// railDown is every rail's peer-down upcall: the bundle event fires only
+// when no rail toward the peer remains.
+func (mr *MultiRail) railDown(peer packet.NodeID) {
+	if !mr.PeerDown(peer) {
+		return // a sibling rail still carries the peer
+	}
 	mr.mu.Lock()
 	fired := mr.downFired[peer]
 	mr.downFired[peer] = true
@@ -226,14 +261,89 @@ func (mr *MultiRail) peerDown(peer packet.NodeID) {
 	}
 }
 
-// PeerDown reports whether any rail toward the peer has failed.
-func (mr *MultiRail) PeerDown(peer packet.NodeID) bool {
-	for _, r := range mr.rails {
-		if r.PeerDown(peer) {
+// railLost receives frames reclaimed from rail `from` after its connection
+// toward peer failed, and fails them over onto a surviving rail. Frames no
+// rail can carry right now wait in the failover queue for a heal.
+func (mr *MultiRail) railLost(from int, peer packet.NodeID, frames []*packet.Frame) {
+	var stranded []*packet.Frame
+	for _, f := range frames {
+		if !mr.tryFailover(from, peer, f) {
+			stranded = append(stranded, f)
+		}
+	}
+	if len(stranded) > 0 {
+		mr.mu.Lock()
+		mr.failq[peer] = append(mr.failq[peer], stranded...)
+		mr.mu.Unlock()
+		mr.failPending.Store(true)
+	}
+}
+
+// tryFailover requeues one reclaimed frame on any surviving rail toward
+// peer (skipping the rail it just fell off). Reports success.
+func (mr *MultiRail) tryFailover(from int, peer packet.NodeID, f *packet.Frame) bool {
+	for j, r := range mr.rails {
+		if j == from || r.PeerDown(peer) {
+			continue
+		}
+		if err := r.Requeue(f); err == nil {
+			mr.mu.Lock()
+			mr.failovers++
+			mr.mu.Unlock()
 			return true
 		}
 	}
 	return false
+}
+
+// drainFailq retries stranded frames; called on idle upcalls (requeue
+// slack frees as frames serialize) and after a heal (Dial).
+func (mr *MultiRail) drainFailq() {
+	mr.mu.Lock()
+	if len(mr.failq) == 0 {
+		mr.failPending.Store(false)
+		mr.mu.Unlock()
+		return
+	}
+	pending := mr.failq
+	mr.failq = make(map[packet.NodeID][]*packet.Frame)
+	mr.mu.Unlock()
+	// Cleared optimistically; railLost re-raises it for whatever strands
+	// again.
+	mr.failPending.Store(false)
+	for peer, frames := range pending {
+		mr.railLost(-1, peer, frames)
+	}
+}
+
+// Failovers returns the number of frames re-routed onto a surviving rail.
+func (mr *MultiRail) Failovers() uint64 {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	return mr.failovers
+}
+
+// FailoverPending returns the number of reclaimed frames still waiting for
+// any rail toward their peer to come back.
+func (mr *MultiRail) FailoverPending() int {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	n := 0
+	for _, fs := range mr.failq {
+		n += len(fs)
+	}
+	return n
+}
+
+// PeerDown reports whether EVERY rail toward the peer has failed — the
+// bundle's reachability view. Per-rail liveness is Rails()[i].PeerDown.
+func (mr *MultiRail) PeerDown(peer packet.NodeID) bool {
+	for _, r := range mr.rails {
+		if !r.PeerDown(peer) {
+			return false
+		}
+	}
+	return true
 }
 
 // Peers returns the ids of peers reachable on every rail, sorted.
@@ -275,6 +385,28 @@ func (mr *MultiRail) Dial(peer packet.NodeID, addr string) error {
 			return err
 		}
 	}
+	// A heal: frames stranded while every rail was down can travel again.
+	mr.mu.Lock()
+	delete(mr.downFired, peer)
+	mr.mu.Unlock()
+	mr.drainFailq()
+	return nil
+}
+
+// DialRail re-dials a single rail toward the peer — the heal for a
+// rail-level flap (BreakPeer on one rail). addr is that rail's listener
+// address on the peer.
+func (mr *MultiRail) DialRail(rail int, peer packet.NodeID, addr string) error {
+	if rail < 0 || rail >= len(mr.rails) {
+		return fmt.Errorf("drivers: multirail node %d has no rail %d", mr.node, rail)
+	}
+	if err := mr.rails[rail].Dial(peer, addr); err != nil {
+		return err
+	}
+	mr.mu.Lock()
+	delete(mr.downFired, peer)
+	mr.mu.Unlock()
+	mr.drainFailq()
 	return nil
 }
 

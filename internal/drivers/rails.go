@@ -60,7 +60,10 @@ const (
 
 // railTx is one queued frame: the channel it occupies and the frame itself.
 // Encoding is deferred to the rail's owner (see Mesh.Post), so the payload
-// copy runs on the rail's goroutine instead of under the engine lock.
+// copy runs on the rail's goroutine instead of under the engine lock. A
+// requeued frame (failover traffic re-routed from a dead sibling rail, see
+// Mesh.Requeue) carries ch == -1: it occupies no send channel and releases
+// none.
 type railTx struct {
 	ch int
 	f  *packet.Frame
@@ -70,20 +73,30 @@ type railTx struct {
 // anything larger is released back to the GC after the write.
 const maxScratch = 1 << 20
 
+// requeueSlack is the extra queue capacity reserved for failover requeues
+// beyond the one-slot-per-channel guarantee Post relies on. A full slack
+// makes Requeue fail (the caller holds the frame and retries on the next
+// idle), never blocks.
+const requeueSlack = 64
+
 // newRail builds the rail for a freshly dialed connection. The queue holds
-// at most one frame per send channel, so enqueueing under the driver lock
-// never blocks.
+// at most one frame per send channel plus the failover slack, so
+// enqueueing under the driver lock never blocks.
 func newRail(c net.Conn, slots int) *rail {
-	return &rail{c: c, q: make(chan railTx, slots)}
+	return &rail{c: c, q: make(chan railTx, slots+requeueSlack)}
 }
 
 // sender is the rail's owner goroutine: it writes each queued frame
 // atomically (4-byte length prefix + encoded frame) and then releases the
 // channel that carried it. On a write error the peer is taken down
-// (railWriteFailed), but the goroutine keeps draining so every channel
-// pointed at the dead connection is released — the engine above sees idle
-// upcalls, not a wedged send unit. When the queue closes (retirement) the
-// owner finishes the drain and disposes of the socket.
+// (railWriteFailed) and every frame still aboard — the one that failed
+// mid-write plus everything queued behind it — is reclaimed and handed to
+// the frame-loss handler, so the layer above can fail the frames over onto
+// a surviving rail instead of losing them with the connection. The
+// goroutine keeps draining so every channel pointed at the dead connection
+// is released — the engine above sees idle upcalls, not a wedged send
+// unit. When the queue closes (retirement) the owner finishes the drain
+// and disposes of the socket.
 func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 	defer m.wg.Done()
 	bw := bufio.NewWriter(r.c)
@@ -104,7 +117,37 @@ func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 			if err != nil {
 				broken = true
 				m.railWriteFailed(peer, r)
-			} else if m.pacer != nil {
+				// The peer is marked down under m.mu, so no new frame can
+				// enqueue: reclaim everything aboard right now rather than
+				// waiting for retirement — failover wants the frames back
+				// while the traffic they belong to is still in flight.
+				lost := []*packet.Frame{tx.f}
+				var chans []int
+				if tx.ch >= 0 {
+					chans = append(chans, tx.ch)
+				}
+			reclaim:
+				for {
+					select {
+					case tx2, ok := <-r.q:
+						if !ok {
+							break reclaim
+						}
+						lost = append(lost, tx2.f)
+						if tx2.ch >= 0 {
+							chans = append(chans, tx2.ch)
+						}
+					default:
+						break reclaim
+					}
+				}
+				m.framesLost(peer, lost)
+				for _, ch := range chans {
+					m.releaseChannel(ch)
+				}
+				continue
+			}
+			if m.pacer != nil {
 				m.pacer.serialize(len(scratch) + m.caps.PacketHeader)
 			}
 			if cap(scratch) > maxScratch {
@@ -112,8 +155,13 @@ func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 				// frame-sized buffer to this connection for its lifetime.
 				scratch = nil
 			}
+		} else {
+			// A straggler that raced the reclaim above: same treatment.
+			m.framesLost(peer, []*packet.Frame{tx.f})
 		}
-		m.releaseChannel(tx.ch)
+		if tx.ch >= 0 {
+			m.releaseChannel(tx.ch)
+		}
 	}
 	// Queue closed and drained. Announce the graceful retirement in-band (a
 	// zero length prefix) so the peer's reader unregisters this connection

@@ -72,6 +72,31 @@ func DecisionCount(id string) uint64 {
 	return decisionCounts[id]
 }
 
+// Chaos experiments (X5) report how many faults hit the run and how many
+// recovery actions the engines fired; madbench folds the counts into its
+// machine-readable output (madbench/v3).
+var (
+	faultMu     sync.Mutex
+	faultCounts = map[string][2]uint64{}
+)
+
+// reportFaults records one experiment run's fault/recovery totals,
+// replacing any previous counts for that ID.
+func reportFaults(id string, injected, recovered uint64) {
+	faultMu.Lock()
+	faultCounts[id] = [2]uint64{injected, recovered}
+	faultMu.Unlock()
+}
+
+// FaultCounts returns the (faults injected, recovery actions) recorded by
+// the last run of the experiment (0, 0 for fault-free experiments).
+func FaultCounts(id string) (injected, recovered uint64) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	c := faultCounts[id]
+	return c[0], c[1]
+}
+
 // Get returns the experiment with the given ID.
 func Get(id string) (Experiment, bool) {
 	e, ok := registry[id]

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -14,8 +15,8 @@ var quick = Config{Quick: true, Seed: 1}
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registered %d experiments, want 15 (E1..E11 + X1..X4)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registered %d experiments, want 16 (E1..E11 + X1..X5)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
@@ -23,8 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Natural ordering: E1..E11, then the X-series addenda.
-	if all[0].ID != "E1" || all[10].ID != "E11" || all[11].ID != "X1" || all[14].ID != "X4" {
-		t.Fatalf("ordering: first=%s eleventh=%s then=%s last=%s", all[0].ID, all[10].ID, all[11].ID, all[14].ID)
+	if all[0].ID != "E1" || all[10].ID != "E11" || all[11].ID != "X1" || all[15].ID != "X5" {
+		t.Fatalf("ordering: first=%s eleventh=%s then=%s last=%s", all[0].ID, all[10].ID, all[11].ID, all[15].ID)
 	}
 	if _, ok := Get("E1"); !ok {
 		t.Fatal("Get(E1) failed")
@@ -45,65 +46,114 @@ func TestX1ShapeWANAggregation(t *testing.T) {
 // TestX2ShapeMeshMatchesModel asserts the property X2 exists to check: the
 // optimizer's transaction accounting (it aggregates: fewer frames than
 // messages) holds on both the simulated fabric and the real mesh, and every
-// message survives the real transport.
+// message survives the real transport. The mesh half measures real sockets
+// on a possibly-noisy machine (a slow host aggregates differently), so the
+// whole measurement retries through the shared best-of-3 helper.
 func TestX2ShapeMeshMatchesModel(t *testing.T) {
 	sim, err := X2Sim(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mesh, err := X2Mesh(quick)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sim.Msgs != mesh.Msgs {
-		t.Fatalf("workloads diverge: sim %d msgs, mesh %d msgs", sim.Msgs, mesh.Msgs)
-	}
-	if sim.Frames == 0 || mesh.Frames == 0 {
-		t.Fatalf("frames: sim %d, mesh %d", sim.Frames, mesh.Frames)
-	}
-	if mesh.Frames >= uint64(mesh.Msgs) {
-		t.Fatalf("no aggregation over the mesh: %d frames for %d msgs", mesh.Frames, mesh.Msgs)
+	if sim.Frames == 0 {
+		t.Fatal("no frames in the model run")
 	}
 	if sim.Frames >= uint64(sim.Msgs) {
 		t.Fatalf("no aggregation in the model: %d frames for %d msgs", sim.Frames, sim.Msgs)
+	}
+	if err := RetryShape(3, func() error {
+		mesh, err := X2Mesh(quick)
+		if err != nil {
+			return err
+		}
+		if sim.Msgs != mesh.Msgs {
+			return fmt.Errorf("workloads diverge: sim %d msgs, mesh %d msgs", sim.Msgs, mesh.Msgs)
+		}
+		if mesh.Frames == 0 {
+			return fmt.Errorf("no frames over the mesh")
+		}
+		if mesh.Frames >= uint64(mesh.Msgs) {
+			return fmt.Errorf("no aggregation over the mesh: %d frames for %d msgs", mesh.Frames, mesh.Msgs)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestX4ShapeMultiRailBeatsSingleRail asserts the property X4 exists to
 // check: striping the conglomerate workload across ≥2 real TCP rails beats
 // the single-rail transport on wall-clock throughput, and the bulk frames
-// genuinely spread over the rails. Wall-clock measurements on a shared
-// machine are noisy, so the comparison takes the best of two attempts
-// before judging.
+// genuinely spread over the rails. Wall-clock comparisons on a shared
+// machine are noisy, so the whole paired measurement retries through the
+// shared best-of-3 helper (each attempt measures both configurations
+// back-to-back — comparing a fast attempt of one against a slow attempt of
+// the other would manufacture exactly the flake being removed).
 func TestX4ShapeMultiRailBeatsSingleRail(t *testing.T) {
-	best := func(rails int) X4Result {
-		t.Helper()
-		var best X4Result
-		for attempt := 0; attempt < 2; attempt++ {
-			r, err := X4Mesh(quick, rails)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if best.Completion == 0 || r.Completion < best.Completion {
-				best = r
+	if err := RetryShape(3, func() error {
+		single, err := X4Mesh(quick, 1)
+		if err != nil {
+			return err
+		}
+		multi, err := X4Mesh(quick, 2)
+		if err != nil {
+			return err
+		}
+		if single.Msgs != multi.Msgs || single.Bytes != multi.Bytes {
+			return fmt.Errorf("workloads diverge: single %d msgs/%d B, multi %d msgs/%d B",
+				single.Msgs, single.Bytes, multi.Msgs, multi.Bytes)
+		}
+		for name, frames := range multi.RailFrames {
+			if frames == 0 {
+				return fmt.Errorf("rail %s posted no frames: striping inert (distribution %v)", name, multi.RailFrames)
 			}
 		}
-		return best
-	}
-	single := best(1)
-	multi := best(2)
-	if single.Msgs != multi.Msgs || single.Bytes != multi.Bytes {
-		t.Fatalf("workloads diverge: single %d msgs/%d B, multi %d msgs/%d B",
-			single.Msgs, single.Bytes, multi.Msgs, multi.Bytes)
-	}
-	for name, frames := range multi.RailFrames {
-		if frames == 0 {
-			t.Fatalf("rail %s posted no frames: striping inert (distribution %v)", name, multi.RailFrames)
+		if multi.Completion >= single.Completion {
+			return fmt.Errorf("multi-rail does not beat single-rail: 2 rails %v !< 1 rail %v",
+				multi.Completion, single.Completion)
 		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
-	if multi.Completion >= single.Completion {
-		t.Fatalf("multi-rail does not beat single-rail: 2 rails %v !< 1 rail %v",
-			multi.Completion, single.Completion)
+}
+
+// TestX5ShapeChaosExactlyOnceAndReplayable is the chaos subsystem's
+// acceptance criterion: under the scripted rail-flap + node-crash scenario
+// (plus probabilistic control-frame drops), every surviving-pair payload
+// arrives exactly once, faults demonstrably fired, and re-running from the
+// same seed executes the complete identical fault schedule event-for-event
+// (X5Chaos errors out on a partial execution, and the runner records each
+// event only after executing it, so trace equality compares two full
+// successful executions — what it deliberately does not pin is which
+// individual frames each break caught, which is transport timing).
+func TestX5ShapeChaosExactlyOnceAndReplayable(t *testing.T) {
+	if err := RetryShape(2, func() error {
+		a, err := X5Chaos(quick)
+		if err != nil {
+			return err
+		}
+		if a.Lost != 0 || a.Duplicated != 0 {
+			return fmt.Errorf("delivery broken: %d lost, %d duplicated of %d", a.Lost, a.Duplicated, a.Msgs)
+		}
+		if a.PeerDowns == 0 {
+			return fmt.Errorf("scenario injected no rail failures")
+		}
+		if a.Failovers+a.Reclaimed == 0 {
+			return fmt.Errorf("failures observed (%d downs) but no failover activity", a.PeerDowns)
+		}
+		b, err := X5Chaos(quick)
+		if err != nil {
+			return err
+		}
+		if b.Lost != 0 || b.Duplicated != 0 {
+			return fmt.Errorf("replay delivery broken: %d lost, %d duplicated", b.Lost, b.Duplicated)
+		}
+		if d := a.Trace.Diff(b.Trace); d != "" {
+			return fmt.Errorf("fault schedule not replayable from seed %d: %s", quick.Seed, d)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

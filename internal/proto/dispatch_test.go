@@ -70,19 +70,39 @@ func TestRdvConstructorValidation(t *testing.T) {
 	mustPanic("nil reasm deliver", func() { NewReassembler(0, nil) })
 }
 
-func TestRdvDataSizeMismatchPanics(t *testing.T) {
-	reasm := NewReassembler(1, func(Deliverable) {})
-	r := NewRdvReceiver(1, reasm, func(*packet.Frame) {}, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("size mismatch accepted")
-		}
-	}()
+func TestRdvDataAnomaliesDropped(t *testing.T) {
+	// An RData no rendezvous ever granted, and a granted one whose payload
+	// length contradicts the negotiated size, are both dropped and counted:
+	// a corrupting network can produce either, and neither may crash the
+	// node or reach the reassembler.
+	delivered := 0
+	reasm := NewReassembler(1, func(Deliverable) { delivered++ })
+	var ctses []*packet.Frame
+	r := NewRdvReceiver(1, reasm, func(f *packet.Frame) { ctses = append(ctses, f) }, 0)
+
+	// Never granted: dropped as unknown.
 	r.HandleRData(0, &packet.Frame{
 		Kind: packet.FrameRData,
-		Ctrl: packet.Ctrl{Size: 100},
+		Ctrl: packet.Ctrl{Token: 42, Size: 50},
 		Bulk: make([]byte, 50),
 	})
+	// Granted, but the payload lies about its size: dropped as corrupt.
+	s := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	rts := s.Start(&packet.Packet{Flow: 1, Seq: 0, Last: true, Src: 0, Dst: 1,
+		Payload: make([]byte, 100)})
+	r.HandleRTS(rts)
+	r.HandleRData(0, &packet.Frame{
+		Kind: packet.FrameRData,
+		Ctrl: rts.Ctrl,
+		Bulk: make([]byte, 50),
+	})
+	if delivered != 0 {
+		t.Fatalf("anomalous RData reached the reassembler (%d deliveries)", delivered)
+	}
+	dupRTS, dupRD, badRD := r.Anomalies()
+	if dupRTS != 0 || dupRD != 1 || badRD != 1 {
+		t.Fatalf("anomalies = (%d, %d, %d), want (0, 1, 1)", dupRTS, dupRD, badRD)
+	}
 }
 
 func TestBuildRDataUnknownTokenPanics(t *testing.T) {

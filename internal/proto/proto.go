@@ -10,8 +10,6 @@
 package proto
 
 import (
-	"fmt"
-
 	"newmad/internal/packet"
 )
 
@@ -39,6 +37,7 @@ type Reassembler struct {
 	node    packet.NodeID
 	deliver DeliverFunc
 	flows   map[flowKey]*flowState
+	dups    uint64
 }
 
 // flowKey scopes reassembly state by source: two senders may use the same
@@ -68,7 +67,12 @@ func NewReassembler(node packet.NodeID, fn DeliverFunc) *Reassembler {
 // Seq keeps counting). See mad.Channel for the sender side.
 
 // Ingest accepts one arrived packet (from any frame kind) and releases
-// whatever has become in-order.
+// whatever has become in-order. Duplicate fragments — a fragment already
+// delivered, or a second copy of one still buffered — are dropped and
+// counted: with the failover and retry machinery re-sending frames whose
+// fate a broken connection left ambiguous, the reassembler's sequence
+// numbers are what turns at-least-once transport into exactly-once
+// delivery.
 func (r *Reassembler) Ingest(src packet.NodeID, p *packet.Packet) {
 	k := flowKey{src, p.Flow}
 	fs := r.flows[k]
@@ -77,7 +81,12 @@ func (r *Reassembler) Ingest(src packet.NodeID, p *packet.Packet) {
 		r.flows[k] = fs
 	}
 	if p.Seq < fs.nextSeq {
-		panic(fmt.Sprintf("proto: duplicate fragment %s (next expected %d)", p.Key(), fs.nextSeq))
+		r.dups++
+		return
+	}
+	if _, dup := fs.pending[p.Seq]; dup {
+		r.dups++
+		return
 	}
 	fs.pending[p.Seq] = Deliverable{Src: src, Pkt: p}
 	for {
@@ -90,6 +99,11 @@ func (r *Reassembler) Ingest(src packet.NodeID, p *packet.Packet) {
 		r.deliver(d)
 	}
 }
+
+// Duplicates returns the number of duplicate fragments dropped — the
+// exactly-once filter's activity counter. Zero on loss-free fabrics; under
+// chaos it counts how often a retransmission raced its original.
+func (r *Reassembler) Duplicates() uint64 { return r.dups }
 
 // PendingFragments returns how many fragments are buffered out of order
 // (should drain to zero at quiesce; tests assert this invariant).

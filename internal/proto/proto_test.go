@@ -83,15 +83,168 @@ func TestReassemblerScopesFlowsBySource(t *testing.T) {
 	}
 }
 
-func TestReassemblerDuplicatePanics(t *testing.T) {
-	r := NewReassembler(1, func(Deliverable) {})
+// TestReassemblerDuplicatesDropped pins the exactly-once filter: a second
+// copy of a delivered fragment, and a second copy of one still buffered out
+// of order, are both dropped and counted — never delivered twice, never a
+// crash. The failover/retry machinery depends on this to re-send frames
+// whose fate a broken connection left ambiguous.
+func TestReassemblerDuplicatesDropped(t *testing.T) {
+	var got []string
+	r := NewReassembler(1, func(d Deliverable) { got = append(got, string(d.Pkt.Payload)) })
 	r.Ingest(0, mkPkt(1, 0, "a"))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate fragment accepted")
-		}
-	}()
-	r.Ingest(0, mkPkt(1, 0, "a"))
+	r.Ingest(0, mkPkt(1, 0, "a-again")) // already delivered
+	r.Ingest(0, mkPkt(1, 2, "c"))
+	r.Ingest(0, mkPkt(1, 2, "c-again")) // still buffered
+	r.Ingest(0, mkPkt(1, 1, "b"))
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+	if r.Duplicates() != 2 {
+		t.Fatalf("duplicates = %d, want 2", r.Duplicates())
+	}
+	if r.PendingFragments() != 0 {
+		t.Fatal("fragments stuck after dedupe")
+	}
+}
+
+// TestRendezvousRetryIdempotent replays the lossy-control-path recovery
+// end to end: a retried RTS re-elicits the CTS without double-granting, a
+// duplicate CTS does not double-fire the grant hook, and a replayed RData
+// for a completed transfer is dropped — so the payload arrives exactly
+// once no matter which control frame was lost and retried.
+func TestRendezvousRetryIdempotent(t *testing.T) {
+	var delivered []Deliverable
+	reasm := NewReassembler(1, func(d Deliverable) { delivered = append(delivered, d) })
+	var ctses []*packet.Frame
+	rdvR := NewRdvReceiver(1, reasm, func(f *packet.Frame) { ctses = append(ctses, f) }, 0)
+	grants := 0
+	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) { grants++ })
+
+	p := &packet.Packet{Flow: 1, Msg: 1, Seq: 0, Last: true, Src: 0, Dst: 1,
+		Class: packet.ClassBulk, Payload: []byte("payload")}
+	rts := rdvS.Start(p)
+	tok := rts.Ctrl.Token
+	if !rdvS.Pending(tok) {
+		t.Fatal("token not pending after Start")
+	}
+
+	// The RTS was lost: a retry rebuilds it, byte-identical in intent.
+	retry := rdvS.RetryRTS(tok)
+	if retry == nil || retry.Ctrl.Token != tok {
+		t.Fatalf("retry RTS = %+v", retry)
+	}
+
+	// Both copies arrive; the receiver grants once but answers CTS twice
+	// (the first CTS may have been the lost frame).
+	rdvR.HandleRTS(rts)
+	rdvR.HandleRTS(retry)
+	if len(ctses) != 2 {
+		t.Fatalf("CTSes = %d, want 2 (one per RTS copy)", len(ctses))
+	}
+	if rdvR.Granted() != 1 {
+		t.Fatalf("granted = %d, want 1", rdvR.Granted())
+	}
+	if dupRTS, _, _ := rdvR.Anomalies(); dupRTS != 1 {
+		t.Fatalf("dupRTS = %d, want 1", dupRTS)
+	}
+
+	// Both CTSes arrive; the grant hook fires once.
+	rdvS.HandleCTS(ctses[0])
+	rdvS.HandleCTS(ctses[1])
+	if grants != 1 {
+		t.Fatalf("grant hook fired %d times", grants)
+	}
+	if rdvS.DupCTS() != 1 {
+		t.Fatalf("dupCTS = %d, want 1", rdvS.DupCTS())
+	}
+	if rdvS.RetryRTS(tok) != nil {
+		t.Fatal("granted token still retryable")
+	}
+
+	// The RData travels, then a stale duplicate is replayed.
+	rd := rdvS.BuildRData(tok)
+	rdvR.HandleRData(0, rd)
+	rdvR.HandleRData(0, rd)
+	if len(delivered) != 1 || string(delivered[0].Pkt.Payload) != "payload" {
+		t.Fatalf("delivered %v", delivered)
+	}
+	if _, dupRD, _ := rdvR.Anomalies(); dupRD != 1 {
+		t.Fatalf("dupRData = %d, want 1", dupRD)
+	}
+	if rdvS.Outstanding() != 0 || rdvR.Granted() != 0 {
+		t.Fatal("state leaked after the exchange")
+	}
+}
+
+// TestRendezvousStragglerRTSAfterCompletion: an RTS copy that arrives
+// AFTER its transfer already completed (it sat in a dead rail's queue while
+// the retried copy won the race end to end) must not be re-granted — the
+// sender has nothing left to send for the token, so a re-grant would hold
+// a rendezvous slot open forever and, under RdvMaxConcurrent, eventually
+// wedge all rendezvous traffic from that peer.
+func TestRendezvousStragglerRTSAfterCompletion(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	var ctses []*packet.Frame
+	rdvR := NewRdvReceiver(1, reasm, func(f *packet.Frame) { ctses = append(ctses, f) }, 1)
+	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) {})
+
+	p := &packet.Packet{Flow: 1, Seq: 0, Last: true, Src: 0, Dst: 1, Payload: make([]byte, 16)}
+	rts := rdvS.Start(p)
+	rdvR.HandleRTS(rts)
+	rdvS.HandleCTS(ctses[0])
+	rdvR.HandleRData(0, rdvS.BuildRData(rts.Ctrl.Token))
+	if rdvR.Granted() != 0 {
+		t.Fatalf("granted = %d after completion", rdvR.Granted())
+	}
+
+	// The straggler copy of the same RTS arrives late: no grant, no CTS.
+	before := len(ctses)
+	rdvR.HandleRTS(rts)
+	if rdvR.Granted() != 0 {
+		t.Fatal("straggler RTS re-granted a completed transfer (slot leak)")
+	}
+	if len(ctses) != before {
+		t.Fatal("straggler RTS re-elicited a CTS for a completed transfer")
+	}
+	if dupRTS, _, _ := rdvR.Anomalies(); dupRTS != 1 {
+		t.Fatalf("dupRTS = %d, want 1", dupRTS)
+	}
+
+	// The slot is genuinely free: a fresh rendezvous grants immediately
+	// despite the cap of 1.
+	p2 := &packet.Packet{Flow: 2, Seq: 0, Last: true, Src: 0, Dst: 1, Payload: make([]byte, 16)}
+	rdvR.HandleRTS(rdvS.Start(p2))
+	if rdvR.Granted() != 1 || rdvR.QueuedRTS() != 0 {
+		t.Fatalf("fresh RTS blocked: granted=%d queued=%d", rdvR.Granted(), rdvR.QueuedRTS())
+	}
+}
+
+// TestRendezvousBadRDataDropped: an RData whose payload length contradicts
+// the negotiated size is dropped (counted) and the grant stays open for the
+// genuine frame.
+func TestRendezvousBadRDataDropped(t *testing.T) {
+	reasm := NewReassembler(1, func(Deliverable) {})
+	var ctses []*packet.Frame
+	rdvR := NewRdvReceiver(1, reasm, func(f *packet.Frame) { ctses = append(ctses, f) }, 0)
+	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	p := &packet.Packet{Flow: 1, Seq: 0, Last: true, Src: 0, Dst: 1, Payload: make([]byte, 32)}
+	rts := rdvS.Start(p)
+	rdvR.HandleRTS(rts)
+	rdvS.HandleCTS(ctses[0])
+	rd := rdvS.BuildRData(rts.Ctrl.Token)
+	corrupt := *rd
+	corrupt.Bulk = rd.Bulk[:16] // lies about its size
+	rdvR.HandleRData(0, &corrupt)
+	if _, _, badRD := rdvR.Anomalies(); badRD != 1 {
+		t.Fatalf("badRData = %d, want 1", badRD)
+	}
+	if rdvR.Granted() != 1 {
+		t.Fatal("grant lost to a corrupt RData")
+	}
+	rdvR.HandleRData(0, rd)
+	if rdvR.Granted() != 0 {
+		t.Fatal("genuine RData after corrupt one not accepted")
+	}
 }
 
 // Property: any permutation of fragments 0..n-1 of a flow is delivered in
@@ -206,6 +359,7 @@ func TestRendezvousConcurrencyCap(t *testing.T) {
 		t.Fatalf("queued = %d", rdvR.QueuedRTS())
 	}
 	// Completing the first transfer releases the second grant.
+	rdvS.HandleCTS(ctses[0])
 	rd := rdvS.BuildRData(rts1.Ctrl.Token)
 	rdvR.HandleRData(0, rd)
 	if len(ctses) != 2 {
@@ -216,14 +370,21 @@ func TestRendezvousConcurrencyCap(t *testing.T) {
 	}
 }
 
-func TestRendezvousUnknownTokenPanics(t *testing.T) {
+func TestRendezvousUnknownTokenDropped(t *testing.T) {
+	// A stray CTS (corrupted token, or a replay from before a restart) is
+	// dropped and counted; only the engine-internal BuildRData path treats
+	// an unknown token as fatal.
 	rdvS := NewRdvSender(0, func(uint64, *packet.Packet) {})
+	rdvS.HandleCTS(&packet.Frame{Kind: packet.FrameCTS, Ctrl: packet.Ctrl{Token: 99}})
+	if rdvS.DupCTS() != 1 {
+		t.Fatalf("dupCTS = %d, want 1", rdvS.DupCTS())
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("unknown CTS token accepted")
+			t.Fatal("BuildRData for unknown token accepted")
 		}
 	}()
-	rdvS.HandleCTS(&packet.Frame{Kind: packet.FrameCTS, Ctrl: packet.Ctrl{Token: 99}})
+	rdvS.BuildRData(99)
 }
 
 func TestRMAPutGet(t *testing.T) {
@@ -281,40 +442,50 @@ func TestRMAPutGet(t *testing.T) {
 }
 
 func TestRMABoundsAndErrors(t *testing.T) {
+	// Remote-originated irregularities — out-of-range spans, unknown
+	// windows, unknown tokens — are rejected whole and counted: one corrupt
+	// frame from a chaotic network must not crash the node or partially
+	// apply. Local API misuse (a Get with no callback) still panics.
+	win := make([]byte, 32)
 	rma := NewRMA(1, func(*packet.Frame) {})
-	rma.RegisterWindow(1, make([]byte, 32))
-
-	expectPanic := func(name string, fn func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		fn()
-	}
+	rma.RegisterWindow(1, win)
 	other := NewRMA(0, func(*packet.Frame) {})
-	expectPanic("put out of range", func() {
+
+	before := append([]byte(nil), win...)
+	rejected := func(name string, want uint64, fn func()) {
+		t.Helper()
+		fn()
+		if got := rma.Rejected(); got != want {
+			t.Errorf("%s: rejected = %d, want %d", name, got, want)
+		}
+	}
+	rejected("put out of range", 1, func() {
 		rma.HandlePut(0, other.Put(1, 1, 30, []byte("toolong"), nil))
 	})
-	expectPanic("put unknown window", func() {
+	if string(win) != string(before) {
+		t.Fatal("out-of-range put partially applied")
+	}
+	rejected("put unknown window", 2, func() {
 		rma.HandlePut(0, other.Put(1, 9, 0, []byte("x"), nil))
 	})
-	expectPanic("get out of range", func() {
+	rejected("get out of range", 3, func() {
 		rma.HandleGet(0, other.Get(1, 1, 30, 10, func([]byte) {}))
 	})
-	expectPanic("get unknown window", func() {
+	rejected("get unknown window", 4, func() {
 		rma.HandleGet(0, other.Get(1, 9, 0, 1, func([]byte) {}))
 	})
-	expectPanic("unknown get reply", func() {
+	rejected("unknown get reply", 5, func() {
 		rma.HandleGetReply(&packet.Frame{Kind: packet.FrameGetReply, Ctrl: packet.Ctrl{Token: 404}})
 	})
-	expectPanic("unknown ack", func() {
+	rejected("unknown ack", 6, func() {
 		rma.HandleAck(&packet.Frame{Kind: packet.FrameAck, Ctrl: packet.Ctrl{Token: 404}})
 	})
-	expectPanic("get without callback", func() {
-		other.Get(1, 1, 0, 1, nil)
-	})
+	defer func() {
+		if recover() == nil {
+			t.Error("get without callback did not panic")
+		}
+	}()
+	other.Get(1, 1, 0, 1, nil)
 }
 
 func TestRMAGetReplyIsACopy(t *testing.T) {

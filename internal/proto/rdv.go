@@ -19,6 +19,15 @@ import (
 // The engines below are deliberately passive: they build frames and invoke
 // injected hooks, and the optimizing layer decides when frames actually hit
 // a channel.
+//
+// Loss tolerance: the original engines assumed loss-free fabrics and
+// panicked on any protocol irregularity. With the chaos layer
+// (internal/chaos) injecting drops and duplicates, irregularities that a
+// lossy network can produce — a duplicate RTS after a timeout retry, a
+// duplicate CTS, an RData for a transfer that already completed — are now
+// tolerated idempotently and counted, so the retry machinery in
+// internal/core can re-send control frames without risking double delivery.
+// Conditions only a local programming error can produce still panic.
 
 // SendHook enqueues a reactive protocol frame (CTS, get reply...) for
 // transmission; installed by the optimizing layer.
@@ -32,8 +41,10 @@ type GrantHook func(token uint64, p *packet.Packet)
 type RdvSender struct {
 	node      packet.NodeID
 	nextToken uint64
-	pending   map[uint64]*packet.Packet
+	pending   map[uint64]*packet.Packet // RTS sent, no CTS yet
+	granted   map[uint64]*packet.Packet // CTS seen, RData not yet built
 	onGrant   GrantHook
+	dupCTS    uint64
 }
 
 // NewRdvSender creates the engine; grant is invoked when a CTS arrives.
@@ -41,16 +52,16 @@ func NewRdvSender(node packet.NodeID, grant GrantHook) *RdvSender {
 	if grant == nil {
 		panic("proto: nil grant hook")
 	}
-	return &RdvSender{node: node, pending: make(map[uint64]*packet.Packet), onGrant: grant}
+	return &RdvSender{
+		node:    node,
+		pending: make(map[uint64]*packet.Packet),
+		granted: make(map[uint64]*packet.Packet),
+		onGrant: grant,
+	}
 }
 
-// Start registers p for rendezvous transfer and returns the RTS frame to
-// schedule (control class). The payload stays with the engine until
-// granted.
-func (s *RdvSender) Start(p *packet.Packet) *packet.Frame {
-	s.nextToken++
-	tok := s.nextToken
-	s.pending[tok] = p
+// rtsFor builds the RTS frame announcing p under token tok.
+func (s *RdvSender) rtsFor(tok uint64, p *packet.Packet) *packet.Frame {
 	return &packet.Frame{
 		Kind: packet.FrameRTS,
 		Src:  s.node,
@@ -62,24 +73,54 @@ func (s *RdvSender) Start(p *packet.Packet) *packet.Frame {
 	}
 }
 
-// HandleCTS processes a grant; unknown tokens indicate protocol corruption
-// and panic (the fabrics modeled are loss-free).
-func (s *RdvSender) HandleCTS(f *packet.Frame) {
-	p, ok := s.pending[f.Ctrl.Token]
-	if !ok {
-		panic(fmt.Sprintf("proto: CTS for unknown rendezvous token %d on node %d", f.Ctrl.Token, s.node))
-	}
-	s.onGrant(f.Ctrl.Token, p)
+// Start registers p for rendezvous transfer and returns the RTS frame to
+// schedule (control class). The payload stays with the engine until
+// granted.
+func (s *RdvSender) Start(p *packet.Packet) *packet.Frame {
+	s.nextToken++
+	tok := s.nextToken
+	s.pending[tok] = p
+	return s.rtsFor(tok, p)
 }
 
-// BuildRData consumes the pending payload for token and returns the bulk
-// frame to schedule.
-func (s *RdvSender) BuildRData(token uint64) *packet.Frame {
+// RetryRTS rebuilds the RTS for a still-ungranted token — the engine's
+// timeout-and-retry path when the original RTS (or the answering CTS) may
+// have been lost. Returns nil when the token is unknown or already granted,
+// so a retry timer that lost the race against the CTS is a no-op.
+func (s *RdvSender) RetryRTS(token uint64) *packet.Frame {
 	p, ok := s.pending[token]
+	if !ok {
+		return nil
+	}
+	return s.rtsFor(token, p)
+}
+
+// HandleCTS processes a grant. Duplicate CTSes — the receiver re-grants
+// when it sees a retried RTS for a transfer it already granted — are
+// idempotent: only the first moves the payload to the grant hook.
+func (s *RdvSender) HandleCTS(f *packet.Frame) {
+	tok := f.Ctrl.Token
+	p, ok := s.pending[tok]
+	if !ok {
+		// Already granted (duplicate CTS) or never ours (stray token from a
+		// corrupted or replayed frame): drop and count.
+		s.dupCTS++
+		return
+	}
+	delete(s.pending, tok)
+	s.granted[tok] = p
+	s.onGrant(tok, p)
+}
+
+// BuildRData consumes the granted payload for token and returns the bulk
+// frame to schedule. Unknown tokens panic: grants flow straight from
+// HandleCTS to BuildRData inside the engine, so a miss is a local bug.
+func (s *RdvSender) BuildRData(token uint64) *packet.Frame {
+	p, ok := s.granted[token]
 	if !ok {
 		panic(fmt.Sprintf("proto: BuildRData for unknown token %d", token))
 	}
-	delete(s.pending, token)
+	delete(s.granted, token)
 	return &packet.Frame{
 		Kind: packet.FrameRData,
 		Src:  s.node,
@@ -92,19 +133,73 @@ func (s *RdvSender) BuildRData(token uint64) *packet.Frame {
 	}
 }
 
-// Outstanding returns the number of un-granted rendezvous transfers.
-func (s *RdvSender) Outstanding() int { return len(s.pending) }
+// Outstanding returns the number of rendezvous transfers whose payload the
+// engine still holds (un-granted plus granted-but-not-built).
+func (s *RdvSender) Outstanding() int { return len(s.pending) + len(s.granted) }
+
+// PendingTokens reports whether token is still awaiting a CTS.
+func (s *RdvSender) Pending(token uint64) bool {
+	_, ok := s.pending[token]
+	return ok
+}
+
+// DupCTS returns the number of duplicate or stray CTS frames dropped.
+func (s *RdvSender) DupCTS() uint64 { return s.dupCTS }
+
+// rdvKey scopes receiver-side rendezvous state by source: tokens are
+// per-sender counters, so two senders may use the same token value.
+type rdvKey struct {
+	src   packet.NodeID
+	token uint64
+}
+
+// completedWindow bounds the receiver's memory of finished transfers per
+// source. A retried RTS can arrive arbitrarily late (it was delayed in a
+// rail queue while its sibling completed the transfer), and granting it
+// would open a rendezvous no RData will ever close — leaking a concurrency
+// slot permanently. The retry budget is small (core.DefaultRdvRetryMax
+// with bounded backoff), so a duplicate older than the last 4096
+// completions from one source cannot occur in practice.
+const completedWindow = 4096
+
+// completedLog remembers the most recent completedWindow finished tokens
+// of one source (set + FIFO eviction ring).
+type completedLog struct {
+	set  map[uint64]bool
+	ring []uint64
+	next int
+}
+
+func (c *completedLog) add(token uint64) {
+	if c.set == nil {
+		c.set = make(map[uint64]bool, completedWindow)
+		c.ring = make([]uint64, completedWindow)
+	}
+	if len(c.set) >= completedWindow {
+		delete(c.set, c.ring[c.next])
+	}
+	c.ring[c.next] = token
+	c.next = (c.next + 1) % completedWindow
+	c.set[token] = true
+}
+
+func (c *completedLog) has(token uint64) bool { return c.set[token] }
 
 // RdvReceiver is the sink-side engine: it grants RTSes (subject to a
 // concurrency cap modeling receive-buffer supply) and turns RData frames
 // back into packets for the reassembler.
 type RdvReceiver struct {
-	node    packet.NodeID
-	send    SendHook
-	reasm   *Reassembler
-	max     int // max concurrent granted rendezvous; 0 = unlimited
-	granted int
-	queue   []*packet.Frame // RTSes waiting for a grant slot
+	node      packet.NodeID
+	send      SendHook
+	reasm     *Reassembler
+	max       int             // max concurrent granted rendezvous; 0 = unlimited
+	granted   map[rdvKey]bool // in-flight granted transfers
+	queued    map[rdvKey]bool // RTSes waiting for a grant slot
+	queue     []*packet.Frame // grant-slot FIFO (mirror of queued)
+	completed map[packet.NodeID]*completedLog
+	dupRTS    uint64
+	dupRD     uint64
+	badRD     uint64
 }
 
 // NewRdvReceiver creates the engine. send emits CTS frames;
@@ -116,20 +211,48 @@ func NewRdvReceiver(node packet.NodeID, reasm *Reassembler, send SendHook, maxCo
 	if reasm == nil {
 		panic("proto: nil reassembler")
 	}
-	return &RdvReceiver{node: node, send: send, reasm: reasm, max: maxConcurrent}
+	return &RdvReceiver{
+		node:      node,
+		send:      send,
+		reasm:     reasm,
+		max:       maxConcurrent,
+		granted:   make(map[rdvKey]bool),
+		queued:    make(map[rdvKey]bool),
+		completed: make(map[packet.NodeID]*completedLog),
+	}
 }
 
-// HandleRTS grants (or queues) an incoming rendezvous request.
+// HandleRTS grants (or queues) an incoming rendezvous request. A duplicate
+// RTS — the sender timed out waiting for the CTS and retried — re-sends the
+// CTS when the transfer was already granted (the original CTS may have been
+// lost) and is otherwise ignored; it never double-grants. A straggler RTS
+// for a transfer that already *completed* (its sibling won the race end to
+// end) is dropped outright: re-granting it would hold a rendezvous slot
+// open forever, since the sender has nothing left to send for the token.
 func (r *RdvReceiver) HandleRTS(f *packet.Frame) {
-	if r.max > 0 && r.granted >= r.max {
+	k := rdvKey{f.Src, f.Ctrl.Token}
+	if c := r.completed[f.Src]; c != nil && c.has(f.Ctrl.Token) {
+		r.dupRTS++
+		return
+	}
+	if r.granted[k] {
+		r.dupRTS++
+		r.sendCTS(f) // recover a possibly-lost CTS without re-granting
+		return
+	}
+	if r.queued[k] {
+		r.dupRTS++
+		return
+	}
+	if r.max > 0 && len(r.granted) >= r.max {
+		r.queued[k] = true
 		r.queue = append(r.queue, f)
 		return
 	}
 	r.grant(f)
 }
 
-func (r *RdvReceiver) grant(f *packet.Frame) {
-	r.granted++
+func (r *RdvReceiver) sendCTS(f *packet.Frame) {
 	r.send(&packet.Frame{
 		Kind: packet.FrameCTS,
 		Src:  r.node,
@@ -138,14 +261,34 @@ func (r *RdvReceiver) grant(f *packet.Frame) {
 	})
 }
 
+func (r *RdvReceiver) grant(f *packet.Frame) {
+	r.granted[rdvKey{f.Src, f.Ctrl.Token}] = true
+	r.sendCTS(f)
+}
+
 // HandleRData completes a rendezvous: the bulk payload becomes an ordinary
-// fragment in the reassembly stream.
+// fragment in the reassembly stream. RData frames for unknown transfers
+// (already completed, or never granted) and frames whose payload length
+// contradicts the negotiated size are dropped and counted — both are
+// producible by a lossy or corrupting network, neither may crash the node.
 func (r *RdvReceiver) HandleRData(src packet.NodeID, f *packet.Frame) {
 	c := f.Ctrl
-	if len(f.Bulk) != c.Size {
-		panic(fmt.Sprintf("proto: RData size %d != negotiated %d (token %d)", len(f.Bulk), c.Size, c.Token))
+	k := rdvKey{src, c.Token}
+	if !r.granted[k] {
+		r.dupRD++
+		return
 	}
-	r.granted--
+	if len(f.Bulk) != c.Size {
+		r.badRD++
+		return
+	}
+	delete(r.granted, k)
+	log := r.completed[src]
+	if log == nil {
+		log = &completedLog{}
+		r.completed[src] = log
+	}
+	log.add(k.token)
 	p := &packet.Packet{
 		Flow: c.Flow, Msg: c.Msg, Seq: c.Seq, Last: c.Last,
 		Src: src, Dst: r.node, Class: packet.ClassBulk,
@@ -153,9 +296,10 @@ func (r *RdvReceiver) HandleRData(src packet.NodeID, f *packet.Frame) {
 	}
 	r.reasm.Ingest(src, p)
 	// A completed transfer frees a grant slot for a queued RTS.
-	if len(r.queue) > 0 && (r.max == 0 || r.granted < r.max) {
+	if len(r.queue) > 0 && (r.max == 0 || len(r.granted) < r.max) {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		delete(r.queued, rdvKey{next.Src, next.Ctrl.Token})
 		r.grant(next)
 	}
 }
@@ -164,4 +308,11 @@ func (r *RdvReceiver) HandleRData(src packet.NodeID, f *packet.Frame) {
 func (r *RdvReceiver) QueuedRTS() int { return len(r.queue) }
 
 // Granted returns the number of in-flight granted transfers.
-func (r *RdvReceiver) Granted() int { return r.granted }
+func (r *RdvReceiver) Granted() int { return len(r.granted) }
+
+// Anomalies returns the counts of tolerated protocol irregularities:
+// duplicate RTSes, RData frames for unknown transfers, and RData frames
+// whose payload contradicted the negotiated size.
+func (r *RdvReceiver) Anomalies() (dupRTS, dupRData, badRData uint64) {
+	return r.dupRTS, r.dupRD, r.badRD
+}

@@ -1,8 +1,6 @@
 package proto
 
 import (
-	"fmt"
-
 	"newmad/internal/packet"
 )
 
@@ -26,6 +24,11 @@ type RMA struct {
 	// pendingGets/pendingPuts map tokens to completion callbacks.
 	pendingGets map[uint64]func(data []byte)
 	pendingPuts map[uint64]func()
+	// rejected counts remote-originated frames dropped for addressing an
+	// unknown window, an out-of-range span, or an unknown token. A corrupt
+	// or replayed frame can produce any of these, so they are survivable
+	// (counted, dropped) rather than fatal; local API misuse still panics.
+	rejected uint64
 }
 
 // NewRMA creates the engine for node; send emits reactive frames.
@@ -89,16 +92,16 @@ func (m *RMA) Get(dst packet.NodeID, window int32, off int64, n int, done func(d
 }
 
 // HandlePut applies an incoming put to the local window and acks when the
-// initiator asked for completion. Out-of-range puts panic: the middleware
-// owns window layout, and silent truncation would corrupt DSM pages.
+// initiator asked for completion. Puts addressing an unknown window or an
+// out-of-range span are rejected whole — applying a truncated put would
+// corrupt DSM pages, and panicking would let one corrupt frame crash the
+// node — and counted through Rejected.
 func (m *RMA) HandlePut(src packet.NodeID, f *packet.Frame) {
 	win, off := int32(f.Ctrl.Flow), int64(f.Ctrl.Msg)
 	buf, ok := m.windows[win]
-	if !ok {
-		panic(fmt.Sprintf("proto: put to unregistered window %d on node %d", win, m.node))
-	}
-	if off < 0 || off+int64(len(f.Bulk)) > int64(len(buf)) {
-		panic(fmt.Sprintf("proto: put [%d,%d) outside window %d of %d bytes", off, off+int64(len(f.Bulk)), win, len(buf)))
+	if !ok || off < 0 || off+int64(len(f.Bulk)) > int64(len(buf)) {
+		m.rejected++
+		return
 	}
 	copy(buf[off:], f.Bulk)
 	if f.Ctrl.Token != 0 {
@@ -111,15 +114,16 @@ func (m *RMA) HandlePut(src packet.NodeID, f *packet.Frame) {
 	}
 }
 
-// HandleGet serves an incoming read by emitting a reply frame.
+// HandleGet serves an incoming read by emitting a reply frame. Unknown
+// windows and out-of-range spans are rejected and counted, like HandlePut;
+// the initiator's get then never completes, which is the initiator's bug to
+// surface, not this node's to crash on.
 func (m *RMA) HandleGet(src packet.NodeID, f *packet.Frame) {
 	win, off, n := int32(f.Ctrl.Flow), int64(f.Ctrl.Msg), f.Ctrl.Size
 	buf, ok := m.windows[win]
-	if !ok {
-		panic(fmt.Sprintf("proto: get from unregistered window %d on node %d", win, m.node))
-	}
-	if off < 0 || off+int64(n) > int64(len(buf)) {
-		panic(fmt.Sprintf("proto: get [%d,%d) outside window %d of %d bytes", off, off+int64(n), win, len(buf)))
+	if !ok || off < 0 || n < 0 || off+int64(n) > int64(len(buf)) {
+		m.rejected++
+		return
 	}
 	data := make([]byte, n)
 	copy(data, buf[off:])
@@ -132,23 +136,25 @@ func (m *RMA) HandleGet(src packet.NodeID, f *packet.Frame) {
 	})
 }
 
-// HandleGetReply completes a pending get.
+// HandleGetReply completes a pending get; replies for unknown tokens (a
+// duplicate, or a corrupt correlator) are dropped and counted.
 func (m *RMA) HandleGetReply(f *packet.Frame) {
 	done, ok := m.pendingGets[f.Ctrl.Token]
 	if !ok {
-		panic(fmt.Sprintf("proto: get reply for unknown token %d", f.Ctrl.Token))
+		m.rejected++
+		return
 	}
 	delete(m.pendingGets, f.Ctrl.Token)
 	done(f.Bulk)
 }
 
-// HandleAck completes a pending put.
+// HandleAck completes a pending put; acks for unknown tokens are dropped
+// and counted.
 func (m *RMA) HandleAck(f *packet.Frame) {
 	done, ok := m.pendingPuts[f.Ctrl.Token]
 	if !ok {
-		// Acks are also used by fences above this layer; unknown tokens
-		// here are fatal only for RMA-originated acks, which all register.
-		panic(fmt.Sprintf("proto: ack for unknown put token %d", f.Ctrl.Token))
+		m.rejected++
+		return
 	}
 	delete(m.pendingPuts, f.Ctrl.Token)
 	done()
@@ -158,3 +164,7 @@ func (m *RMA) HandleAck(f *packet.Frame) {
 func (m *RMA) Outstanding() (gets, puts int) {
 	return len(m.pendingGets), len(m.pendingPuts)
 }
+
+// Rejected returns the number of remote-originated frames dropped for
+// addressing unknown windows, out-of-range spans, or unknown tokens.
+func (m *RMA) Rejected() uint64 { return m.rejected }

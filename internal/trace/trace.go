@@ -43,12 +43,16 @@ const (
 	KindRdv
 	// KindPolicy: the strategy bundle was switched at runtime.
 	KindPolicy
+	// KindFault: a failure event — a peer went down, frames were reclaimed
+	// from a dead connection, a rendezvous timed out and retried, or the
+	// chaos layer injected a fault.
+	KindFault
 	kindMax
 )
 
 // String returns the event mnemonic.
 func (k Kind) String() string {
-	names := [...]string{"SUBMIT", "NAGLE+", "NAGLE!", "IDLE", "PLAN", "POST", "RECV", "DELIVER", "RDV", "POLICY"}
+	names := [...]string{"SUBMIT", "NAGLE+", "NAGLE!", "IDLE", "PLAN", "POST", "RECV", "DELIVER", "RDV", "POLICY", "FAULT"}
 	if int(k) < len(names) {
 		return names[k]
 	}
