@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,15 +30,32 @@ import (
 	"newmad/internal/stats"
 )
 
+// fmtBytes renders a byte count with a binary unit for the console line.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
 // jsonReport is the schema of the -json output. Each schema is a strict
 // superset of its predecessor, so committed snapshots keep comparing
 // field-for-field: madbench/v2 added per-experiment controller decision
-// counts (E11, X3) over v1, and madbench/v3 adds fault/recovery counters
+// counts (E11, X3) over v1, madbench/v3 added fault/recovery counters
 // for the chaos experiments (X5) — how many faults were injected into each
 // run and how many recovery actions (failovers, rendezvous retries) the
-// engines fired in response — plus their fleet totals.
+// engines fired in response — plus their fleet totals, and madbench/v4
+// adds per-experiment memory accounting (allocations, allocated bytes,
+// and GC pause time attributable to one experiment run — the "op" of the
+// *_per_op fields) so the zero-alloc datapath work stays observable in
+// the same trajectory the wall-clock numbers live in.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "madbench/v3"
+	Schema      string           `json:"schema"` // "madbench/v4"
 	GeneratedAt time.Time        `json:"generated_at"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
@@ -49,6 +67,11 @@ type jsonReport struct {
 	// selected experiments (v3).
 	FaultsInjected uint64 `json:"faults_injected"`
 	Recoveries     uint64 `json:"recoveries"`
+	// TotalAllocs/TotalAllocBytes/GCPauseTotalNs total the memory
+	// accounting across all selected experiments (v4).
+	TotalAllocs     uint64 `json:"total_allocs"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	GCPauseTotalNs  uint64 `json:"gc_pause_total_ns"`
 }
 
 type jsonExperiment struct {
@@ -65,6 +88,11 @@ type jsonExperiment struct {
 	// experiments (v3).
 	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 	Recoveries     uint64 `json:"recoveries,omitempty"`
+	// AllocsPerOp/BytesPerOp/GCPauseNs are runtime.MemStats deltas across
+	// the experiment's Run — the op is one full experiment execution (v4).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	GCPauseNs   uint64 `json:"gc_pause_ns"`
 }
 
 func main() {
@@ -107,7 +135,7 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	report := jsonReport{
-		Schema:      "madbench/v3",
+		Schema:      "madbench/v4",
 		GeneratedAt: time.Now().UTC(),
 		Quick:       *quick,
 		Seed:        *seed,
@@ -115,18 +143,32 @@ func main() {
 	for _, e := range selected {
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    claim: %s\n\n", e.Claim)
+		// Memory accounting (v4): a GC fence before the run keeps one
+		// experiment's garbage from billing the next; deltas across Run
+		// attribute allocations and GC pauses to this experiment.
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		tables := e.Run(cfg)
 		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
 		for _, t := range tables {
 			fmt.Println(t.String())
 		}
-		fmt.Printf("    (%s in %v)\n\n", e.ID, wall.Round(time.Millisecond))
+		allocs := m1.Mallocs - m0.Mallocs
+		bytes := m1.TotalAlloc - m0.TotalAlloc
+		gcPause := m1.PauseTotalNs - m0.PauseTotalNs
+		fmt.Printf("    (%s in %v; %d allocs, %s allocated, %v GC pause)\n\n",
+			e.ID, wall.Round(time.Millisecond), allocs, fmtBytes(bytes), time.Duration(gcPause).Round(time.Microsecond))
 		decisions := exp.DecisionCount(e.ID)
 		injected, recovered := exp.FaultCounts(e.ID)
 		report.ControllerDecisions += decisions
 		report.FaultsInjected += injected
 		report.Recoveries += recovered
+		report.TotalAllocs += allocs
+		report.TotalAllocBytes += bytes
+		report.GCPauseTotalNs += gcPause
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID: e.ID, Title: e.Title, Claim: e.Claim,
 			WallMs:              float64(wall.Microseconds()) / 1e3,
@@ -134,6 +176,9 @@ func main() {
 			ControllerDecisions: decisions,
 			FaultsInjected:      injected,
 			Recoveries:          recovered,
+			AllocsPerOp:         allocs,
+			BytesPerOp:          bytes,
+			GCPauseNs:           gcPause,
 		})
 	}
 

@@ -199,6 +199,12 @@ func (in *Injector) recv(src packet.NodeID, f *packet.Frame) {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
+		// Terminal consumption: a wire frame swallowed here would leak
+		// its pooled backing buffer (DESIGN.md §5). Unbacked frames —
+		// simulated fabrics, hand-built tests — are left alone.
+		if f.Backed() {
+			packet.ReleaseFrame(f)
+		}
 		return
 	}
 	var verdict *Rule
@@ -230,10 +236,21 @@ func (in *Injector) recv(src packet.NodeID, f *packet.Frame) {
 	switch verdict.Kind {
 	case Drop:
 		in.mu.Unlock()
+		// The dropped frame dies here — the injector is its terminal
+		// consumer, so a pooled wire frame recycles instead of leaking.
+		if f.Backed() {
+			packet.ReleaseFrame(f)
+		}
 	case Corrupt:
 		h := in.onRecv
 		in.mu.Unlock()
-		if cf := in.corrupt(f); cf != nil && h != nil {
+		cf := in.corrupt(f)
+		// The corrupted copy (which aliases its own encoding) travels on;
+		// the original is terminally consumed here.
+		if f.Backed() {
+			packet.ReleaseFrame(f)
+		}
+		if cf != nil && h != nil {
 			h(src, cf)
 		}
 	case Delay:
@@ -248,6 +265,9 @@ func (in *Injector) recv(src packet.NodeID, f *packet.Frame) {
 			in.mu.Unlock()
 			if !closed && h != nil {
 				h(src, f)
+			} else if f.Backed() {
+				// Nobody downstream will consume the held frame.
+				packet.ReleaseFrame(f)
 			}
 		})
 	case Reorder:
@@ -300,6 +320,13 @@ func (in *Injector) holdLocked(src packet.NodeID, f *packet.Frame) *packet.Frame
 		in.mu.Lock()
 		if in.held[src] != hf || in.closed {
 			in.mu.Unlock()
+			// A successful Stop elsewhere means this callback never runs,
+			// so reaching here makes this timer the frame's last owner:
+			// displaced-while-mid-flight or closed, nobody else will
+			// deliver or recycle it.
+			if hf.f.Backed() {
+				packet.ReleaseFrame(hf.f)
+			}
 			return
 		}
 		delete(in.held, src)

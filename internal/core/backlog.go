@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+)
+
+// The backlog index.
+//
+// The engine's waiting list used to be one flat submission-order slice, so
+// every pump re-scanned the entire backlog to build a (rail, channel) view
+// and every plan removal re-filtered it. Both costs scale with *total*
+// backlog, while the work actually available to one channel scales with the
+// traffic classes it admits and the destinations its rail reaches.
+//
+// backlogIndex keeps one FIFO queue per (destination, class) instead,
+// maintained on submit and on plan removal:
+//
+//   - Admission filters that are uniform across a queue — the class policy
+//     (per channel) and destination reachability (per rail) — skip whole
+//     queues in O(1) instead of testing every packet.
+//   - The eligible view is a k-way merge of the admitted queues by
+//     SubmitSeq, reproducing the flat slice's submission order exactly
+//     (SubmitSeq is unique and monotone), so plans and traces are
+//     bit-identical to the flat implementation's.
+//   - Removing a plan touches only the queues its packets sit in: the
+//     common case — the plan took a queue's head run — is O(taken), the
+//     cherry-picking case one compaction pass of that queue.
+type backlogIndex struct {
+	queues map[backlogKey]*backlogQueue
+	// list holds every queue ever created (queues are retained when
+	// drained — the set of (dst, class) pairs a node talks to is small and
+	// stable, and retaining them keeps the merge allocation-free). Order
+	// is insertion order; the merge does not depend on it.
+	list []*backlogQueue
+	size int
+}
+
+type backlogKey struct {
+	dst   packet.NodeID
+	class packet.ClassID
+}
+
+// backlogQueue is one (destination, class) FIFO. head indexes the first
+// live packet; popped slots are nilled and reclaimed in batches so a
+// long-lived queue doesn't creep through its backing array forever.
+type backlogQueue struct {
+	key  backlogKey
+	pkts []*packet.Packet
+	head int
+}
+
+func (q *backlogQueue) size() int { return len(q.pkts) - q.head }
+
+// push appends p to its (dst, class) queue.
+func (b *backlogIndex) push(p *packet.Packet) {
+	k := backlogKey{p.Dst, p.Class}
+	q := b.queues[k]
+	if q == nil {
+		if b.queues == nil {
+			b.queues = make(map[backlogKey]*backlogQueue)
+		}
+		q = &backlogQueue{key: k}
+		b.queues[k] = q
+		b.list = append(b.list, q)
+	}
+	q.pkts = append(q.pkts, p)
+	b.size++
+}
+
+// removePlan removes a plan's packets. Plans share one destination and
+// preserve submission order (packet.OrderedSubset), so the packets split
+// into at most NumClasses per-queue subsequences, each in queue order.
+// scratch is reused storage for those subsequences; the grown slice is
+// returned for the caller to keep.
+func (b *backlogIndex) removePlan(taken, scratch []*packet.Packet) []*packet.Packet {
+	if len(taken) == 0 {
+		return scratch
+	}
+	dst := taken[0].Dst
+	var done [packet.NumClasses]bool
+	for _, p := range taken {
+		if p.Dst != dst {
+			panic("core: plan spans destinations")
+		}
+		cls := p.Class
+		if done[cls] {
+			continue
+		}
+		done[cls] = true
+		sub := scratch[:0]
+		for _, t := range taken {
+			if t.Class == cls {
+				sub = append(sub, t)
+			}
+		}
+		q := b.queues[backlogKey{dst, cls}]
+		if q == nil {
+			panic(fmt.Sprintf("core: plan contained %d packets not in the backlog", len(sub)))
+		}
+		q.remove(sub)
+		b.size -= len(sub)
+		scratch = sub[:0] // keep whatever growth the subsequence forced
+	}
+	return scratch
+}
+
+// remove deletes sub — a submission-ordered subsequence of this queue —
+// from the queue. The fast path (sub is the queue's head run) is O(len(sub));
+// a plan that skipped over waiting packets costs one compaction pass.
+func (q *backlogQueue) remove(sub []*packet.Packet) {
+	n := len(sub)
+	if q.size() >= n {
+		prefix := true
+		for i := 0; i < n; i++ {
+			if q.pkts[q.head+i] != sub[i] {
+				prefix = false
+				break
+			}
+		}
+		if prefix {
+			for i := 0; i < n; i++ {
+				q.pkts[q.head+i] = nil
+			}
+			q.head += n
+			q.reclaim()
+			return
+		}
+	}
+	// Compaction pass: both sequences are in submission order, so a single
+	// two-pointer walk removes every match.
+	ti := 0
+	w := q.head
+	for r := q.head; r < len(q.pkts); r++ {
+		p := q.pkts[r]
+		if ti < n && p == sub[ti] {
+			ti++
+			continue
+		}
+		q.pkts[w] = p
+		w++
+	}
+	if ti != n {
+		panic(fmt.Sprintf("core: plan contained %d packets not in the backlog", n-ti))
+	}
+	for i := w; i < len(q.pkts); i++ {
+		q.pkts[i] = nil
+	}
+	q.pkts = q.pkts[:w]
+	q.reclaim()
+}
+
+// reclaim bounds the dead prefix: an emptied queue rewinds to its backing
+// array's start, and a queue whose dead prefix dominates is copied down.
+func (q *backlogQueue) reclaim() {
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+		return
+	}
+	if q.head > 64 && q.head > len(q.pkts)/2 {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+}
+
+// cursor is one queue's position in the eligible-view merge.
+type backlogCursor struct {
+	q   *backlogQueue
+	pos int
+}

@@ -115,10 +115,42 @@ type Engine struct {
 	retuneObs  func(RetuneEvent)
 
 	submitSeq uint64
-	backlog   []*packet.Packet // waiting packs, submission order
-	ctrlQ     []*packet.Frame  // reactive control frames (RTS/CTS/Ack)
-	bulkQ     []*packet.Frame  // granted rendezvous data, RMA frames
-	favorBulk bool             // round-robin fairness between backlog and bulkQ
+	backlog   backlogIndex    // waiting packets, indexed by (dst, class)
+	ctrlQ     []*packet.Frame // reactive control frames (RTS/CTS/Ack)
+	bulkQ     []*packet.Frame // granted rendezvous data, RMA frames
+	favorBulk bool            // round-robin fairness between backlog and bulkQ
+
+	// Pump scratch, reused across pumps so the steady-state eager path
+	// allocates nothing: the eligible view and its merge cursors, the
+	// per-queue removal subsequences, the strategy context handed to plan
+	// builders (builders must not retain it past Build), and the probe
+	// packets the class/rail policies are consulted with.
+	viewScratch  []*packet.Packet
+	curScratch   []backlogCursor
+	takenScratch []*packet.Packet
+	planCtx      strategy.Context
+	ctrlProbe    packet.Packet
+	bulkProbe    packet.Packet
+
+	// Hot-path metric handles, resolved once at construction: the per-
+	// frame path must not pay a map lookup (or a fmt.Sprintf for the
+	// per-rail counter name) per event.
+	cSubmitted      *stats.Counter
+	cSubmittedBytes *stats.Counter
+	cFramesPosted   *stats.Counter
+	cPacketsSent    *stats.Counter
+	cDelivered      *stats.Counter
+	cDeliveredBytes *stats.Counter
+	cIdleUpcalls    *stats.Counter
+	cAggregates     *stats.Counter
+	cAggregatedPkts *stats.Counter
+	cReactive       *stats.Counter
+	railCtr         []*stats.Counter
+	hPlanPackets    *stats.Histogram
+	hPlanEvaluated  *stats.Histogram
+	hPlanScore      *stats.Histogram
+	hDeliveryLat    *stats.Histogram
+	hControlLat     *stats.Histogram
 
 	// failQ holds frames whose rail failed under them — reclaimed from a
 	// dead connection by the driver, or refused with ErrPeerDown at post
@@ -151,7 +183,10 @@ type Engine struct {
 	// pendingDeliver/pendingFns collect upcalls produced while holding mu;
 	// they are invoked after unlock so user callbacks can re-enter the
 	// engine (submit replies, start new RMA operations, ...).
+	// deliverSpare is the double-buffer: a drained batch's backing array,
+	// recycled so steady-state receives never regrow the pending slice.
 	pendingDeliver []proto.Deliverable
+	deliverSpare   []proto.Deliverable
 	pendingFns     []func()
 	deliver        proto.DeliverFunc
 
@@ -208,6 +243,26 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		railDowns:  make([]uint64, len(rails)),
 		rdvTimers:  make(map[uint64]simnet.CancelFunc),
 		deliver:    opt.Deliver,
+
+		cSubmitted:      set.Counter("core.submitted"),
+		cSubmittedBytes: set.Counter("core.submitted_bytes"),
+		cFramesPosted:   set.Counter("core.frames_posted"),
+		cPacketsSent:    set.Counter("core.packets_sent"),
+		cDelivered:      set.Counter("core.delivered"),
+		cDeliveredBytes: set.Counter("core.delivered_bytes"),
+		cIdleUpcalls:    set.Counter("core.idle_upcalls"),
+		cAggregates:     set.Counter("core.aggregates"),
+		cAggregatedPkts: set.Counter("core.aggregated_packets"),
+		cReactive:       set.Counter("core.reactive_frames"),
+		hPlanPackets:    set.Histogram("core.plan_packets"),
+		hPlanEvaluated:  set.Histogram("core.plan_evaluated"),
+		hPlanScore:      set.Histogram("core.plan_score_ns"),
+		hDeliveryLat:    set.Histogram("core.delivery_latency_ns"),
+		hControlLat:     set.Histogram("core.control_latency_ns"),
+	}
+	e.ctrlProbe = packet.Packet{Class: packet.ClassControl}
+	for _, r := range rails {
+		e.railCtr = append(e.railCtr, set.Counter(fmt.Sprintf("core.rail.%s.frames", r.Caps().Name)))
 	}
 	e.reasm = proto.NewReassembler(node, func(d proto.Deliverable) {
 		e.pendingDeliver = append(e.pendingDeliver, d)
@@ -469,8 +524,8 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		p.Enqueued = 1
 	}
 	e.bundle.Classes.Observe(p)
-	e.set.Counter("core.submitted").Inc()
-	e.set.Counter("core.submitted_bytes").Add(uint64(p.Size()))
+	e.cSubmitted.Inc()
+	e.cSubmittedBytes.Add(uint64(p.Size()))
 	e.ctr.submitted++
 	e.ctr.submittedBytes += uint64(p.Size())
 	if p.Class == packet.ClassControl {
@@ -500,12 +555,14 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	}
 	e.ctr.eagerBytes += uint64(p.Size())
 
-	e.backlog = append(e.backlog, p)
-	e.set.SetGauge("core.backlog_peak", maxf(gauge(e.set, "core.backlog_peak"), float64(len(e.backlog))))
+	e.backlog.push(p)
+	if depth := float64(e.backlog.size); depth > gauge(e.set, "core.backlog_peak") {
+		e.set.SetGauge("core.backlog_peak", depth)
+	}
 
 	// Nagle: submission-triggered sends may be delayed briefly; the idle
 	// upcall path (onIdle) always sends immediately.
-	if e.cfg.NagleDelay > 0 && len(e.backlog) < e.cfg.NagleFlushCount {
+	if e.cfg.NagleDelay > 0 && e.backlog.size < e.cfg.NagleFlushCount {
 		if !e.nagleArmed {
 			e.nagleArmed = true
 			e.nagleGen++
@@ -513,7 +570,7 @@ func (e *Engine) Submit(p *packet.Packet) error {
 			e.nagleCancel = e.rt.Schedule(e.cfg.NagleDelay, "core.nagle", func() { e.onNagle(gen) })
 			e.rec.Record(trace.Event{
 				At: e.rt.Now(), Kind: trace.KindNagleArm, Node: e.node,
-				A: int(e.cfg.NagleDelay), B: len(e.backlog),
+				A: int(e.cfg.NagleDelay), B: e.backlog.size,
 			})
 		}
 		e.mu.Unlock()
@@ -580,7 +637,7 @@ func (e *Engine) onNagle(gen uint64) {
 	e.nagleCancel = nil
 	e.set.Counter("core.nagle_flushes").Inc()
 	e.ctr.nagleFires++
-	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: len(e.backlog)})
+	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: e.backlog.size})
 	e.mu.Unlock()
 	e.pumpAll()
 }
@@ -656,7 +713,7 @@ func (e *Engine) Close() {
 func (e *Engine) BacklogLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.backlog)
+	return e.backlog.size
 }
 
 // QueuedFrames returns pending (control, bulk) frame counts (diagnostic).
@@ -664,13 +721,6 @@ func (e *Engine) QueuedFrames() (ctrl, bulk int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.ctrlQ), len(e.bulkQ)
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func gauge(s *stats.Set, name string) float64 {

@@ -133,7 +133,7 @@ func TestLoopbackRendezvous(t *testing.T) {
 		}
 		return eng
 	}
-	mk(1, func(d proto.Deliverable) { recv <- d.Pkt })
+	mk(1, func(d proto.Deliverable) { p := d.Pkt; recv <- &p })
 	sender := mk(0, func(proto.Deliverable) {})
 
 	payload := make([]byte, 256<<10) // above TCP profile threshold (64 KiB)

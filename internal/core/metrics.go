@@ -85,7 +85,7 @@ func (e *Engine) Metrics() Metrics {
 	defer e.mu.Unlock()
 	return Metrics{
 		Now:             e.rt.Now(),
-		Backlog:         len(e.backlog),
+		Backlog:         e.backlog.size,
 		CtrlQueued:      len(e.ctrlQ),
 		BulkQueued:      len(e.bulkQ),
 		Submitted:       e.ctr.submitted,

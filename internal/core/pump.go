@@ -23,7 +23,7 @@ func (e *Engine) onIdle(ri, ch int) {
 		e.mu.Unlock()
 		return
 	}
-	e.set.Counter("core.idle_upcalls").Inc()
+	e.cIdleUpcalls.Inc()
 	e.ctr.idleUpcalls++
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindIdle, Node: e.node, A: ri, B: ch})
 	e.pumpLocked(ri, ch, true)
@@ -38,6 +38,11 @@ func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		// Still the terminal consumer: a frame racing Close would
+		// otherwise leak its pooled wire buffer.
+		if f.Backed() {
+			packet.ReleaseFrame(f)
+		}
 		return
 	}
 	e.rec.Record(trace.Event{
@@ -45,6 +50,15 @@ func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
 		A: int(f.Kind), B: f.PayloadSize(), Note: f.Kind.String(),
 	})
 	e.disp.HandleFrame(src, f)
+	// Terminal consumption of a wire-pooled frame: protocol dispatch has
+	// copied or pinned everything that escapes (proto's memory-discipline
+	// contract), so the frame and its unpinned backing buffer recycle here.
+	// Frames without pooled backing — simulated fabrics hand the sender's
+	// own frame object across, tests hand-build theirs — keep their
+	// historical GC lifetime.
+	if f.Backed() {
+		packet.ReleaseFrame(f)
+	}
 	deliver, fns := e.takeDeliveriesLocked()
 	e.mu.Unlock()
 	e.dispatchDeliveries(deliver, fns)
@@ -55,7 +69,15 @@ func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
 
 func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
 	d := e.pendingDeliver
-	e.pendingDeliver = nil
+	// Double-buffer: the spare (recycled by dispatchDeliveries once a
+	// batch has been handed up) becomes the next accumulation target, so
+	// the steady-state receive path never regrows the pending slice.
+	if e.deliverSpare != nil {
+		e.pendingDeliver = e.deliverSpare[:0]
+		e.deliverSpare = nil
+	} else {
+		e.pendingDeliver = nil
+	}
 	fns := e.pendingFns
 	e.pendingFns = nil
 	e.ctr.delivered += uint64(len(d))
@@ -67,13 +89,13 @@ func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func()) {
 		fn()
 	}
 	for _, d := range ds {
-		e.set.Counter("core.delivered").Inc()
-		e.set.Counter("core.delivered_bytes").Add(uint64(d.Pkt.Size()))
+		e.cDelivered.Inc()
+		e.cDeliveredBytes.Add(uint64(d.Pkt.Size()))
 		if d.Pkt.Enqueued > 0 {
 			lat := e.rt.Now().Sub(d.Pkt.Enqueued)
-			e.set.Histogram("core.delivery_latency_ns").Add(float64(lat))
+			e.hDeliveryLat.Add(float64(lat))
 			if d.Pkt.Class == packet.ClassControl {
-				e.set.Histogram("core.control_latency_ns").Add(float64(lat))
+				e.hControlLat.Add(float64(lat))
 			}
 		}
 		e.rec.Record(trace.Event{
@@ -82,6 +104,19 @@ func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func()) {
 		})
 		e.deliver(d)
 	}
+	if cap(ds) == 0 {
+		return
+	}
+	// Hand the drained batch back as the spare accumulation buffer,
+	// dropping its packet references first.
+	for i := range ds {
+		ds[i] = proto.Deliverable{}
+	}
+	e.mu.Lock()
+	if e.deliverSpare == nil {
+		e.deliverSpare = ds[:0]
+	}
+	e.mu.Unlock()
 }
 
 // enqueueReactive is the SendHook for the protocol engines: CTS/Ack frames
@@ -94,7 +129,7 @@ func (e *Engine) enqueueReactive(f *packet.Frame) {
 	default:
 		e.bulkQ = append(e.bulkQ, f)
 	}
-	e.set.Counter("core.reactive_frames").Inc()
+	e.cReactive.Inc()
 }
 
 // onRdvGrant fires when a CTS arrives for a rendezvous this node started:
@@ -156,9 +191,10 @@ func (e *Engine) pumpLocked(ri, ch int, idleUpcall bool) bool {
 	numCh := r.NumChannels()
 
 	// 1. Control/signalling first: latency-critical, tiny, never queues
-	// behind data if the class policy admits it here.
+	// behind data if the class policy admits it here. The probe packet is
+	// engine-owned scratch: policies only read it.
 	if e.bundle.Classes.Allowed(packet.ClassControl, ch, numCh) &&
-		e.bundle.Rail.Eligible(&packet.Packet{Class: packet.ClassControl}, info) {
+		e.bundle.Rail.Eligible(&e.ctrlProbe, info) {
 		if f := e.popFrameLocked(&e.ctrlQ); f != nil {
 			e.postLocked(ri, ch, f, nil, 0)
 			return true
@@ -261,9 +297,9 @@ func (e *Engine) pumpBulkLocked(ri, ch int) bool {
 		// The probe carries the transfer's full identity (flow, msg,
 		// fragment seq) so striping rail policies can spread distinct bulk
 		// transfers across rails while keeping each transfer's placement
-		// stable.
-		probe := &packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
-		if !e.bundle.Rail.Eligible(probe, info) {
+		// stable. It is engine-owned scratch: policies only read it.
+		e.bulkProbe = packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
+		if !e.bundle.Rail.Eligible(&e.bulkProbe, info) {
 			continue
 		}
 		if !e.railReaches(ri, f.Dst) {
@@ -277,6 +313,8 @@ func (e *Engine) pumpBulkLocked(ri, ch int) bool {
 }
 
 // pumpBacklogLocked runs the plan builder over the eligible backlog view.
+// The view, the strategy context and the plan live only for this pump;
+// builders must not retain any of them past Build.
 func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 	r := e.rails[ri]
 	info := e.railInfo(ri)
@@ -286,22 +324,22 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 	if len(view) == 0 {
 		return false
 	}
-	ctx := &strategy.Context{
+	e.planCtx = strategy.Context{
 		Now:     e.rt.Now(),
 		Caps:    r.Caps(),
 		Mem:     r.Mem(),
 		Backlog: view,
 		Budget:  e.cfg.SearchBudget,
 	}
-	plan := e.bundle.Builder.Build(ctx)
+	plan := e.bundle.Builder.Build(&e.planCtx)
 	if plan == nil || len(plan.Packets) == 0 {
 		return false
 	}
 	if !packet.OrderedSubset(plan.Packets) {
 		panic(fmt.Sprintf("core: strategy %q produced an order-violating plan", e.bundle.Builder.Name()))
 	}
-	e.removeFromBacklogLocked(plan.Packets)
-	if len(e.backlog) == 0 && e.nagleArmed {
+	e.takenScratch = e.backlog.removePlan(plan.Packets, e.takenScratch[:0])
+	if e.backlog.size == 0 && e.nagleArmed {
 		// The idle path drained everything the delay was holding; retire
 		// the timer silently (neither a fire nor an early flush — the
 		// packets left through a genuine idle upcall, so the delay was
@@ -309,7 +347,13 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 		e.disarmNagleLocked()
 	}
 
-	f := &packet.Frame{Kind: packet.FrameData, Src: e.node, Dst: plan.Packets[0].Dst}
+	// The frame is pooled: on wire rails the owner goroutine releases it
+	// after the bytes hit the socket, on simulated fabrics it crosses to
+	// the receiving engine and falls to the GC like any sim frame.
+	f := packet.AcquireFrame()
+	f.Kind = packet.FrameData
+	f.Src = e.node
+	f.Dst = plan.Packets[0].Dst
 	for _, p := range plan.Packets {
 		entry := packet.EntryFromPacket(p)
 		entry.Enqueued = p.Enqueued
@@ -323,14 +367,14 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 		A: len(plan.Packets), B: plan.Evaluated,
 		Note: e.bundle.Builder.Name(),
 	})
-	e.set.Histogram("core.plan_packets").Add(float64(len(plan.Packets)))
-	e.set.Histogram("core.plan_evaluated").Add(float64(plan.Evaluated))
+	e.hPlanPackets.Add(float64(len(plan.Packets)))
+	e.hPlanEvaluated.Add(float64(plan.Evaluated))
 	if plan.Score > 0 {
-		e.set.Histogram("core.plan_score_ns").Add(float64(plan.Score))
+		e.hPlanScore.Add(float64(plan.Score))
 	}
 	if len(plan.Packets) > 1 {
-		e.set.Counter("core.aggregates").Inc()
-		e.set.Counter("core.aggregated_packets").Add(uint64(len(plan.Packets)))
+		e.cAggregates.Inc()
+		e.cAggregatedPkts.Add(uint64(len(plan.Packets)))
 		e.ctr.aggregates++
 	}
 	return true
@@ -338,53 +382,59 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 
 // eligibleLocked builds the backlog view for one (rail, channel): packets
 // admitted by the rail and class policies, in submission order, up to the
-// lookahead window.
+// lookahead window. The backlog index lets the uniform filters act on
+// whole queues — a class the channel refuses, a destination the rail lost
+// — while the per-packet rail policy runs only on merge survivors. The
+// merge is by SubmitSeq, so the view is exactly the submission-order scan
+// of the old flat backlog. The returned slice is engine-owned scratch,
+// valid until the next pump.
 func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet.Packet {
 	limit := e.cfg.Lookahead
-	var view []*packet.Packet
-	for _, p := range e.backlog {
-		if limit > 0 && len(view) >= limit {
-			break
-		}
-		if !e.bundle.Classes.Allowed(p.Class, ch, numCh) {
+	view := e.viewScratch[:0]
+	cur := e.curScratch[:0]
+	for _, q := range e.backlog.list {
+		if q.size() == 0 {
 			continue
 		}
+		if !e.bundle.Classes.Allowed(q.key.class, ch, numCh) {
+			continue
+		}
+		if !e.railReaches(info.Index, q.key.dst) {
+			// A rail that lost this peer does not plan toward it; a sibling
+			// rail's pump (or a heal) picks the queue up instead.
+			continue
+		}
+		cur = append(cur, backlogCursor{q: q, pos: q.head})
+	}
+	for len(cur) > 0 {
+		best := -1
+		var bestSeq uint64
+		for i := range cur {
+			c := &cur[i]
+			if c.pos >= len(c.q.pkts) {
+				continue
+			}
+			if seq := c.q.pkts[c.pos].SubmitSeq; best < 0 || seq < bestSeq {
+				best, bestSeq = i, seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &cur[best]
+		p := c.q.pkts[c.pos]
+		c.pos++
 		if !e.bundle.Rail.Eligible(p, info) {
 			continue
 		}
-		if !e.railReaches(info.Index, p.Dst) {
-			// A rail that lost this peer does not plan toward it; a sibling
-			// rail's pump (or a heal) picks the packet up instead.
-			continue
-		}
 		view = append(view, p)
-	}
-	return view
-}
-
-func (e *Engine) removeFromBacklogLocked(taken []*packet.Packet) {
-	chosen := make(map[*packet.Packet]bool, len(taken))
-	for _, p := range taken {
-		chosen[p] = true
-	}
-	kept := e.backlog[:0]
-	removed := 0
-	for _, p := range e.backlog {
-		if chosen[p] {
-			removed++
-			continue
+		if limit > 0 && len(view) >= limit {
+			break
 		}
-		kept = append(kept, p)
 	}
-	if removed != len(taken) {
-		panic(fmt.Sprintf("core: plan contained %d packets not in the backlog", len(taken)-removed))
-	}
-	// Zero the tail so removed packets do not leak through the backing
-	// array.
-	for i := len(kept); i < len(e.backlog); i++ {
-		e.backlog[i] = nil
-	}
-	e.backlog = kept
+	e.viewScratch = view[:0]
+	e.curScratch = cur[:0]
+	return view
 }
 
 func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
@@ -410,28 +460,34 @@ func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
 // reaches the peer, or to wait out a partition until a heal — instead of
 // being dropped: the engine owns the frame until some rail accepts it.
 func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
+	// Ownership of f transfers to the driver at a successful Post: a wire
+	// rail's owner goroutine may serialize and release it concurrently
+	// with the accounting below, so everything the trace needs is read
+	// BEFORE the handoff. On failure the frame stays ours.
+	kind := f.Kind
+	wire := f.WireSize()
 	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
 		if errors.Is(err, drivers.ErrPeerDown) {
 			e.failQ = append(e.failQ, f)
 			e.set.Counter("core.peer_down_posts").Inc()
 			e.rec.Record(trace.Event{
 				At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
-				A: ri, B: f.WireSize(), Note: "requeue:peer-down",
+				A: ri, B: wire, Note: "requeue:peer-down",
 			})
 			return
 		}
 		panic(fmt.Sprintf("core: post on %s ch%d failed: %v", e.rails[ri].Name(), ch, err))
 	}
-	e.set.Counter("core.frames_posted").Inc()
-	e.set.Counter(fmt.Sprintf("core.rail.%s.frames", e.rails[ri].Caps().Name)).Inc()
+	e.cFramesPosted.Inc()
+	e.railCtr[ri].Inc()
 	e.ctr.framesPosted++
 	e.railFrames[ri]++
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
-		A: ri, B: f.WireSize(), Note: f.Kind.String(),
+		A: ri, B: wire, Note: kind.String(),
 	})
 	if len(pkts) > 0 {
-		e.set.Counter("core.packets_sent").Add(uint64(len(pkts)))
+		e.cPacketsSent.Add(uint64(len(pkts)))
 		e.ctr.packetsSent += uint64(len(pkts))
 	}
 }

@@ -45,7 +45,6 @@ type Loopback struct {
 type lconn struct {
 	mu sync.Mutex // serializes frame writes
 	c  net.Conn
-	w  *bufio.Writer
 }
 
 type lchan struct {
@@ -55,7 +54,7 @@ type lchan struct {
 
 type loopTx struct {
 	dst packet.NodeID
-	buf []byte
+	f   *packet.Frame
 }
 
 var _ Driver = (*Loopback)(nil)
@@ -116,7 +115,7 @@ func (l *Loopback) Dial(peer packet.NodeID, addr string) error {
 	if old, dup := l.conns[peer]; dup {
 		old.c.Close()
 	}
-	l.conns[peer] = &lconn{c: c, w: bufio.NewWriter(c)}
+	l.conns[peer] = &lconn{c: c}
 	return nil
 }
 
@@ -158,43 +157,64 @@ func (l *Loopback) reader(c net.Conn) {
 		if n > 64<<20 {
 			return // corrupt stream
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		// Pooled receive lifecycle, as in Mesh.reader: the handler chain
+		// borrows the frame, the terminal consumer releases it.
+		buf := packet.GetBuf(int(n))
+		if _, err := io.ReadFull(br, buf.B); err != nil {
+			packet.PutBuf(buf)
 			return
 		}
-		f, _, err := packet.Decode(buf)
-		if err != nil {
+		f := packet.AcquireFrame()
+		if _, err := packet.DecodeInto(f, buf.B); err != nil {
+			packet.ReleaseFrame(f)
+			packet.PutBuf(buf)
 			return
 		}
+		f.SetBacking(buf)
 		l.mu.Lock()
 		h := l.onRecv
 		l.mu.Unlock()
 		if h != nil {
 			h(src, f)
+		} else {
+			packet.ReleaseFrame(f)
 		}
 	}
 }
 
 func (l *Loopback) sender(idx int, ch *lchan) {
 	defer l.wg.Done()
+	var (
+		vecScratch [][]byte // reused gather-list backing
+		meta       []byte   // reused header scratch; gather segments alias it
+	)
 	for tx := range ch.work {
 		l.mu.Lock()
 		conn := l.conns[tx.dst]
 		l.mu.Unlock()
 		if conn != nil {
+			// Vectored write: headers from the scratch block, payloads by
+			// reference — no staging copy of the payload bytes.
+			meta = append(meta[:0], 0, 0, 0, 0)
+			binary.BigEndian.PutUint32(meta[0:4], uint32(tx.f.WireSize()))
+			vecScratch, meta = tx.f.EncodeVec(vecScratch[:0], meta)
 			conn.mu.Lock()
-			var lenbuf [4]byte
-			binary.BigEndian.PutUint32(lenbuf[:], uint32(len(tx.buf)))
-			_, err := conn.w.Write(lenbuf[:])
-			if err == nil {
-				_, err = conn.w.Write(tx.buf)
-			}
-			if err == nil {
-				err = conn.w.Flush()
-			}
+			bufs := net.Buffers(vecScratch)
+			_, err := bufs.WriteTo(conn.c)
 			conn.mu.Unlock()
+			for i := range vecScratch {
+				vecScratch[i] = nil // drop payload refs; backing is reused
+			}
+			if cap(meta) > maxScratch {
+				// As in the mesh rails: one pathologically wide aggregate
+				// must not pin a large header block to this channel.
+				meta = nil
+			}
 			_ = err // a broken peer surfaces as missing deliveries in tests
 		}
+		// Written or undeliverable: either way this sender consumed the
+		// frame terminally.
+		packet.ReleaseFrame(tx.f)
 		l.mu.Lock()
 		ch.busy = false
 		h := l.onIdle
@@ -240,9 +260,12 @@ func (l *Loopback) FirstIdle() (int, bool) {
 	return 0, false
 }
 
-// Post encodes the frame and hands it to the channel's sender goroutine.
-// hostExtra is ignored: on a real transport, preparation already took real
-// time.
+// Post hands the frame to the channel's sender goroutine. hostExtra is
+// ignored: on a real transport, preparation already took real time.
+//
+// Encoding is deferred to the sender goroutine (as in Mesh), so the caller
+// must treat the frame and its payloads as immutable once posted; a
+// successfully written frame is released to the frame pool by the sender.
 func (l *Loopback) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 	if ch < 0 || ch >= len(l.chans) {
 		return fmt.Errorf("drivers: loopback node %d has no channel %d", l.node, ch)
@@ -250,7 +273,6 @@ func (l *Loopback) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 	if f.Src != l.node {
 		return fmt.Errorf("drivers: frame src %d posted on node %d", f.Src, l.node)
 	}
-	buf := f.Encode(nil)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -267,7 +289,7 @@ func (l *Loopback) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
 	}
 	c.busy = true
 	l.mu.Unlock()
-	c.work <- loopTx{dst: f.Dst, buf: buf}
+	c.work <- loopTx{dst: f.Dst, f: f}
 	return nil
 }
 

@@ -183,21 +183,32 @@ func (m *Mesh) reader(c net.Conn) {
 			m.inboundFailed(src, c)
 			return // corrupt stream
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		// The frame struct and its wire buffer come from the packet pools.
+		// Ownership travels with the frame: the receive handler chain
+		// (injectors, the engine's dispatcher) borrows it, and whoever
+		// consumes it terminally calls packet.ReleaseFrame, which recycles
+		// the buffer unless a protocol engine pinned it (escaping bulk).
+		buf := packet.GetBuf(int(n))
+		if _, err := io.ReadFull(br, buf.B); err != nil {
+			packet.PutBuf(buf)
 			m.inboundFailed(src, c)
 			return
 		}
-		f, _, err := packet.Decode(buf)
-		if err != nil {
+		f := packet.AcquireFrame()
+		if _, err := packet.DecodeInto(f, buf.B); err != nil {
+			packet.ReleaseFrame(f)
+			packet.PutBuf(buf)
 			m.inboundFailed(src, c)
 			return
 		}
+		f.SetBacking(buf)
 		m.mu.Lock()
 		h := m.onRecv
 		m.mu.Unlock()
 		if h != nil {
 			h(src, f)
+		} else {
+			packet.ReleaseFrame(f)
 		}
 	}
 }

@@ -1,7 +1,6 @@
 package drivers
 
 import (
-	"bufio"
 	"encoding/binary"
 	"net"
 	"sync"
@@ -69,9 +68,12 @@ type railTx struct {
 	f  *packet.Frame
 }
 
-// maxScratch bounds the encode buffer a sender keeps between frames;
-// anything larger is released back to the GC after the write.
-const maxScratch = 1 << 20
+// maxScratch bounds the header scratch a sender keeps between frames;
+// anything larger is released back to the GC after the write. Since the
+// scratch holds only frame and sub-packet headers (payloads travel by
+// reference through the gather list), hitting this bound takes a
+// pathologically wide aggregate.
+const maxScratch = 1 << 16
 
 // requeueSlack is the extra queue capacity reserved for failover requeues
 // beyond the one-slot-per-channel guarantee Post relies on. A full slack
@@ -87,32 +89,38 @@ func newRail(c net.Conn, slots int) *rail {
 }
 
 // sender is the rail's owner goroutine: it writes each queued frame
-// atomically (4-byte length prefix + encoded frame) and then releases the
-// channel that carried it. On a write error the peer is taken down
-// (railWriteFailed) and every frame still aboard — the one that failed
-// mid-write plus everything queued behind it — is reclaimed and handed to
-// the frame-loss handler, so the layer above can fail the frames over onto
-// a surviving rail instead of losing them with the connection. The
-// goroutine keeps draining so every channel pointed at the dead connection
-// is released — the engine above sees idle upcalls, not a wedged send
-// unit. When the queue closes (retirement) the owner finishes the drain
-// and disposes of the socket.
+// atomically as one vectored write — the 4-byte length prefix and every
+// frame/sub-packet header come from a reused scratch block, the payload
+// slices are handed to writev as-is, so payload bytes go from application
+// memory to the socket without an intermediate copy — and then releases
+// the channel that carried it. A successfully written frame is terminally
+// consumed here: the owner returns it to the frame pool. On a write error
+// the peer is taken down (railWriteFailed) and every frame still aboard —
+// the one that failed mid-write plus everything queued behind it — is
+// reclaimed and handed to the frame-loss handler (ownership moves back to
+// the layer above, so reclaimed frames are NOT released), so the layer
+// above can fail the frames over onto a surviving rail instead of losing
+// them with the connection. The goroutine keeps draining so every channel
+// pointed at the dead connection is released — the engine above sees idle
+// upcalls, not a wedged send unit. When the queue closes (retirement) the
+// owner finishes the drain and disposes of the socket.
 func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 	defer m.wg.Done()
-	bw := bufio.NewWriter(r.c)
 	broken := false
-	var scratch []byte // reused encode buffer, grown to the largest frame
+	var (
+		vecScratch [][]byte // reused gather-list backing
+		meta       []byte   // reused header scratch; gather segments alias it
+	)
 	for tx := range r.q {
 		if !broken {
-			scratch = tx.f.Encode(scratch[:0])
-			var lenbuf [4]byte
-			binary.BigEndian.PutUint32(lenbuf[:], uint32(len(scratch)))
-			_, err := bw.Write(lenbuf[:])
-			if err == nil {
-				_, err = bw.Write(scratch)
-			}
-			if err == nil {
-				err = bw.Flush()
+			wire := tx.f.WireSize()
+			meta = append(meta[:0], 0, 0, 0, 0)
+			binary.BigEndian.PutUint32(meta[0:4], uint32(wire))
+			vecScratch, meta = tx.f.EncodeVec(vecScratch[:0], meta)
+			bufs := net.Buffers(vecScratch)
+			_, err := bufs.WriteTo(r.c)
+			for i := range vecScratch {
+				vecScratch[i] = nil // drop payload refs; the gather backing is reused
 			}
 			if err != nil {
 				broken = true
@@ -147,13 +155,15 @@ func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 				}
 				continue
 			}
+			// The frame is on the socket: this owner was its last user.
+			packet.ReleaseFrame(tx.f)
 			if m.pacer != nil {
-				m.pacer.serialize(len(scratch) + m.caps.PacketHeader)
+				m.pacer.serialize(wire + m.caps.PacketHeader)
 			}
-			if cap(scratch) > maxScratch {
-				// Don't let one oversized rendezvous frame pin a
-				// frame-sized buffer to this connection for its lifetime.
-				scratch = nil
+			if cap(meta) > maxScratch {
+				// Don't let one pathologically wide aggregate pin a large
+				// header block to this connection for its lifetime.
+				meta = nil
 			}
 		} else {
 			// A straggler that raced the reclaim above: same treatment.
@@ -170,9 +180,7 @@ func (m *Mesh) sender(peer packet.NodeID, r *rail) {
 	// healthy peer down.
 	if !broken {
 		var zero [4]byte
-		if _, err := bw.Write(zero[:]); err == nil {
-			bw.Flush()
-		}
+		r.c.Write(zero[:])
 	}
 	m.railRetired(r)
 }

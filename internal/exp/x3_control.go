@@ -52,28 +52,31 @@ type X3Result struct {
 	FinalMode control.Mode
 }
 
-func x3Shape(cfg Config) (sparseMsgs int, sparseGap time.Duration, denseMsgs int) {
+// x3Shape sizes the phases. The dense phase is duration-controlled, not
+// count-controlled: the property under test is that a *sustained* high-
+// rate stream flips the controller, and how many messages that takes
+// depends on how fast the host's datapath drains them. denseFor must span
+// the loop's reaction horizon (rate EWMA rise + Confirm samples) with
+// margin; denseMin bounds the workload from below so the phase is dense on
+// any host.
+func x3Shape(cfg Config) (sparseMsgs int, sparseGap time.Duration, denseMin int, denseFor time.Duration) {
 	if cfg.Quick {
-		return 60, 2 * time.Millisecond, 8000
+		return 60, 2 * time.Millisecond, 8000, 150 * time.Millisecond
 	}
-	return 150, 2 * time.Millisecond, 30000
+	return 150, 2 * time.Millisecond, 30000, 400 * time.Millisecond
 }
 
 // X3Mesh boots a 2-node mesh cluster, attaches a controller to node 0's
 // engine, and drives a sparse phase then a dense phase through it.
 func X3Mesh(cfg Config) (X3Result, error) {
-	sparseMsgs, sparseGap, denseMsgs := x3Shape(cfg)
-	total := sparseMsgs + denseMsgs
+	sparseMsgs, sparseGap, denseMin, denseFor := x3Shape(cfg)
 
 	var delivered atomic.Int64
-	done := make(chan struct{}, 1)
 	c, err := cluster.New(cluster.Options{
 		Nodes: 2,
 		Raw:   true,
 		OnDeliver: func(packet.NodeID, proto.Deliverable) {
-			if delivered.Add(1) == int64(total) {
-				done <- struct{}{}
-			}
+			delivered.Add(1)
 		},
 	})
 	if err != nil {
@@ -100,7 +103,7 @@ func X3Mesh(cfg Config) (X3Result, error) {
 	}
 	defer ctl.Stop()
 
-	res := X3Result{Cooldown: cooldown, SparseMsgs: sparseMsgs, DenseMsgs: denseMsgs}
+	res := X3Result{Cooldown: cooldown, SparseMsgs: sparseMsgs}
 	eng := c.Engine(0)
 	mk := func(flow packet.FlowID, seq, size int) *packet.Packet {
 		return &packet.Packet{
@@ -123,19 +126,29 @@ func X3Mesh(cfg Config) (X3Result, error) {
 	res.Sparse = time.Since(start)
 	res.SparseEndAt = c.Runtime.Now()
 
-	// Dense phase: a back-to-back stream — tens of thousands per second,
-	// beyond HiRate: the loop must flip to the throughput tuning.
+	// Dense phase: a back-to-back stream — submission as fast as the engine
+	// accepts it, far beyond HiRate — sustained for denseFor so the loop's
+	// EWMA and confirmation samples see the regime however fast the host
+	// drains the backlog (at least denseMin messages either way).
 	start = time.Now()
-	for q := 0; q < denseMsgs; q++ {
-		if err := eng.Submit(mk(2, q, 256)); err != nil {
-			return X3Result{}, err
+	denseMsgs := 0
+	for denseMsgs < denseMin || time.Since(start) < denseFor {
+		for b := 0; b < 512; b++ {
+			if err := eng.Submit(mk(2, denseMsgs, 256)); err != nil {
+				return X3Result{}, err
+			}
+			denseMsgs++
 		}
 	}
 	eng.Flush()
-	select {
-	case <-done:
-	case <-time.After(60 * time.Second):
-		return X3Result{}, fmt.Errorf("exp: X3 incomplete, %d of %d delivered", delivered.Load(), total)
+	res.DenseMsgs = denseMsgs
+	total := int64(sparseMsgs + denseMsgs)
+	deadline := time.Now().Add(60 * time.Second)
+	for delivered.Load() < total {
+		if time.Now().After(deadline) {
+			return X3Result{}, fmt.Errorf("exp: X3 incomplete, %d of %d delivered", delivered.Load(), total)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	res.Dense = time.Since(start)
 

@@ -95,9 +95,11 @@ func (c *Channel) Connect(peer packet.NodeID) *Connection {
 	return conn
 }
 
-// ingest processes one in-order fragment from the session dispatcher.
+// ingest processes one in-order fragment from the session dispatcher. The
+// deliverable carries the packet by value; the fragment handlers below get
+// a pointer to a per-ingest copy, valid for the duration of the callback.
 func (c *Channel) ingest(d proto.Deliverable) {
-	p := d.Pkt
+	p := &d.Pkt
 	c.mu.Lock()
 	onFrag, onExpr, onMsg := c.onFragment, c.onExpress, c.onMessage
 	as := c.inflows[p.Flow]

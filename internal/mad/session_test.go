@@ -58,7 +58,7 @@ func TestDispatchUnknownChannelPanics(t *testing.T) {
 	// created on this session.
 	r.sessions[1].Dispatch(proto.Deliverable{
 		Src: 0,
-		Pkt: &packet.Packet{Flow: flowID(7, 0), Payload: []byte("x")},
+		Pkt: packet.Packet{Flow: flowID(7, 0), Payload: []byte("x")},
 	})
 }
 
@@ -70,13 +70,13 @@ func TestInterleavedMessageFromSameFlowPanics(t *testing.T) {
 	ch := r.sessions[1].Channel("app")
 	ch.OnMessage(func(packet.NodeID, *Incoming) {})
 	flow := flowID(0, 0)
-	ch.ingest(proto.Deliverable{Src: 0, Pkt: &packet.Packet{
+	ch.ingest(proto.Deliverable{Src: 0, Pkt: packet.Packet{
 		Flow: flow, Msg: 1, Seq: 0, Payload: []byte("a")}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("interleaved message accepted")
 		}
 	}()
-	ch.ingest(proto.Deliverable{Src: 0, Pkt: &packet.Packet{
+	ch.ingest(proto.Deliverable{Src: 0, Pkt: packet.Packet{
 		Flow: flow, Msg: 2, Seq: 1, Payload: []byte("b")}})
 }

@@ -110,9 +110,23 @@ func FuzzDecode(f *testing.F) {
 	lying := fuzzSeedFrames()[0].Encode(nil)
 	lying[3], lying[4] = 0xFF, 0xFF // entry count far beyond the data
 	f.Add(lying)
+	// Preallocation bomb: a minimal data-frame header whose count field
+	// demands ~64Ki entries while the body holds none. Decode must clamp
+	// its Entries preallocation to what the bytes could possibly hold
+	// instead of trusting the count.
+	bomb := (&Frame{Kind: FrameData, Src: 1, Dst: 2}).Encode(nil)
+	bomb[3], bomb[4] = 0xFF, 0xFF
+	f.Add(bomb)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := Decode(data)
+		// DecodeInto must agree with Decode bit for bit, including when
+		// the target frame carries stale state from a previous decode.
+		reused := &Frame{Entries: make([]Entry, 2, 2)}
+		n2, err2 := DecodeInto(reused, data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Decode err %v but DecodeInto err %v", err, err2)
+		}
 		if err != nil {
 			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadKind) {
 				t.Fatalf("undeclared decode error %v on %x", err, data)
@@ -122,9 +136,24 @@ func FuzzDecode(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
+		if n2 != n {
+			t.Fatalf("DecodeInto consumed %d, Decode consumed %d", n2, n)
+		}
 		enc := fr.Encode(nil)
 		if len(enc) != fr.WireSize() {
 			t.Fatalf("WireSize %d != encoded length %d", fr.WireSize(), len(enc))
+		}
+		if encReused := reused.Encode(nil); !bytes.Equal(enc, encReused) {
+			t.Fatalf("DecodeInto disagrees with Decode:\n  decode %x\nreused %x", enc, encReused)
+		}
+		// The vectored encoder must concatenate to Encode's bytes.
+		vec, _ := fr.EncodeVec(nil, nil)
+		var concat []byte
+		for _, seg := range vec {
+			concat = append(concat, seg...)
+		}
+		if !bytes.Equal(concat, enc) {
+			t.Fatalf("EncodeVec disagrees with Encode:\n   vec %x\nencode %x", concat, enc)
 		}
 		fr2, n2, err := Decode(enc)
 		if err != nil {

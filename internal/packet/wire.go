@@ -29,6 +29,13 @@ type Frame struct {
 
 	// Bulk is the payload of FrameRData and FramePut transactions.
 	Bulk []byte
+
+	// Pool lifecycle state (see pool.go): whether this struct came from
+	// the frame pool, the wire buffer its payload slices alias on the
+	// receive path, and whether that buffer escaped to the application.
+	pooled  bool
+	backing *Buf
+	pinned  bool
 }
 
 // FrameKind enumerates transaction types.
@@ -220,6 +227,95 @@ func (f *Frame) Encode(dst []byte) []byte {
 	return dst
 }
 
+// EncodeVec appends the frame's wire form to vec as a gather list: header
+// and sub-header bytes are appended to the meta scratch buffer (grown once
+// up front, so earlier segments never dangle) and payload/bulk slices are
+// referenced directly — no payload memcpy. Any bytes already in meta (a
+// transport's length prefix, say) become the head of the first segment.
+// The concatenation of the appended segments equals Encode's output.
+//
+// The caller owns meta and every payload until the write completes; reuse
+// meta across frames (it holds only headers, ~HeaderSize +
+// entries·SubHeaderSize bytes).
+func (f *Frame) EncodeVec(vec [][]byte, meta []byte) ([][]byte, []byte) {
+	need := len(meta) + HeaderSize
+	switch f.Kind {
+	case FrameData:
+		need += len(f.Entries) * SubHeaderSize
+	case FrameRData, FramePut, FrameGetReply:
+		need += CtrlSize + 4
+	default:
+		need += CtrlSize
+	}
+	if cap(meta) < need {
+		grown := make([]byte, len(meta), need)
+		copy(grown, meta)
+		meta = grown
+	}
+	segStart := 0
+
+	var tmp [12]byte
+	binary.BigEndian.PutUint16(tmp[0:], frameMagic)
+	tmp[2] = byte(f.Kind)
+	binary.BigEndian.PutUint16(tmp[3:], uint16(len(f.Entries)))
+	meta = append(meta, tmp[:5]...)
+	binary.BigEndian.PutUint32(tmp[0:], uint32(f.Src))
+	binary.BigEndian.PutUint32(tmp[4:], uint32(f.Dst))
+	meta = append(meta, tmp[:8]...)
+
+	switch f.Kind {
+	case FrameData:
+		for i := range f.Entries {
+			e := &f.Entries[i]
+			binary.BigEndian.PutUint32(tmp[0:], uint32(e.Flow))
+			binary.BigEndian.PutUint64(tmp[4:], uint64(e.Msg))
+			meta = append(meta, tmp[:12]...)
+			binary.BigEndian.PutUint32(tmp[0:], uint32(e.Seq))
+			flags := byte(e.Class) << classShift
+			if e.Last {
+				flags |= flagLast
+			}
+			if e.Recv == RecvExpress {
+				flags |= flagExpress
+			}
+			tmp[4] = flags
+			binary.BigEndian.PutUint32(tmp[5:], uint32(len(e.Payload)))
+			meta = append(meta, tmp[:9]...)
+			if len(e.Payload) > 0 {
+				vec = append(vec, meta[segStart:len(meta):len(meta)], e.Payload)
+				segStart = len(meta)
+			}
+		}
+	default:
+		c := &f.Ctrl
+		binary.BigEndian.PutUint64(tmp[0:], c.Token)
+		binary.BigEndian.PutUint32(tmp[8:], uint32(c.Flow))
+		meta = append(meta, tmp[:12]...)
+		binary.BigEndian.PutUint64(tmp[0:], uint64(c.Msg))
+		binary.BigEndian.PutUint32(tmp[8:], uint32(c.Seq))
+		meta = append(meta, tmp[:12]...)
+		binary.BigEndian.PutUint32(tmp[0:], uint32(c.Size))
+		if c.Last {
+			tmp[4] = 1
+		} else {
+			tmp[4] = 0
+		}
+		meta = append(meta, tmp[:5]...)
+		if f.Kind == FrameRData || f.Kind == FramePut || f.Kind == FrameGetReply {
+			binary.BigEndian.PutUint32(tmp[0:], uint32(len(f.Bulk)))
+			meta = append(meta, tmp[:4]...)
+			if len(f.Bulk) > 0 {
+				vec = append(vec, meta[segStart:len(meta):len(meta)], f.Bulk)
+				segStart = len(meta)
+			}
+		}
+	}
+	if len(meta) > segStart {
+		vec = append(vec, meta[segStart:len(meta):len(meta)])
+	}
+	return vec, meta
+}
+
 // Decoding errors.
 var (
 	ErrTruncated = errors.New("packet: truncated frame")
@@ -230,30 +326,56 @@ var (
 // Decode parses one frame from data, returning the frame and the number of
 // bytes consumed. Payload slices alias data.
 func Decode(data []byte) (*Frame, int, error) {
+	f := &Frame{}
+	n, err := DecodeInto(f, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+// DecodeInto is the pooling-aware decoder: it parses one frame from data
+// into f, reusing f's Entries backing array, and returns the number of
+// bytes consumed. Payload slices alias data — callers recycling data (the
+// wire drivers) attach it with SetBacking so ReleaseFrame can route it
+// back. On error f's contents are unspecified; reset or release it.
+func DecodeInto(f *Frame, data []byte) (int, error) {
 	if len(data) < HeaderSize {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if binary.BigEndian.Uint16(data[0:]) != frameMagic {
-		return nil, 0, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	kind := FrameKind(data[2])
 	if kind >= frameKindMax {
-		return nil, 0, ErrBadKind
+		return 0, ErrBadKind
 	}
 	count := int(binary.BigEndian.Uint16(data[3:]))
-	f := &Frame{
-		Kind: kind,
-		Src:  NodeID(binary.BigEndian.Uint32(data[5:])),
-		Dst:  NodeID(binary.BigEndian.Uint32(data[9:])),
-	}
+	f.Kind = kind
+	f.Src = NodeID(binary.BigEndian.Uint32(data[5:]))
+	f.Dst = NodeID(binary.BigEndian.Uint32(data[9:]))
+	f.Entries = f.Entries[:0]
+	f.Ctrl = Ctrl{}
+	f.Bulk = nil
 	off := HeaderSize
 
 	switch kind {
 	case FrameData:
-		f.Entries = make([]Entry, 0, count)
+		// The 16-bit wire count is unvalidated input: clamp the
+		// preallocation to what the remaining bytes could possibly hold
+		// (one SubHeaderSize minimum per entry), so a garbage count of
+		// 65535 cannot demand a ~64Ki-entry allocation before the
+		// truncation check below trips on the first missing sub-header.
+		if maxEntries := (len(data) - HeaderSize) / SubHeaderSize; count > maxEntries {
+			if cap(f.Entries) < maxEntries {
+				f.Entries = make([]Entry, 0, maxEntries)
+			}
+		} else if cap(f.Entries) < count {
+			f.Entries = make([]Entry, 0, count)
+		}
 		for i := 0; i < count; i++ {
 			if len(data) < off+SubHeaderSize {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			var e Entry
 			e.Flow = FlowID(binary.BigEndian.Uint32(data[off:]))
@@ -268,7 +390,7 @@ func Decode(data []byte) (*Frame, int, error) {
 			plen := int(binary.BigEndian.Uint32(data[off+17:]))
 			off += SubHeaderSize
 			if len(data) < off+plen {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			e.Payload = data[off : off+plen : off+plen]
 			off += plen
@@ -276,7 +398,7 @@ func Decode(data []byte) (*Frame, int, error) {
 		}
 	default:
 		if len(data) < off+CtrlSize {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		c := &f.Ctrl
 		c.Token = binary.BigEndian.Uint64(data[off:])
@@ -288,18 +410,18 @@ func Decode(data []byte) (*Frame, int, error) {
 		off += CtrlSize
 		if kind == FrameRData || kind == FramePut || kind == FrameGetReply {
 			if len(data) < off+4 {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			blen := int(binary.BigEndian.Uint32(data[off:]))
 			off += 4
 			if len(data) < off+blen {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			f.Bulk = data[off : off+blen : off+blen]
 			off += blen
 		}
 	}
-	return f, off, nil
+	return off, nil
 }
 
 // String summarizes the frame for traces.

@@ -238,3 +238,93 @@ func TestIOVec(t *testing.T) {
 		t.Fatal("Flatten results differ")
 	}
 }
+
+// --- pooling-aware codec -------------------------------------------------
+
+func TestDecodeIntoReusesEntries(t *testing.T) {
+	f1 := &Frame{Kind: FrameData, Src: 1, Dst: 2, Entries: []Entry{
+		{Flow: 1, Msg: 1, Seq: 0, Payload: []byte("one")},
+		{Flow: 2, Msg: 1, Seq: 0, Last: true, Payload: []byte("two")},
+	}}
+	enc := f1.Encode(nil)
+
+	var into Frame
+	n, err := DecodeInto(&into, enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("DecodeInto: n=%d err=%v", n, err)
+	}
+	prevCap := cap(into.Entries)
+
+	// A second decode of a smaller frame must reuse the backing array.
+	f2 := &Frame{Kind: FrameData, Src: 1, Dst: 2, Entries: []Entry{
+		{Flow: 3, Msg: 1, Seq: 0, Last: true, Payload: []byte("three")},
+	}}
+	enc2 := f2.Encode(nil)
+	if _, err := DecodeInto(&into, enc2); err != nil {
+		t.Fatal(err)
+	}
+	if cap(into.Entries) != prevCap {
+		t.Fatalf("Entries backing array not reused: cap %d -> %d", prevCap, cap(into.Entries))
+	}
+	if len(into.Entries) != 1 || string(into.Entries[0].Payload) != "three" {
+		t.Fatalf("bad reuse decode: %+v", into.Entries)
+	}
+	// Control decode into the same frame must clear data-frame state.
+	ctrl := &Frame{Kind: FrameAck, Src: 2, Dst: 1, Ctrl: Ctrl{Token: 5}}
+	if _, err := DecodeInto(&into, ctrl.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(into.Entries) != 0 || into.Ctrl.Token != 5 {
+		t.Fatalf("stale state after control decode: %+v", into)
+	}
+}
+
+func TestDecodeClampsEntryPrealloc(t *testing.T) {
+	// A header whose count field demands 65535 entries over an empty body
+	// must fail with ErrTruncated without ever allocating room for them.
+	bomb := (&Frame{Kind: FrameData, Src: 1, Dst: 2}).Encode(nil)
+	bomb[3], bomb[4] = 0xFF, 0xFF
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := Decode(bomb); err != ErrTruncated {
+			t.Fatalf("expected ErrTruncated, got %v", err)
+		}
+	})
+	// One Frame alloc per run is fine; a 64Ki-entry slice (~4 MiB) is not.
+	if allocs > 2 {
+		t.Fatalf("decode of count-bomb frame cost %.0f allocs/run", allocs)
+	}
+}
+
+func TestEncodeVecMatchesEncode(t *testing.T) {
+	frames := []*Frame{
+		{Kind: FrameData, Src: 1, Dst: 2, Entries: []Entry{
+			{Flow: 1, Msg: 2, Seq: 0, Payload: []byte("head")},
+			{Flow: 1, Msg: 2, Seq: 1, Payload: nil}, // empty payload entry
+			{Flow: 2, Msg: 1, Seq: 0, Last: true, Class: ClassBulk, Recv: RecvExpress, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		}},
+		{Kind: FrameData, Src: 3, Dst: 4}, // no entries
+		{Kind: FrameRTS, Src: 0, Dst: 3, Ctrl: Ctrl{Token: 7, Flow: 4, Msg: 5, Seq: 6, Size: 1 << 20, Last: true}},
+		{Kind: FrameRData, Src: 0, Dst: 3, Ctrl: Ctrl{Token: 7, Flow: 4, Seq: 6, Size: 64}, Bulk: bytes.Repeat([]byte{0xCD}, 64)},
+		{Kind: FramePut, Src: 2, Dst: 1, Ctrl: Ctrl{Token: 9}, Bulk: nil}, // empty bulk
+		{Kind: FrameAck, Src: 5, Dst: 6, Ctrl: Ctrl{Token: 11}},
+	}
+	var vec [][]byte
+	var meta []byte
+	for _, f := range frames {
+		want := f.Encode(nil)
+		// Pre-existing meta bytes (a transport length prefix) must become
+		// the head of the first segment.
+		meta = append(meta[:0], 0xDE, 0xAD)
+		vec, meta = f.EncodeVec(vec[:0], meta)
+		var got []byte
+		for _, seg := range vec {
+			got = append(got, seg...)
+		}
+		if !bytes.Equal(got[:2], []byte{0xDE, 0xAD}) {
+			t.Fatalf("%v: prefix bytes lost", f.Kind)
+		}
+		if !bytes.Equal(got[2:], want) {
+			t.Fatalf("%v: EncodeVec mismatch\n got %x\nwant %x", f.Kind, got[2:], want)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package perf holds the repo's datapath microbenchmarks and the
+// allocation-regression tests that keep the zero-alloc steady state honest
+// (DESIGN.md §5).
+//
+// Run with:
+//
+//	go test -bench . -benchmem ./internal/perf
+//
+// The benchmarks measure host-side cost of the three hot paths — the eager
+// send pump (submit → plan → frame → post), the receive path (decode →
+// dispatch → reassemble → deliver), and the wire codec — plus a real TCP
+// mesh round-trip for end-to-end context. The TestAllocs* tests pin the
+// steady-state allocation budgets; CI fails on regression.
+package perf
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+// sinkDriver is an always-idle driver that consumes every posted frame
+// terminally, exactly as a wire rail's owner goroutine does after the
+// bytes hit the socket: the frame is released back to the pool. The
+// cheapest possible transfer layer, so engine-side costs dominate.
+type sinkDriver struct {
+	node   packet.NodeID
+	caps   caps.Caps
+	onRecv drivers.RecvFunc
+}
+
+func newSink(node packet.NodeID) *sinkDriver {
+	return &sinkDriver{node: node, caps: caps.MX}
+}
+
+func (d *sinkDriver) Name() string                       { return "sink" }
+func (d *sinkDriver) Node() packet.NodeID                { return d.node }
+func (d *sinkDriver) Caps() caps.Caps                    { return d.caps }
+func (d *sinkDriver) Mem() memsim.Model                  { return memsim.DefaultModel() }
+func (d *sinkDriver) NumChannels() int                   { return d.caps.Channels }
+func (d *sinkDriver) ChannelIdle(ch int) bool            { return true }
+func (d *sinkDriver) FirstIdle() (int, bool)             { return 0, true }
+func (d *sinkDriver) SetIdleHandler(drivers.IdleFunc)    {}
+func (d *sinkDriver) SetRecvHandler(fn drivers.RecvFunc) { d.onRecv = fn }
+func (d *sinkDriver) Close() error                       { return nil }
+
+func (d *sinkDriver) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
+	packet.ReleaseFrame(f)
+	return nil
+}
+
+func newEngine(b testing.TB, deliver proto.DeliverFunc) (*core.Engine, *sinkDriver) {
+	b.Helper()
+	bundle, err := strategy.New("aggregate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := newSink(0)
+	if deliver == nil {
+		deliver = func(d proto.Deliverable) {}
+	}
+	e, err := core.New(0, core.Options{
+		Bundle:  bundle,
+		Runtime: simnet.NewRealRuntime(),
+		Rails:   []drivers.Driver{sink},
+		Deliver: deliver,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, sink
+}
+
+// BenchmarkEagerSend measures the steady-state eager datapath on the send
+// side: one Submit driving the full pump (eligibility, plan, frame build,
+// post) on an always-idle rail.
+func BenchmarkEagerSend(b *testing.B) {
+	e, _ := newEngine(b, nil)
+	defer e.Close()
+	payload := make([]byte, 64)
+	p := &packet.Packet{
+		Flow: 1, Msg: 1, Src: 0, Dst: 1,
+		Class: packet.ClassSmall, Payload: payload,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Submit(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAllocsEagerSend pins the steady-state eager pump budget: at most 2
+// allocations per submit+pump (the plan struct and its packet slice; the
+// frame, its entries, the view and the strategy context are all reused).
+func TestAllocsEagerSend(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	defer e.Close()
+	payload := make([]byte, 64)
+	p := &packet.Packet{
+		Flow: 1, Msg: 1, Src: 0, Dst: 1,
+		Class: packet.ClassSmall, Payload: payload,
+	}
+	submit := func() {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		submit() // warm the pools and scratch buffers
+	}
+	if allocs := testing.AllocsPerRun(500, submit); allocs > 2 {
+		t.Fatalf("eager send pump costs %.2f allocs/op, budget is 2", allocs)
+	}
+}
+
+// BenchmarkEagerPumpBacklog measures the pump over a deep multi-flow
+// backlog: 64 packets across 8 flows and 4 destinations — the aggregation
+// planner's real operating point.
+func BenchmarkEagerPumpBacklog(b *testing.B) {
+	e, _ := newEngine(b, nil)
+	defer e.Close()
+	const depth = 64
+	payload := make([]byte, 64)
+	pkts := make([]*packet.Packet, depth)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			Flow: packet.FlowID(i%8 + 1), Msg: 1, Seq: i / 8,
+			Src: 0, Dst: packet.NodeID(i%4 + 1),
+			Class: packet.ClassSmall, Payload: payload,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkts {
+			if err := e.Submit(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// receiveHarness drives the receive path exactly as the mesh reader does:
+// a pooled buffer is filled with pre-encoded wire bytes, decoded into a
+// pooled frame, backed, and handed to the engine's recv handler (which
+// dispatches, delivers, and releases frame and buffer). Per-op sequence
+// numbers are patched into the template so the reassembler delivers every
+// entry in order.
+type receiveHarness struct {
+	recv    drivers.RecvFunc
+	tmpl    []byte
+	seqOffs []int
+	nextSeq uint32
+}
+
+func newReceiveHarness(b testing.TB, entries, payloadLen int) *receiveHarness {
+	b.Helper()
+	e, sink := newEngine(b, func(d proto.Deliverable) {})
+	b.Cleanup(e.Close)
+	f := &packet.Frame{Kind: packet.FrameData, Src: 1, Dst: 0}
+	for i := 0; i < entries; i++ {
+		f.Entries = append(f.Entries, packet.Entry{
+			Flow: 7, Msg: 1, Seq: i, Last: i == entries-1,
+			Class: packet.ClassSmall, Payload: make([]byte, payloadLen),
+		})
+	}
+	buf := f.Encode(nil)
+	// Seq lives 12 bytes into each sub-header (flow and msg come first).
+	offs := make([]int, entries)
+	off := packet.HeaderSize
+	for i := 0; i < entries; i++ {
+		offs[i] = off + 12
+		off += packet.SubHeaderSize + payloadLen
+	}
+	return &receiveHarness{recv: sink.onRecv, tmpl: buf, seqOffs: offs}
+}
+
+// deliver plays one frame arrival: pooled buffer, pooled frame, DecodeInto,
+// backing attached, recv upcall — the mesh reader's exact sequence.
+func (h *receiveHarness) deliver(tb testing.TB) {
+	for _, off := range h.seqOffs {
+		binary.BigEndian.PutUint32(h.tmpl[off:], h.nextSeq)
+		h.nextSeq++
+	}
+	buf := packet.GetBuf(len(h.tmpl))
+	copy(buf.B, h.tmpl)
+	f := packet.AcquireFrame()
+	if _, err := packet.DecodeInto(f, buf.B); err != nil {
+		tb.Fatal(err)
+	}
+	f.SetBacking(buf)
+	h.recv(1, f)
+}
+
+// BenchmarkMeshReceive measures the receive path for a 16-entry aggregated
+// frame — the aggregation depth the paper's cross-flow claim is about:
+// wire decode into a pooled frame, protocol dispatch (payload copy-out),
+// reassembly, delivery upcall, frame+buffer recycling.
+func BenchmarkMeshReceive(b *testing.B) {
+	h := newReceiveHarness(b, 16, 64)
+	b.SetBytes(int64(len(h.tmpl)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.deliver(b)
+	}
+}
+
+// TestAllocsMeshReceive pins the steady-state receive budget for an
+// 8-entry frame: one payload block (it escapes to the application as the
+// delivered payload slices) and nothing else — buffer, frame, entries,
+// packets and the pending-delivery slice all recycle. Budget 2 leaves one
+// alloc of slack for pools a concurrent GC emptied mid-run.
+func TestAllocsMeshReceive(t *testing.T) {
+	h := newReceiveHarness(t, 8, 64)
+	for i := 0; i < 64; i++ {
+		h.deliver(t)
+	}
+	if allocs := testing.AllocsPerRun(500, func() { h.deliver(t) }); allocs > 2 {
+		t.Fatalf("mesh receive path costs %.2f allocs/op for an 8-entry frame, budget is 2", allocs)
+	}
+}
+
+// BenchmarkEncode measures the flat wire encoder on an 8-entry frame.
+func BenchmarkEncode(b *testing.B) {
+	f := benchFrame(8, 64)
+	buf := make([]byte, 0, f.WireSize())
+	b.SetBytes(int64(f.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.Encode(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkEncodeVec measures the vectored encoder (headers into scratch,
+// payloads by reference) the wire rails serialize with.
+func BenchmarkEncodeVec(b *testing.B) {
+	f := benchFrame(8, 64)
+	var vec [][]byte
+	var meta []byte
+	b.SetBytes(int64(f.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meta = append(meta[:0], 0, 0, 0, 0)
+		vec, meta = f.EncodeVec(vec[:0], meta)
+	}
+	_ = vec
+}
+
+// TestAllocsEncodeVec pins the vectored encoder at zero steady-state
+// allocations — it is what every wire frame pays on the rail owner.
+func TestAllocsEncodeVec(t *testing.T) {
+	f := benchFrame(8, 64)
+	var vec [][]byte
+	var meta []byte
+	op := func() {
+		meta = append(meta[:0], 0, 0, 0, 0)
+		vec, meta = f.EncodeVec(vec[:0], meta)
+	}
+	op()
+	if allocs := testing.AllocsPerRun(500, op); allocs > 0 {
+		t.Fatalf("EncodeVec costs %.2f allocs/op, budget is 0", allocs)
+	}
+}
+
+// BenchmarkDecode measures the allocating decoder (fresh frame per call).
+func BenchmarkDecode(b *testing.B) {
+	f := benchFrame(8, 64)
+	buf := f.Encode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := packet.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeInto measures the pooling-aware decoder the wire readers
+// use: entries reuse the target frame's backing array.
+func BenchmarkDecodeInto(b *testing.B) {
+	f := benchFrame(8, 64)
+	buf := f.Encode(nil)
+	var into packet.Frame
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.DecodeInto(&into, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAllocsDecodeInto pins the reusing decoder at zero steady-state
+// allocations.
+func TestAllocsDecodeInto(t *testing.T) {
+	f := benchFrame(8, 64)
+	buf := f.Encode(nil)
+	var into packet.Frame
+	op := func() {
+		if _, err := packet.DecodeInto(&into, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op()
+	if allocs := testing.AllocsPerRun(500, op); allocs > 0 {
+		t.Fatalf("DecodeInto costs %.2f allocs/op, budget is 0", allocs)
+	}
+}
+
+func benchFrame(entries, payloadLen int) *packet.Frame {
+	f := &packet.Frame{Kind: packet.FrameData, Src: 0, Dst: 1}
+	for i := 0; i < entries; i++ {
+		f.Entries = append(f.Entries, packet.Entry{
+			Flow: packet.FlowID(i%4 + 1), Msg: 1, Seq: i, Last: true,
+			Class: packet.ClassSmall, Payload: make([]byte, payloadLen),
+		})
+	}
+	return f
+}
+
+// BenchmarkMeshRoundTrip measures one request-response over a real 2-node
+// TCP mesh: the full engine + socket datapath in both directions, vectored
+// writes and pooled receive lifecycle included.
+func BenchmarkMeshRoundTrip(b *testing.B) {
+	nodes, cleanup, err := drivers.NewMeshCluster(2, caps.TCP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	bundle, err := strategy.New("aggregate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{}, 1)
+	engines := make([]*core.Engine, 2)
+	var mu sync.Mutex
+	echoSeq := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		e, err := core.New(packet.NodeID(i), core.Options{
+			Bundle:  bundle,
+			Runtime: simnet.NewRealRuntime(),
+			Rails:   []drivers.Driver{nodes[i]},
+			Deliver: func(d proto.Deliverable) {
+				if i == 1 {
+					// Echo node: bounce a reply per received packet.
+					mu.Lock()
+					seq := echoSeq
+					echoSeq++
+					mu.Unlock()
+					reply := &packet.Packet{
+						Flow: 2, Msg: 1, Seq: seq, Src: 1, Dst: 0,
+						Class: packet.ClassSmall, Payload: d.Pkt.Payload,
+					}
+					if err := engines[1].Submit(reply); err != nil {
+						panic(err)
+					}
+				} else {
+					done <- struct{}{}
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = e
+		defer e.Close()
+	}
+	payload := make([]byte, 64)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &packet.Packet{
+			Flow: 1, Msg: 1, Seq: i, Src: 0, Dst: 1,
+			Class: packet.ClassSmall, Payload: payload,
+		}
+		if err := engines[0].Submit(p); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}

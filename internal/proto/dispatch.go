@@ -26,16 +26,17 @@ func NewDispatcher(node packet.NodeID, reasm *Reassembler, rdvS *RdvSender, rdvR
 	return &Dispatcher{node: node, reasm: reasm, rdvS: rdvS, rdvR: rdvR, rma: rma}
 }
 
-// HandleFrame routes one received frame.
+// HandleFrame routes one received frame. The frame itself is only
+// borrowed: the caller (a wire driver's receive path, via the engine) may
+// release it — and recycle its backing buffer — as soon as HandleFrame
+// returns, so every engine below copies or pins whatever it keeps.
 func (d *Dispatcher) HandleFrame(src packet.NodeID, f *packet.Frame) {
 	switch f.Kind {
 	case packet.FrameData:
 		if d.reasm == nil {
 			panic(d.misroute(f))
 		}
-		for i := range f.Entries {
-			d.reasm.Ingest(src, f.Entries[i].ToPacket(src, d.node))
-		}
+		d.ingestData(src, f)
 	case packet.FrameRTS:
 		if d.rdvR == nil {
 			panic(d.misroute(f))
@@ -73,6 +74,45 @@ func (d *Dispatcher) HandleFrame(src packet.NodeID, f *packet.Frame) {
 		d.rma.HandleAck(f)
 	default:
 		panic(fmt.Sprintf("proto: node %d received unknown frame kind %v", d.node, f.Kind))
+	}
+}
+
+// ingestData turns a data frame's entries into receiver-side packets and
+// feeds the reassembler. Packets are materialized on the stack and travel
+// by value through Deliverable, so an aggregated frame's dispatch costs at
+// most one allocation. Payload handling is the receive path's memory-
+// discipline pivot (DESIGN.md §5):
+//
+//   - A backed frame's payloads alias a pooled wire buffer that will be
+//     recycled right after dispatch, so they are copied out into a single
+//     payload block owned by the delivered payload slices.
+//   - An unbacked frame (simulated fabrics, hand-built tests) keeps the
+//     historical zero-copy aliasing; nothing recycles its bytes.
+func (d *Dispatcher) ingestData(src packet.NodeID, f *packet.Frame) {
+	var block []byte
+	if f.Backed() {
+		total := 0
+		for i := range f.Entries {
+			total += len(f.Entries[i].Payload)
+		}
+		if total > 0 {
+			block = make([]byte, 0, total)
+		}
+	}
+	var p packet.Packet
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		p = packet.Packet{
+			Flow: e.Flow, Msg: e.Msg, Seq: e.Seq, Last: e.Last,
+			Src: src, Dst: d.node, Class: e.Class, Recv: e.Recv,
+			Payload: e.Payload, Enqueued: e.Enqueued,
+		}
+		if block != nil && len(e.Payload) > 0 {
+			start := len(block)
+			block = append(block, e.Payload...)
+			p.Payload = block[start:len(block):len(block)]
+		}
+		d.reasm.Ingest(src, &p)
 	}
 }
 

@@ -15,9 +15,16 @@ import (
 
 // Deliverable is a packet handed to the layer above (internal/mad) in
 // intra-flow FIFO order, regardless of how it traveled.
+//
+// The packet travels BY VALUE: the receive path materializes packets on
+// the stack and the reassembler copies whatever must wait, so delivering a
+// frame's worth of fragments costs no per-packet allocations — and no
+// consumer can retain a pointer into recycled storage by accident. The
+// Payload bytes are the consumer's to keep (DESIGN.md §5); everything else
+// is copied out of the struct as needed.
 type Deliverable struct {
 	Src packet.NodeID
-	Pkt *packet.Packet
+	Pkt packet.Packet
 }
 
 // DeliverFunc receives reassembled packets.
@@ -84,11 +91,19 @@ func (r *Reassembler) Ingest(src packet.NodeID, p *packet.Packet) {
 		r.dups++
 		return
 	}
-	if _, dup := fs.pending[p.Seq]; dup {
-		r.dups++
-		return
+	if p.Seq == fs.nextSeq {
+		// In-order fast path — the steady state on an ordered transport:
+		// deliver straight from the caller's (usually stack-resident)
+		// packet without a round trip through the pending map.
+		fs.nextSeq++
+		r.deliver(Deliverable{Src: src, Pkt: *p})
+	} else {
+		if _, dup := fs.pending[p.Seq]; dup {
+			r.dups++
+			return
+		}
+		fs.pending[p.Seq] = Deliverable{Src: src, Pkt: *p}
 	}
-	fs.pending[p.Seq] = Deliverable{Src: src, Pkt: p}
 	for {
 		d, ok := fs.pending[fs.nextSeq]
 		if !ok {

@@ -60,17 +60,20 @@ func NewRdvSender(node packet.NodeID, grant GrantHook) *RdvSender {
 	}
 }
 
-// rtsFor builds the RTS frame announcing p under token tok.
+// rtsFor builds the RTS frame announcing p under token tok. The frame is
+// pooled: it carries no payload and nothing retains it past the wire write
+// (retries rebuild a fresh one), so the transport releases it after
+// serialization.
 func (s *RdvSender) rtsFor(tok uint64, p *packet.Packet) *packet.Frame {
-	return &packet.Frame{
-		Kind: packet.FrameRTS,
-		Src:  s.node,
-		Dst:  p.Dst,
-		Ctrl: packet.Ctrl{
-			Token: tok, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
-			Size: p.Size(), Last: p.Last,
-		},
+	rts := packet.AcquireFrame()
+	rts.Kind = packet.FrameRTS
+	rts.Src = s.node
+	rts.Dst = p.Dst
+	rts.Ctrl = packet.Ctrl{
+		Token: tok, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
+		Size: p.Size(), Last: p.Last,
 	}
+	return rts
 }
 
 // Start registers p for rendezvous transfer and returns the RTS frame to
@@ -121,16 +124,16 @@ func (s *RdvSender) BuildRData(token uint64) *packet.Frame {
 		panic(fmt.Sprintf("proto: BuildRData for unknown token %d", token))
 	}
 	delete(s.granted, token)
-	return &packet.Frame{
-		Kind: packet.FrameRData,
-		Src:  s.node,
-		Dst:  p.Dst,
-		Ctrl: packet.Ctrl{
-			Token: token, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
-			Size: p.Size(), Last: p.Last,
-		},
-		Bulk: p.Payload,
+	rd := packet.AcquireFrame()
+	rd.Kind = packet.FrameRData
+	rd.Src = s.node
+	rd.Dst = p.Dst
+	rd.Ctrl = packet.Ctrl{
+		Token: token, Flow: p.Flow, Msg: p.Msg, Seq: p.Seq,
+		Size: p.Size(), Last: p.Last,
 	}
+	rd.Bulk = p.Payload // aliases the application's payload; Reset only drops the reference
+	return rd
 }
 
 // Outstanding returns the number of rendezvous transfers whose payload the
@@ -185,6 +188,14 @@ func (c *completedLog) add(token uint64) {
 
 func (c *completedLog) has(token uint64) bool { return c.set[token] }
 
+// queuedRTS is a grant-slot queue entry: the request's identity copied out
+// of the RTS frame, so the receiver never retains a frame past HandleRTS —
+// frames are pooled objects the driver may recycle after dispatch.
+type queuedRTS struct {
+	src  packet.NodeID
+	ctrl packet.Ctrl
+}
+
 // RdvReceiver is the sink-side engine: it grants RTSes (subject to a
 // concurrency cap modeling receive-buffer supply) and turns RData frames
 // back into packets for the reassembler.
@@ -195,7 +206,7 @@ type RdvReceiver struct {
 	max       int             // max concurrent granted rendezvous; 0 = unlimited
 	granted   map[rdvKey]bool // in-flight granted transfers
 	queued    map[rdvKey]bool // RTSes waiting for a grant slot
-	queue     []*packet.Frame // grant-slot FIFO (mirror of queued)
+	queue     []queuedRTS     // grant-slot FIFO (mirror of queued)
 	completed map[packet.NodeID]*completedLog
 	dupRTS    uint64
 	dupRD     uint64
@@ -230,14 +241,15 @@ func NewRdvReceiver(node packet.NodeID, reasm *Reassembler, send SendHook, maxCo
 // end) is dropped outright: re-granting it would hold a rendezvous slot
 // open forever, since the sender has nothing left to send for the token.
 func (r *RdvReceiver) HandleRTS(f *packet.Frame) {
-	k := rdvKey{f.Src, f.Ctrl.Token}
-	if c := r.completed[f.Src]; c != nil && c.has(f.Ctrl.Token) {
+	req := queuedRTS{src: f.Src, ctrl: f.Ctrl} // copy: f may be recycled after dispatch
+	k := rdvKey{req.src, req.ctrl.Token}
+	if c := r.completed[req.src]; c != nil && c.has(req.ctrl.Token) {
 		r.dupRTS++
 		return
 	}
 	if r.granted[k] {
 		r.dupRTS++
-		r.sendCTS(f) // recover a possibly-lost CTS without re-granting
+		r.sendCTS(req) // recover a possibly-lost CTS without re-granting
 		return
 	}
 	if r.queued[k] {
@@ -246,24 +258,24 @@ func (r *RdvReceiver) HandleRTS(f *packet.Frame) {
 	}
 	if r.max > 0 && len(r.granted) >= r.max {
 		r.queued[k] = true
-		r.queue = append(r.queue, f)
+		r.queue = append(r.queue, req)
 		return
 	}
-	r.grant(f)
+	r.grant(req)
 }
 
-func (r *RdvReceiver) sendCTS(f *packet.Frame) {
-	r.send(&packet.Frame{
-		Kind: packet.FrameCTS,
-		Src:  r.node,
-		Dst:  f.Src,
-		Ctrl: f.Ctrl,
-	})
+func (r *RdvReceiver) sendCTS(req queuedRTS) {
+	cts := packet.AcquireFrame()
+	cts.Kind = packet.FrameCTS
+	cts.Src = r.node
+	cts.Dst = req.src
+	cts.Ctrl = req.ctrl
+	r.send(cts)
 }
 
-func (r *RdvReceiver) grant(f *packet.Frame) {
-	r.granted[rdvKey{f.Src, f.Ctrl.Token}] = true
-	r.sendCTS(f)
+func (r *RdvReceiver) grant(req queuedRTS) {
+	r.granted[rdvKey{req.src, req.ctrl.Token}] = true
+	r.sendCTS(req)
 }
 
 // HandleRData completes a rendezvous: the bulk payload becomes an ordinary
@@ -289,17 +301,22 @@ func (r *RdvReceiver) HandleRData(src packet.NodeID, f *packet.Frame) {
 		r.completed[src] = log
 	}
 	log.add(k.token)
-	p := &packet.Packet{
+	// The bulk bytes escape into the reassembly stream (and from there to
+	// the application): pin the frame's backing buffer so releasing the
+	// frame cannot recycle memory the delivered payload aliases. Bulk
+	// transfers stay zero-copy; the buffer's lifetime is the payload's.
+	f.PinBacking()
+	p := packet.Packet{
 		Flow: c.Flow, Msg: c.Msg, Seq: c.Seq, Last: c.Last,
 		Src: src, Dst: r.node, Class: packet.ClassBulk,
 		Recv: packet.RecvCheaper, Payload: f.Bulk,
 	}
-	r.reasm.Ingest(src, p)
+	r.reasm.Ingest(src, &p)
 	// A completed transfer frees a grant slot for a queued RTS.
 	if len(r.queue) > 0 && (r.max == 0 || len(r.granted) < r.max) {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		delete(r.queued, rdvKey{next.Src, next.Ctrl.Token})
+		delete(r.queued, rdvKey{next.src, next.ctrl.Token})
 		r.grant(next)
 	}
 }

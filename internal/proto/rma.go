@@ -105,12 +105,12 @@ func (m *RMA) HandlePut(src packet.NodeID, f *packet.Frame) {
 	}
 	copy(buf[off:], f.Bulk)
 	if f.Ctrl.Token != 0 {
-		m.send(&packet.Frame{
-			Kind: packet.FrameAck,
-			Src:  m.node,
-			Dst:  src,
-			Ctrl: packet.Ctrl{Token: f.Ctrl.Token},
-		})
+		ack := packet.AcquireFrame()
+		ack.Kind = packet.FrameAck
+		ack.Src = m.node
+		ack.Dst = src
+		ack.Ctrl = packet.Ctrl{Token: f.Ctrl.Token}
+		m.send(ack)
 	}
 }
 
@@ -145,6 +145,9 @@ func (m *RMA) HandleGetReply(f *packet.Frame) {
 		return
 	}
 	delete(m.pendingGets, f.Ctrl.Token)
+	// The reply bytes escape to the completion callback: pin the frame's
+	// backing buffer so a recycled wire buffer can never alias them.
+	f.PinBacking()
 	done(f.Bulk)
 }
 

@@ -4,6 +4,92 @@ import (
 	"newmad/internal/packet"
 )
 
+// flowSet is an allocation-free small set of flow ids. A single plan only
+// ever blocks the handful of connections it skipped within, which fits a
+// stack array in the steady state; pathological fan-in spills to a map.
+// Builders are shared across engines, so the set lives on the Build stack,
+// never on the builder.
+type flowSet struct {
+	n     int
+	small [16]packet.FlowID
+	spill map[packet.FlowID]bool
+}
+
+func (s *flowSet) add(f packet.FlowID) {
+	if s.spill != nil {
+		s.spill[f] = true
+		return
+	}
+	if s.n < len(s.small) {
+		s.small[s.n] = f
+		s.n++
+		return
+	}
+	s.spill = make(map[packet.FlowID]bool, 2*len(s.small))
+	for _, v := range s.small {
+		s.spill[v] = true
+	}
+	s.spill[f] = true
+}
+
+func (s *flowSet) has(f packet.FlowID) bool {
+	if s.spill != nil {
+		return s.spill[f]
+	}
+	for i := 0; i < s.n; i++ {
+		if s.small[i] == f {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeSet is the same small-set idea for destination node ids.
+type nodeSet struct {
+	n     int
+	small [16]packet.NodeID
+	spill map[packet.NodeID]bool
+}
+
+func (s *nodeSet) add(d packet.NodeID) {
+	if s.spill != nil {
+		s.spill[d] = true
+		return
+	}
+	if s.n < len(s.small) {
+		s.small[s.n] = d
+		s.n++
+		return
+	}
+	s.spill = make(map[packet.NodeID]bool, 2*len(s.small))
+	for _, v := range s.small {
+		s.spill[v] = true
+	}
+	s.spill[d] = true
+}
+
+func (s *nodeSet) has(d packet.NodeID) bool {
+	if s.spill != nil {
+		return s.spill[d]
+	}
+	for i := 0; i < s.n; i++ {
+		if s.small[i] == d {
+			return true
+		}
+	}
+	return false
+}
+
+// planCapHint bounds the Packets preallocation: big enough that typical
+// aggregates never regrow, small enough that a deep backlog doesn't cost
+// an oversized slice per pump.
+func planCapHint(backlog int) int {
+	if backlog > 64 {
+		return 64
+	}
+	return backlog
+}
+
 // FIFO is the previous-Madeleine baseline builder: send the oldest waiting
 // packet, alone. Deterministic flow handling, no cross-flow optimization —
 // exactly the behaviour the paper's engine replaces.
@@ -60,13 +146,15 @@ func (a *Aggregate) Build(ctx *Context) *Plan {
 	}
 	head := ctx.Backlog[0]
 	lim := packet.AggregateLimits{MaxIOV: ctx.Caps.MaxIOV, MaxAggregate: ctx.Caps.MaxAggregate}
-	plan := &Plan{Packets: []*packet.Packet{head}, Evaluated: 1}
+	pkts := make([]*packet.Packet, 1, planCapHint(len(ctx.Backlog)))
+	pkts[0] = head
+	plan := &Plan{Packets: pkts, Evaluated: 1}
 	size := head.Size()
 	// blockedFlows records connections where we had to skip a same-
 	// destination packet: taking a later packet of such a connection would
 	// reorder within it. Packets to *other* destinations skip freely
 	// (different connection, no shared order).
-	blockedFlows := map[packet.FlowID]bool{}
+	var blockedFlows flowSet
 	for _, p := range ctx.Backlog[1:] {
 		if a.MaxPackets > 0 && len(plan.Packets) >= a.MaxPackets {
 			break
@@ -74,18 +162,18 @@ func (a *Aggregate) Build(ctx *Context) *Plan {
 		if p.Dst != head.Dst {
 			continue
 		}
-		if blockedFlows[p.Flow] {
+		if blockedFlows.has(p.Flow) {
 			continue
 		}
 		if !a.CrossFlow && p.Flow != head.Flow {
 			continue
 		}
 		if a.EagerOnlyAggregation && p.Class == packet.ClassBulk {
-			blockedFlows[p.Flow] = true
+			blockedFlows.add(p.Flow)
 			continue
 		}
 		if !packet.CanAppend(p, len(plan.Packets), size, head.Dst, lim) {
-			blockedFlows[p.Flow] = true
+			blockedFlows.add(p.Flow)
 			continue
 		}
 		plan.Packets = append(plan.Packets, p)
@@ -159,13 +247,13 @@ func (s *BoundedSearch) Build(ctx *Context) *Plan {
 	}
 
 	// Distinct destinations in backlog order.
-	seen := map[packet.NodeID]bool{}
+	var seen nodeSet
 dests:
 	for _, p0 := range ctx.Backlog {
-		if seen[p0.Dst] {
+		if seen.has(p0.Dst) {
 			continue
 		}
-		seen[p0.Dst] = true
+		seen.add(p0.Dst)
 		full := s.collect(ctx.Backlog, p0.Dst, lim)
 		if len(full) == 0 {
 			continue
@@ -192,18 +280,18 @@ dests:
 // packets is skipped; other destinations are other connections and skip
 // freely).
 func (s *BoundedSearch) collect(backlog []*packet.Packet, dst packet.NodeID, lim packet.AggregateLimits) []*packet.Packet {
-	var out []*packet.Packet
+	out := make([]*packet.Packet, 0, planCapHint(len(backlog)))
 	size := 0
-	blocked := map[packet.FlowID]bool{}
+	var blocked flowSet
 	for _, p := range backlog {
 		if p.Dst != dst {
 			continue
 		}
-		if blocked[p.Flow] {
+		if blocked.has(p.Flow) {
 			continue
 		}
 		if !packet.CanAppend(p, len(out), size, dst, lim) {
-			blocked[p.Flow] = true
+			blocked.add(p.Flow)
 			continue
 		}
 		out = append(out, p)
