@@ -10,6 +10,9 @@
 //	madbench -list         # list experiments and the claims they test
 //	madbench -seed 7       # change the workload seed
 //	madbench -json out.json  # also write machine-readable results
+//	madbench -manifest testnet.json          # boot an emulated testnet instead
+//	madbench -manifest testnet.json -seed 7  # ... overriding the manifest's seed
+//	madbench -manifest testnet.json -trace out.trace  # ... dumping the chaos trace
 //
 // The -json file records every table of every selected experiment plus the
 // wall-clock cost of producing it; committed snapshots (BENCH_mesh.json)
@@ -103,8 +106,30 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload RNG seed")
 		jsonPath  = flag.String("json", "", "write results as JSON to this file")
 		chaosOnly = flag.Bool("chaos", false, "run only the chaos battery (X5): scripted faults from -seed, fault/recovery counters in the JSON")
+		manifest  = flag.String("manifest", "", "boot the emulated testnet this manifest describes instead of the experiment catalog")
+		tracePath = flag.String("trace", "", "with -manifest: write the executed chaos trace to this file")
 	)
 	flag.Parse()
+
+	if *manifest != "" {
+		if *run != "" || *chaosOnly {
+			fmt.Fprintln(os.Stderr, "madbench: -manifest is mutually exclusive with -run/-chaos")
+			os.Exit(2)
+		}
+		// -seed overrides the manifest's seed only when given explicitly, so
+		// the manifest stays the single source of truth by default.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if err := runManifest(*manifest, *seed, seedSet, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exp.All() {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"newmad/internal/testnet"
+)
+
+// runManifest boots the emulated testnet a manifest describes, runs it to
+// completion on the virtual clock, and prints the delivery accounting. The
+// exit status is the verdict: any lost, duplicated or misrouted payload —
+// or a run that failed to drain within the manifest's event budget — is a
+// failure, which is what lets CI drive testnet smokes through this command.
+func runManifest(path string, seed uint64, seedSet bool, tracePath string) error {
+	m, err := testnet.Load(path)
+	if err != nil {
+		return err
+	}
+	if seedSet {
+		m.Seed = seed
+	}
+	n, err := testnet.Build(m)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+
+	res := n.Run()
+	fmt.Println(res.String())
+
+	if tracePath != "" {
+		trace := n.Trace.String()
+		if err := os.WriteFile(tracePath, []byte(trace), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("wrote %d chaos event(s) to %s\n", n.Trace.Len(), tracePath)
+	}
+
+	if !res.Drained {
+		return fmt.Errorf("testnet %s: event budget exhausted after %d events", m.Name, res.Events)
+	}
+	if res.Lost > 0 || res.Duplicates > 0 || res.Misrouted > 0 {
+		return fmt.Errorf("testnet %s: %d lost, %d duplicated, %d misrouted", m.Name, res.Lost, res.Duplicates, res.Misrouted)
+	}
+	return nil
+}

@@ -87,7 +87,8 @@ func TestInjectorDropDeterministic(t *testing.T) {
 		}
 		return got
 	}
-	a, b := run(7), run(7)
+	seed := testSeed(t, 7)
+	a, b := run(seed), run(seed)
 	if len(a) != len(b) {
 		t.Fatalf("same seed, different survivor counts: %d vs %d", len(a), len(b))
 	}
@@ -96,7 +97,7 @@ func TestInjectorDropDeterministic(t *testing.T) {
 			t.Fatalf("same seed diverges at survivor %d: %d vs %d", i, a[i], b[i])
 		}
 	}
-	c := run(8)
+	c := run(seed + 1)
 	same := len(a) == len(c)
 	if same {
 		for i := range a {
@@ -247,11 +248,12 @@ func TestInjectorCorruptCounts(t *testing.T) {
 func TestRollingFlapsDeterministic(t *testing.T) {
 	cfg := FlapConfig{Nodes: 3, Rails: 2, Flaps: 20,
 		Every: 10 * time.Millisecond, DownFor: 4 * time.Millisecond}
-	a, err := RollingFlaps(42, cfg)
+	seed := testSeed(t, 42)
+	a, err := RollingFlaps(seed, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RollingFlaps(42, cfg)
+	b, err := RollingFlaps(seed, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestRollingFlapsDeterministic(t *testing.T) {
 			t.Fatalf("same seed diverges at event %d: %v vs %v", i, a.Events[i], b.Events[i])
 		}
 	}
-	c, err := RollingFlaps(43, cfg)
+	c, err := RollingFlaps(seed+1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newmad/internal/simnet"
+)
+
+// --- Script edge cases -----------------------------------------------------
+
+// A zero-duration fault is a down and a heal at the same instant. The stable
+// sort must keep the authored down-before-heal order, or the executor would
+// heal a link that is not yet broken and then break it forever.
+func TestScriptZeroDurationKeepsDownBeforeHeal(t *testing.T) {
+	s := Script{Events: []Event{
+		{At: 5 * time.Millisecond, Op: OpRailHeal, Node: 0, Peer: 1, Rail: 0},
+		{At: 5 * time.Millisecond, Op: OpRailDown, Node: 0, Peer: 1, Rail: 0},
+		{At: 0, Op: OpPartition, Node: 2, Peer: 3},
+		{At: 0, Op: OpHeal, Node: 2, Peer: 3},
+	}}
+	got := s.Sorted()
+	// Same-instant events keep authored order: heal-then-down at 5ms stays
+	// heal-then-down (the author wrote it; the DSL does not reorder), and
+	// the partition pair at 0 stays partition-then-heal.
+	if got[0].Op != OpPartition || got[1].Op != OpHeal {
+		t.Fatalf("t=0 pair reordered: %v then %v", got[0], got[1])
+	}
+	if got[2].Op != OpRailHeal || got[3].Op != OpRailDown {
+		t.Fatalf("t=5ms pair reordered: %v then %v", got[2], got[3])
+	}
+	if err := s.Validate(4, 1); err != nil {
+		t.Fatalf("zero-duration script invalid: %v", err)
+	}
+}
+
+// Overlapping partitions of the same pair are legal script data; the
+// executor treats down/heal as idempotent state changes, so the DSL must not
+// reject or collapse them.
+func TestScriptOverlappingPartitionsValidate(t *testing.T) {
+	s := Script{Events: []Event{
+		{At: 0, Op: OpPartition, Node: 0, Peer: 1},
+		{At: 1 * time.Millisecond, Op: OpPartition, Node: 0, Peer: 1},
+		{At: 2 * time.Millisecond, Op: OpHeal, Node: 0, Peer: 1},
+		{At: 3 * time.Millisecond, Op: OpHeal, Node: 0, Peer: 1},
+	}}
+	if err := s.Validate(2, 1); err != nil {
+		t.Fatalf("overlapping partitions rejected: %v", err)
+	}
+	if got := len(s.Sorted()); got != 4 {
+		t.Fatalf("Sorted collapsed events: %d of 4", got)
+	}
+}
+
+// A heal authored before any down is valid script data too — healing an
+// intact link is a no-op at execution time.
+func TestScriptHealBeforeDownValidates(t *testing.T) {
+	s := Script{Events: []Event{
+		{At: 0, Op: OpRailHeal, Node: 0, Peer: 1, Rail: 0},
+		{At: time.Millisecond, Op: OpRailDown, Node: 0, Peer: 1, Rail: 0},
+	}}
+	if err := s.Validate(2, 1); err != nil {
+		t.Fatalf("heal-before-down rejected: %v", err)
+	}
+	got := s.Sorted()
+	if got[0].Op != OpRailHeal || got[1].Op != OpRailDown {
+		t.Fatal("sort broke heal-before-down ordering")
+	}
+}
+
+func TestScriptValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative offset", Event{At: -time.Millisecond, Op: OpPartition, Node: 0, Peer: 1}},
+		{"unknown op", Event{Op: numOps, Node: 0, Peer: 1}},
+		{"node out of range", Event{Op: OpPartition, Node: 9, Peer: 1}},
+		{"peer out of range", Event{Op: OpPartition, Node: 0, Peer: 9}},
+		{"self peer", Event{Op: OpPartition, Node: 1, Peer: 1}},
+		{"rail out of range", Event{Op: OpRailDown, Node: 0, Peer: 1, Rail: 5}},
+	}
+	for _, c := range cases {
+		s := Script{Events: []Event{c.ev}}
+		if err := s.Validate(4, 2); err == nil {
+			t.Errorf("%s: Validate accepted %v", c.name, c.ev)
+		}
+	}
+	// Crash ignores Peer entirely — a garbage peer must not fail validation.
+	s := Script{Events: []Event{{Op: OpCrash, Node: 0, Peer: 99}}}
+	if err := s.Validate(4, 2); err != nil {
+		t.Fatalf("crash with ignored peer rejected: %v", err)
+	}
+}
+
+// --- Trace.Diff round-trip property ---------------------------------------
+
+// Property: replaying the events of one trace into another always yields an
+// empty Diff (round trip), and any single-event mutation yields a non-empty
+// Diff that names the diverging index.
+func TestTraceDiffRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := simnet.NewRNG(seed)
+		count := int(n%16) + 1
+		var a Trace
+		for i := 0; i < count; i++ {
+			a.Record(Event{
+				At:   time.Duration(rng.Intn(1000)) * time.Microsecond,
+				Op:   Op(rng.Intn(int(numOps))),
+				Node: rng.Intn(8),
+				Peer: rng.Intn(8),
+				Rail: rng.Intn(2),
+			})
+		}
+		// Round trip: replay into a fresh trace, expect equality.
+		var b Trace
+		for _, e := range a.Events() {
+			b.Record(e)
+		}
+		if d := a.Diff(&b); d != "" {
+			t.Logf("seed=%d: round trip diverged: %s", seed, d)
+			return false
+		}
+		// Mutate one event; Diff must localize it.
+		var c Trace
+		mutate := rng.Intn(count)
+		for i, e := range a.Events() {
+			if i == mutate {
+				e.Node = e.Node + 100
+			}
+			c.Record(e)
+		}
+		d := a.Diff(&c)
+		return d != "" && strings.Contains(d, "diverges")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDiffLengthMismatch(t *testing.T) {
+	var a, b Trace
+	e := Event{At: time.Millisecond, Op: OpCrash, Node: 3}
+	a.Record(e)
+	if d := a.Diff(&b); !strings.Contains(d, "trace B ends") {
+		t.Fatalf("short B diff = %q", d)
+	}
+	if d := b.Diff(&a); !strings.Contains(d, "trace A ends") {
+		t.Fatalf("short A diff = %q", d)
+	}
+}
+
+// --- GroupScript resolution ------------------------------------------------
+
+func testGroups() map[string][]int {
+	return map[string][]int{
+		"edge": {0, 1, 2, 3},
+		"core": {4, 5},
+	}
+}
+
+func TestGroupScriptResolveDeterministic(t *testing.T) {
+	g := GroupScript{Events: []GroupEvent{
+		{At: time.Millisecond, Op: OpRailDown, For: 2 * time.Millisecond, Group: "edge", Peer: "core", Rail: -1, Count: 3},
+		{At: 5 * time.Millisecond, Op: OpPartition, For: time.Millisecond, Group: "edge", Count: 2},
+		{At: 8 * time.Millisecond, Op: OpCrash, Group: "core", Count: 1},
+	}}
+	resolve := func() Script {
+		s, err := g.Resolve(testGroups(), 2, simnet.NewRNG(99))
+		if err != nil {
+			t.Fatalf("Resolve: %v", err)
+		}
+		return s
+	}
+	a, b := resolve(), resolve()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("resolution sizes differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	// 3 rail edges + 2 partition edges → 5 down/heal pairs, plus 1 crash.
+	if want := 5*2 + 1; len(a.Events) != want {
+		t.Fatalf("resolved %d events, want %d", len(a.Events), want)
+	}
+	if err := a.Validate(6, 2); err != nil {
+		t.Fatalf("resolved script invalid: %v", err)
+	}
+}
+
+// Each down must be paired with a heal on the exact same edge at At+For —
+// the core guarantee that makes group faults self-healing.
+func TestGroupScriptPairsHealWithDown(t *testing.T) {
+	g := GroupScript{Events: []GroupEvent{
+		{At: time.Millisecond, Op: OpRailDown, For: 3 * time.Millisecond, Group: "edge", Peer: "core", Rail: 1, Count: 4},
+	}}
+	s, err := g.Resolve(testGroups(), 2, simnet.NewRNG(5))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	type edge struct {
+		node, peer, rail int
+	}
+	downs := map[edge]time.Duration{}
+	for _, e := range s.Events {
+		k := edge{e.Node, e.Peer, e.Rail}
+		switch e.Op {
+		case OpRailDown:
+			downs[k] = e.At
+		case OpRailHeal:
+			at, ok := downs[k]
+			if !ok {
+				t.Fatalf("heal for never-downed edge %v", e)
+			}
+			if e.At != at+3*time.Millisecond {
+				t.Fatalf("heal at %v, want down+3ms=%v", e.At, at+3*time.Millisecond)
+			}
+			delete(downs, k)
+		default:
+			t.Fatalf("unexpected op %v", e.Op)
+		}
+	}
+	if len(downs) != 0 {
+		t.Fatalf("%d downs never healed", len(downs))
+	}
+}
+
+// For==0 resolves to a down/heal pair at the same instant with down first
+// after the stable sort — the zero-duration blip the executor must survive.
+func TestGroupScriptZeroDuration(t *testing.T) {
+	g := GroupScript{Events: []GroupEvent{
+		{At: time.Millisecond, Op: OpPartition, For: 0, Group: "core"},
+	}}
+	s, err := g.Resolve(testGroups(), 1, simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	got := s.Sorted()
+	if len(got) != 2 || got[0].Op != OpPartition || got[1].Op != OpHeal || got[0].At != got[1].At {
+		t.Fatalf("zero-duration pair = %v", got)
+	}
+}
+
+func TestGroupScriptResolveRejections(t *testing.T) {
+	rng := func() *simnet.RNG { return simnet.NewRNG(3) }
+	cases := []struct {
+		name string
+		ev   GroupEvent
+	}{
+		{"unknown group", GroupEvent{Op: OpCrash, Group: "ghost"}},
+		{"unknown peer group", GroupEvent{Op: OpPartition, Group: "edge", Peer: "ghost"}},
+		{"authored heal", GroupEvent{Op: OpRailHeal, Group: "edge", Peer: "core"}},
+		{"authored heal-all", GroupEvent{Op: OpHeal, Group: "edge", Peer: "core"}},
+		{"negative offset", GroupEvent{At: -time.Second, Op: OpCrash, Group: "edge"}},
+		{"negative duration", GroupEvent{Op: OpPartition, For: -time.Second, Group: "edge", Peer: "core"}},
+		{"negative count", GroupEvent{Op: OpCrash, Group: "edge", Count: -2}},
+		{"crash count over group", GroupEvent{Op: OpCrash, Group: "core", Count: 3}},
+		{"edges exceed pairs", GroupEvent{Op: OpPartition, Group: "core", Count: 3}},
+	}
+	for _, c := range cases {
+		g := GroupScript{Events: []GroupEvent{c.ev}}
+		if _, err := g.Resolve(testGroups(), 2, rng()); err == nil {
+			t.Errorf("%s: Resolve accepted %+v", c.name, c.ev)
+		}
+	}
+}
+
+// A single-member group can still crash but cannot partition against itself.
+func TestGroupScriptSelfPairImpossible(t *testing.T) {
+	groups := map[string][]int{"solo": {7}}
+	g := GroupScript{Events: []GroupEvent{{Op: OpPartition, Group: "solo"}}}
+	if _, err := g.Resolve(groups, 1, simnet.NewRNG(2)); err == nil {
+		t.Fatal("partition within single-member group accepted")
+	}
+	g = GroupScript{Events: []GroupEvent{{Op: OpCrash, Group: "solo"}}}
+	s, err := g.Resolve(groups, 1, simnet.NewRNG(2))
+	if err != nil || len(s.Events) != 1 || s.Events[0].Node != 7 {
+		t.Fatalf("solo crash: %v %v", s.Events, err)
+	}
+}

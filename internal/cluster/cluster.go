@@ -69,6 +69,9 @@ type Options struct {
 	// need it for exactly-once completion.
 	RdvRetry    simnet.Duration
 	RdvRetryMax int
+	// RdvThreshold forces rendezvous above this size on every engine
+	// (0 defers to the bundle policy).
+	RdvThreshold int
 
 	// Chaos, when non-nil, wraps every rail of every node in a chaos
 	// frame-fault injector (internal/chaos): per-rail RNGs forked
@@ -241,6 +244,7 @@ func New(o Options) (*Cluster, error) {
 				SearchBudget:    o.SearchBudget,
 				RdvRetry:        o.RdvRetry,
 				RdvRetryMax:     o.RdvRetryMax,
+				RdvThreshold:    o.RdvThreshold,
 				OnPeerDown:      onPeerDown,
 				Stats:           n.Stats,
 			})

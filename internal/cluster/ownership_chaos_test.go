@@ -36,7 +36,7 @@ func TestPooledFramesSurviveInjectorHolds(t *testing.T) {
 		Nodes: 2,
 		Raw:   true,
 		Chaos: &ChaosPlan{
-			Seed: 7,
+			Seed: testSeed(t, 7),
 			Rules: []chaos.Rule{
 				{Kind: chaos.Delay, Prob: 0.25, Delay: 2 * time.Millisecond},
 				{Kind: chaos.Reorder, Prob: 0.25},

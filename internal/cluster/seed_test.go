@@ -1,0 +1,26 @@
+package cluster
+
+import (
+	"flag"
+	"testing"
+)
+
+// -seed overrides the seed of every randomized test in this package, and a
+// failing randomized test always logs the seed it ran with — so a red CI
+// run is replayable locally with `go test ./internal/cluster -seed=N`.
+var flagSeed = flag.Uint64("seed", 0, "override the seed of randomized tests (0 = per-test default)")
+
+// testSeed resolves a randomized test's seed (flag wins over the per-test
+// default) and arranges for the seed to be logged if the test fails.
+func testSeed(t *testing.T, def uint64) uint64 {
+	seed := def
+	if *flagSeed != 0 {
+		seed = *flagSeed
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay: go test ./internal/cluster -run '^%s$' -seed=%d", t.Name(), seed)
+		}
+	})
+	return seed
+}

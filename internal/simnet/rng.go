@@ -13,8 +13,47 @@ type RNG struct{ state uint64 }
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Fork returns a new generator whose stream is decorrelated from r's by a
-// fixed tweak; use it to hand independent streams to sub-components.
+// fixed tweak; use it to hand independent streams to sub-components. Fork
+// consumes one draw from r, so the child's stream depends on how many
+// forks (and draws) preceded it — use ForkKey/ForkString when the child's
+// identity, not its creation order, should determine its stream.
 func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15) }
+
+// ForkKey returns a generator for the sub-component identified by key,
+// derived from r's current state WITHOUT consuming a draw: two ForkKey
+// calls on the same generator with the same key yield identical streams no
+// matter how many other keyed forks happened in between or in what order.
+// This is what makes per-node streams a pure function of (seed, node
+// identity) — a manifest loader may materialize nodes in any order (map
+// iteration included) without perturbing any node's randomness.
+func (r *RNG) ForkKey(key uint64) *RNG {
+	// Two SplitMix64 finalization rounds over (state, key): the first
+	// decorrelates the key, the second decorrelates the child seed from
+	// sibling keys. r.state is read, never advanced.
+	z := r.state ^ (key+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(z ^ (z >> 31))
+}
+
+// ForkString is ForkKey with a string identity (FNV-1a hashed). Use it to
+// key sub-streams by human-readable paths ("drop/edge/17/rail0").
+func (r *RNG) ForkString(key string) *RNG {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return r.ForkKey(h)
+}
 
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {

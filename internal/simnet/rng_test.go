@@ -154,6 +154,104 @@ func TestRNGForkDecorrelates(t *testing.T) {
 	}
 }
 
+// Property: a keyed fork's stream is a pure function of (parent state, key)
+// — independent of how many other keyed forks were taken, in what order, or
+// through which map-iteration order a manifest loader happened to visit
+// nodes. This is the determinism contract the testnet harness leans on.
+func TestRNGForkKeyOrderIndependent(t *testing.T) {
+	const nodes = 64
+	draw := func(r *RNG) [4]uint64 {
+		var v [4]uint64
+		for i := range v {
+			v[i] = r.Uint64()
+		}
+		return v
+	}
+
+	// Reference: fork keys in ascending order.
+	want := map[uint64][4]uint64{}
+	ref := NewRNG(42)
+	for k := uint64(0); k < nodes; k++ {
+		want[k] = draw(ref.ForkKey(k))
+	}
+
+	// Same keys visited through a shuffled order (simulating map iteration).
+	order := make([]uint64, nodes)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	NewRNG(7).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	re := NewRNG(42)
+	for _, k := range order {
+		if got := draw(re.ForkKey(k)); got != want[k] {
+			t.Fatalf("ForkKey(%d) stream changed under reordering: got %v want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestRNGForkKeyDoesNotAdvanceParent(t *testing.T) {
+	a, b := NewRNG(11), NewRNG(11)
+	for k := uint64(0); k < 100; k++ {
+		a.ForkKey(k)
+		a.ForkString("node/x")
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("keyed forks advanced the parent stream")
+		}
+	}
+}
+
+func TestRNGForkKeyDecorrelates(t *testing.T) {
+	r := NewRNG(13)
+	// Adjacent keys must give unrelated streams, and streams must differ
+	// from the parent's own.
+	a, b := r.ForkKey(1), r.ForkKey(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		av := a.Uint64()
+		if av == b.Uint64() {
+			same++
+		}
+		if av == r.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("keyed forks correlated: %d collisions/1000", same)
+	}
+}
+
+func TestRNGForkStringMatchesAcrossInstances(t *testing.T) {
+	f := func(seed uint64, key string) bool {
+		x := NewRNG(seed).ForkString(key)
+		y := NewRNG(seed).ForkString(key)
+		for i := 0; i < 8; i++ {
+			if x.Uint64() != y.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkStringDistinctKeys(t *testing.T) {
+	r := NewRNG(17)
+	a, b := r.ForkString("drop/edge/0/rail0"), r.ForkString("drop/edge/0/rail1")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct string keys correlated: %d collisions/1000", same)
+	}
+}
+
 // Property: Range always stays within its bounds for arbitrary valid inputs.
 func TestRNGRangeProperty(t *testing.T) {
 	f := func(seed uint64, a, b uint16) bool {

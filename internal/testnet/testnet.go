@@ -1,0 +1,451 @@
+package testnet
+
+import (
+	"fmt"
+	"sort"
+
+	"newmad/internal/caps"
+	"newmad/internal/chaos"
+	"newmad/internal/core"
+	"newmad/internal/drivers"
+	"newmad/internal/memsim"
+	"newmad/internal/nicsim"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/stats"
+	"newmad/internal/strategy"
+	"newmad/internal/workload"
+)
+
+// Net is a booted emulated network: one discrete-event engine carrying
+// every node's NICs, optimizer and workload, with the chaos schedule
+// resolved and planted. Everything runs on the single simulation goroutine,
+// so no state here needs locking.
+type Net struct {
+	M      *Manifest
+	Eng    *simnet.Engine
+	Stats  *stats.Set
+	Nodes  []*Node
+	Groups map[string][]int
+	// Script is the resolved concrete chaos schedule; Trace records its
+	// execution. Two same-seed runs must produce traces with an empty Diff.
+	Script chaos.Script
+	Trace  *chaos.Trace
+
+	flows     []workload.FlowSpec
+	submitted int
+	refused   map[flowKey]bool
+	delivered map[flowKey]int
+	misrouted int
+	ctrlDrops uint64
+}
+
+// Node is one emulated network member.
+type Node struct {
+	ID      packet.NodeID
+	Role    string
+	Engine  *core.Engine
+	ports   []*port
+	crashed bool
+}
+
+// flowKey identifies one scheduled message; flow IDs are globally unique
+// across clauses, so (flow, seq) names exactly one submission.
+type flowKey struct {
+	flow packet.FlowID
+	seq  int
+}
+
+// Build boots the topology a manifest describes: role-blocked node IDs,
+// one fabric per rail, one NIC per (node, rail) wrapped in a fault port,
+// one optimizer engine per node, the workload expanded and scheduled, and
+// the chaos script resolved and planted on the virtual clock.
+func Build(m *Manifest) (*Net, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{
+		M:         m,
+		Eng:       simnet.NewEngine(),
+		Stats:     &stats.Set{},
+		Groups:    m.Groups(),
+		Trace:     &chaos.Trace{},
+		refused:   make(map[flowKey]bool),
+		delivered: make(map[flowKey]int),
+	}
+	// Every stochastic decision forks off this one generator by key, so a
+	// stream's identity — not the order anything was built in — determines
+	// its draws.
+	base := simnet.NewRNG(m.Seed)
+
+	fabrics := make([]*nicsim.Fabric, m.Rails)
+	for r := range fabrics {
+		fabrics[r] = nicsim.NewFabric(n.Eng, fmt.Sprintf("rail%d", r))
+	}
+
+	mem := memsim.DefaultModel()
+	total := m.TotalNodes()
+	n.Nodes = make([]*Node, total)
+	for _, role := range m.rolesByName() {
+		profile, _ := caps.Lookup(role.Profile) // validated
+		if role.Channels > 0 {
+			profile.Channels = role.Channels
+		}
+		railCaps := make([]caps.Caps, m.Rails)
+		for r := range railCaps {
+			railCaps[r] = profile.Rail(r)
+		}
+		// core.New orders rails by driver name ("<profile>.r<k>@n<id>");
+		// the rail policy's table must use the same order. Sorting by
+		// Name+"@" reproduces that comparison (see cluster.RailCaps).
+		sorted := append([]caps.Caps(nil), railCaps...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name+"@" < sorted[j].Name+"@" })
+
+		for _, id := range n.Groups[role.Name] {
+			node := &Node{ID: packet.NodeID(id), Role: role.Name}
+			rails := make([]drivers.Driver, m.Rails)
+			node.ports = make([]*port, m.Rails)
+			for r := 0; r < m.Rails; r++ {
+				nic, err := nicsim.New(n.Eng, fabrics[r], node.ID, railCaps[r], mem, n.Stats)
+				if err != nil {
+					return nil, fmt.Errorf("testnet: node %d rail %d: %w", id, r, err)
+				}
+				p := &port{
+					Sim: drivers.NewSim(nic),
+					net: n,
+					// Keyed by identity, not construction order: the same
+					// (seed, node, rail) always yields the same drop stream.
+					rng:     base.ForkString(fmt.Sprintf("drop/%d/%d", id, r)),
+					dropPct: m.DropPct,
+					down:    make(map[packet.NodeID]bool),
+				}
+				node.ports[r] = p
+				rails[r] = p
+			}
+
+			bundle, err := strategy.New(m.Engine.Bundle)
+			if err != nil {
+				return nil, err
+			}
+			if m.Rails > 1 {
+				bundle.Rail = strategy.NewScheduledRail(sorted)
+			}
+			nodeID := node.ID
+			eng, err := core.New(nodeID, core.Options{
+				Bundle:       bundle,
+				Runtime:      n.Eng,
+				Rails:        rails,
+				Deliver:      func(d proto.Deliverable) { n.record(nodeID, d) },
+				Lookahead:    m.Engine.Lookahead,
+				NagleDelay:   simnet.Duration(m.Engine.NagleUS) * simnet.Microsecond,
+				RdvThreshold: m.Engine.RdvThreshold,
+				RdvRetry:     simnet.Duration(m.Engine.RdvRetryUS) * simnet.Microsecond,
+				RdvRetryMax:  m.Engine.RdvRetryMax,
+				Stats:        n.Stats,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("testnet: node %d: %w", id, err)
+			}
+			node.Engine = eng
+			n.Nodes[id] = node
+		}
+	}
+
+	if err := n.scheduleWorkload(base); err != nil {
+		return nil, err
+	}
+	if err := n.scheduleChaos(base); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// scheduleWorkload expands the traffic clauses into flows and plants every
+// submission on the virtual clock. Flow IDs are assigned by a running
+// counter in clause order, so (flow, seq) keys are globally unique.
+func (n *Net) scheduleWorkload(base *simnet.RNG) error {
+	engines := make(map[packet.NodeID]*core.Engine, len(n.Nodes))
+	for _, node := range n.Nodes {
+		engines[node.ID] = node.Engine
+	}
+	drv := workload.NewDriver(n.Eng, engines, base.ForkString("workload.driver").Uint64())
+	drv.OnError = func(spec workload.FlowSpec, seq int, err error) {
+		// Submissions to a crashed node's engine are scripted outcomes,
+		// not bugs; they are excluded from loss accounting.
+		n.refused[flowKey{spec.Flow, seq}] = true
+	}
+
+	nextFlow := packet.FlowID(1)
+	for i, w := range n.M.Workload {
+		pattern, _ := workload.ParsePattern(w.Pattern)
+		size, _ := w.Size.dist()
+		arrival, _ := w.Arrival.proc()
+		class, _ := parseClass(w.Class) // all validated at load
+		rt := workload.RoleTraffic{
+			Pattern:  pattern,
+			From:     nodeIDs(n.Groups[w.From]),
+			To:       nodeIDs(n.Groups[w.To]),
+			BaseFlow: nextFlow,
+			Class:    class,
+			Size:     size,
+			Arrival:  arrival,
+			Msgs:     w.Msgs,
+			Start:    simnet.Duration(w.StartUS) * simnet.Microsecond,
+		}
+		flows, err := rt.Expand(base.ForkString(fmt.Sprintf("workload/%d", i)))
+		if err != nil {
+			return fmt.Errorf("testnet: workload %d (%s): %w", i, w.Name, err)
+		}
+		for _, f := range flows {
+			drv.Add(f)
+			n.submitted += f.Count
+		}
+		n.flows = append(n.flows, flows...)
+		nextFlow += packet.FlowID(len(flows))
+	}
+	return nil
+}
+
+// scheduleChaos resolves the group script against the topology and plants
+// each event at its virtual time. Events are planted in Sorted order, so
+// same-instant events execute in authored order (the event heap breaks
+// timestamp ties by scheduling sequence).
+func (n *Net) scheduleChaos(base *simnet.RNG) error {
+	script, err := n.M.GroupChaos().Resolve(n.Groups, n.M.Rails, base.ForkString("chaos"))
+	if err != nil {
+		return err
+	}
+	if err := script.Validate(len(n.Nodes), n.M.Rails); err != nil {
+		return err
+	}
+	n.Script = script
+	for _, e := range script.Sorted() {
+		e := e
+		n.Eng.At(simnet.Time(0).Add(simnet.FromWall(e.At)), "testnet.chaos", func() {
+			n.execute(e)
+			n.Trace.Record(e)
+		})
+	}
+	return nil
+}
+
+// execute applies one chaos event. Down/heal act on the send-side ports of
+// both endpoints, never on the fabric: frames already in flight still
+// arrive, so a link cut delays traffic but cannot lose it.
+func (n *Net) execute(e chaos.Event) {
+	switch e.Op {
+	case chaos.OpRailDown:
+		n.setEdge(e.Node, e.Peer, e.Rail, true)
+	case chaos.OpRailHeal:
+		n.setEdge(e.Node, e.Peer, e.Rail, false)
+		n.flushPair(e.Node, e.Peer)
+	case chaos.OpPartition:
+		for r := 0; r < n.M.Rails; r++ {
+			n.setEdge(e.Node, e.Peer, r, true)
+		}
+	case chaos.OpHeal:
+		for r := 0; r < n.M.Rails; r++ {
+			n.setEdge(e.Node, e.Peer, r, false)
+		}
+		n.flushPair(e.Node, e.Peer)
+	case chaos.OpCrash:
+		node := n.Nodes[e.Node]
+		if !node.crashed {
+			node.crashed = true
+			node.Engine.Close()
+		}
+	}
+}
+
+func (n *Net) setEdge(a, b, rail int, down bool) {
+	n.Nodes[a].ports[rail].setDown(packet.NodeID(b), down)
+	n.Nodes[b].ports[rail].setDown(packet.NodeID(a), down)
+}
+
+// flushPair re-pumps both engines after a heal so frames retained in
+// failover queues travel immediately.
+func (n *Net) flushPair(a, b int) {
+	if na := n.Nodes[a]; !na.crashed {
+		na.Engine.Flush()
+	}
+	if nb := n.Nodes[b]; !nb.crashed {
+		nb.Engine.Flush()
+	}
+}
+
+// record counts one delivery.
+func (n *Net) record(node packet.NodeID, d proto.Deliverable) {
+	if d.Pkt.Dst != node {
+		n.misrouted++
+		return
+	}
+	n.delivered[flowKey{d.Pkt.Flow, d.Pkt.Seq}]++
+}
+
+// Result is the delivery and replay accounting of one run.
+type Result struct {
+	Name  string
+	Nodes int
+	Rails int
+	// Submitted counts scheduled submissions; Refused the subset rejected
+	// by crashed engines.
+	Submitted int
+	Refused   int
+	// Delivered counts deliveries including duplicates; Duplicates the
+	// excess over exactly-once.
+	Delivered  int
+	Duplicates int
+	// Lost counts undelivered messages between two never-crashed nodes —
+	// the number that must be zero. CrashLost counts undelivered messages
+	// with a crashed endpoint, which are scripted casualties.
+	Lost      int
+	CrashLost int
+	// Misrouted counts deliveries at the wrong node (always a bug).
+	Misrouted int
+	// CtrlDropped counts control frames the fault ports discarded.
+	CtrlDropped uint64
+	// Events and End describe the simulation run; Drained reports whether
+	// the event heap emptied within the manifest's MaxEvents budget.
+	Events  uint64
+	End     simnet.Time
+	Drained bool
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d nodes x %d rails, %d submitted, %d refused, %d delivered, %d dup, %d lost, %d crash-lost, %d ctrl-dropped, %d events, end %v, drained %v",
+		r.Name, r.Nodes, r.Rails, r.Submitted, r.Refused, r.Delivered,
+		r.Duplicates, r.Lost, r.CrashLost, r.CtrlDropped, r.Events, r.End, r.Drained)
+}
+
+// Run executes the simulation to completion (or the MaxEvents guard) and
+// returns the accounting.
+func (n *Net) Run() *Result {
+	executed, drained := n.Eng.RunLimit(n.M.MaxEvents)
+	res := &Result{
+		Name:        n.M.Name,
+		Nodes:       len(n.Nodes),
+		Rails:       n.M.Rails,
+		Submitted:   n.submitted,
+		Misrouted:   n.misrouted,
+		CtrlDropped: n.ctrlDrops,
+		Events:      executed,
+		End:         n.Eng.Now(),
+		Drained:     drained,
+	}
+	for _, f := range n.flows {
+		srcCrashed := n.Nodes[f.Src].crashed
+		dstCrashed := n.Nodes[f.Dst].crashed
+		for seq := 0; seq < f.Count; seq++ {
+			k := flowKey{f.Flow, seq}
+			cnt := n.delivered[k]
+			res.Delivered += cnt
+			switch {
+			case n.refused[k]:
+				res.Refused++
+			case cnt == 0 && (srcCrashed || dstCrashed):
+				res.CrashLost++
+			case cnt == 0:
+				res.Lost++
+			default:
+				res.Duplicates += cnt - 1
+			}
+		}
+	}
+	return res
+}
+
+// Close shuts down every engine (idempotent; crashed nodes are already
+// closed).
+func (n *Net) Close() {
+	for _, node := range n.Nodes {
+		if node != nil && !node.crashed {
+			node.Engine.Close()
+		}
+	}
+}
+
+func nodeIDs(members []int) []packet.NodeID {
+	out := make([]packet.NodeID, len(members))
+	for i, m := range members {
+		out[i] = packet.NodeID(m)
+	}
+	return out
+}
+
+// port wraps a simulated NIC driver with the testnet's fault model: peer
+// reachability gating on the send side and deterministic control-frame
+// drops on the receive side. Gating sends (rather than partitioning the
+// fabric) is what preserves zero-loss under chaos — frames in flight when
+// a link cuts still arrive; only new posts are refused, and those enter
+// the engine's failover path. Drops apply only to rendezvous control
+// frames (RTS/CTS), the fault class the retry protocol recovers; dropping
+// data frames would model a lossy wire the reliable-interconnect stack has
+// no retransmission for.
+//
+// The port runs entirely on the simulation goroutine; no locking.
+type port struct {
+	*drivers.Sim
+	net        *Net
+	rng        *simnet.RNG
+	dropPct    float64
+	down       map[packet.NodeID]bool
+	onPeerDown func(packet.NodeID)
+	recv       drivers.RecvFunc
+}
+
+var (
+	_ drivers.Driver           = (*port)(nil)
+	_ drivers.PeerChecker      = (*port)(nil)
+	_ drivers.PeerDownNotifier = (*port)(nil)
+)
+
+// Post refuses frames toward down peers with ErrPeerDown — exactly the
+// error the engine's failover path treats as "try another rail or hold".
+func (p *port) Post(ch int, f *packet.Frame, hostExtra simnet.Duration) error {
+	if p.down[f.Dst] {
+		return drivers.ErrPeerDown
+	}
+	return p.Sim.Post(ch, f, hostExtra)
+}
+
+// SetRecvHandler interposes the drop filter on the delivery upcall.
+func (p *port) SetRecvHandler(fn drivers.RecvFunc) {
+	p.recv = fn
+	if fn == nil {
+		p.Sim.SetRecvHandler(nil)
+		return
+	}
+	p.Sim.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) {
+		if p.dropPct > 0 && (f.Kind == packet.FrameRTS || f.Kind == packet.FrameCTS) &&
+			p.rng.Float64()*100 < p.dropPct {
+			p.net.ctrlDrops++
+			return
+		}
+		p.recv(src, f)
+	})
+}
+
+// PeerDown implements drivers.PeerChecker; the engine consults it to route
+// failover traffic around cut links.
+func (p *port) PeerDown(peer packet.NodeID) bool { return p.down[peer] }
+
+// SetPeerDownHandler implements drivers.PeerDownNotifier.
+func (p *port) SetPeerDownHandler(fn func(peer packet.NodeID)) { p.onPeerDown = fn }
+
+// setDown flips reachability toward peer, firing the engine's peer-down
+// observer once per up->down transition.
+func (p *port) setDown(peer packet.NodeID, down bool) {
+	if down {
+		if p.down[peer] {
+			return
+		}
+		p.down[peer] = true
+		if p.onPeerDown != nil {
+			p.onPeerDown(peer)
+		}
+	} else {
+		delete(p.down, peer)
+	}
+}

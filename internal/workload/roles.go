@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+// Role-based traffic: a testnet manifest names sender and receiver roles
+// and a communication pattern, and Expand turns the role memberships into
+// concrete per-node FlowSpecs. Expansion iterates only over the ordered
+// member slices (never maps), and random destinations come from the caller's
+// seeded RNG, so the same manifest and seed expand to the identical flow
+// list every time.
+
+// Pattern selects how sender-role members pair with receiver-role members.
+type Pattern uint8
+
+const (
+	// Pairwise matches from[i] with to[i mod len(to)] — rings, shifts and
+	// one-to-one pipelines, the cheapest pattern at 1000-node scale.
+	Pairwise Pattern = iota
+	// Broadcast gives every sender a flow to every receiver (minus self) —
+	// the all-to-all conglomerate mix; O(|from|·|to|) flows.
+	Broadcast
+	// Random gives every sender one flow to an RNG-drawn receiver — sparse
+	// gossip-like load whose shape is a pure function of the seed.
+	Random
+	numPatterns
+)
+
+// String returns the pattern mnemonic.
+func (p Pattern) String() string {
+	names := [...]string{"pairwise", "broadcast", "random"}
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// ParsePattern maps a manifest string to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	switch s {
+	case "pairwise", "":
+		return Pairwise, nil
+	case "broadcast":
+		return Broadcast, nil
+	case "random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("workload: unknown pattern %q", s)
+}
+
+// RoleTraffic describes one manifest traffic clause: members of a sender
+// role talking to members of a receiver role under a pattern.
+type RoleTraffic struct {
+	// Pattern selects the pairing.
+	Pattern Pattern
+	// From and To are the ordered role memberships (testnet node IDs).
+	From, To []packet.NodeID
+	// BaseFlow is the first flow ID; each expanded flow takes the next.
+	BaseFlow packet.FlowID
+	// Class, Recv, Size, Arrival, Msgs and Start carry through to every
+	// expanded FlowSpec. Stateful arrivals (Bursts) are cloned per flow.
+	Class   packet.ClassID
+	Recv    packet.RecvMode
+	Size    SizeDist
+	Arrival Arrival
+	Msgs    int
+	Start   simnet.Duration
+}
+
+// Expand resolves the clause into concrete flows. Self-flows are skipped in
+// Pairwise/Broadcast and re-drawn in Random; a clause that cannot produce a
+// single flow is an error (a silent empty workload would make a zero-loss
+// assertion pass vacuously).
+func (rt RoleTraffic) Expand(rng *simnet.RNG) ([]FlowSpec, error) {
+	if len(rt.From) == 0 || len(rt.To) == 0 {
+		return nil, fmt.Errorf("workload: traffic clause with empty role (%d senders, %d receivers)", len(rt.From), len(rt.To))
+	}
+	if rt.Msgs <= 0 {
+		return nil, fmt.Errorf("workload: traffic clause with %d messages", rt.Msgs)
+	}
+	if rt.Size == nil || rt.Arrival == nil {
+		return nil, fmt.Errorf("workload: traffic clause missing size or arrival law")
+	}
+	if rt.Pattern >= numPatterns {
+		return nil, fmt.Errorf("workload: unknown pattern %d", rt.Pattern)
+	}
+
+	var pairs [][2]packet.NodeID
+	switch rt.Pattern {
+	case Pairwise:
+		for i, src := range rt.From {
+			dst := rt.To[i%len(rt.To)]
+			if dst == src {
+				// Shift by one so a role talking to itself forms a ring
+				// instead of dropping members.
+				dst = rt.To[(i+1)%len(rt.To)]
+			}
+			if dst == src {
+				continue
+			}
+			pairs = append(pairs, [2]packet.NodeID{src, dst})
+		}
+	case Broadcast:
+		for _, src := range rt.From {
+			for _, dst := range rt.To {
+				if dst == src {
+					continue
+				}
+				pairs = append(pairs, [2]packet.NodeID{src, dst})
+			}
+		}
+	case Random:
+		for _, src := range rt.From {
+			dst, ok := drawPeer(rt.To, src, rng)
+			if !ok {
+				continue
+			}
+			pairs = append(pairs, [2]packet.NodeID{src, dst})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("workload: traffic clause expands to no flows (pattern %v, %d senders, %d receivers)", rt.Pattern, len(rt.From), len(rt.To))
+	}
+
+	flows := make([]FlowSpec, 0, len(pairs))
+	for i, p := range pairs {
+		arrival := rt.Arrival
+		if b, ok := arrival.(*Bursts); ok {
+			arrival = b.Clone()
+		}
+		flows = append(flows, FlowSpec{
+			Flow:    rt.BaseFlow + packet.FlowID(i),
+			Src:     p[0],
+			Dst:     p[1],
+			Class:   rt.Class,
+			Recv:    rt.Recv,
+			Size:    rt.Size,
+			Arrival: arrival,
+			Count:   rt.Msgs,
+			Start:   rt.Start,
+		})
+	}
+	return flows, nil
+}
+
+// drawPeer draws a member of to other than src, reporting false when to has
+// no such member.
+func drawPeer(to []packet.NodeID, src packet.NodeID, rng *simnet.RNG) (packet.NodeID, bool) {
+	dst := to[rng.Intn(len(to))]
+	if dst != src {
+		return dst, true
+	}
+	// src is a member of to: draw from the remaining positions instead of
+	// rejection-looping, bounding RNG consumption at two draws per sender.
+	if len(to) == 1 {
+		return 0, false
+	}
+	k := rng.Intn(len(to) - 1)
+	for _, d := range to {
+		if d == src {
+			continue
+		}
+		if k == 0 {
+			return d, true
+		}
+		k--
+	}
+	return 0, false
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+)
+
+func ids(ns ...int) []packet.NodeID {
+	out := make([]packet.NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = packet.NodeID(n)
+	}
+	return out
+}
+
+func baseClause() RoleTraffic {
+	return RoleTraffic{
+		Size:    Fixed(64),
+		Arrival: BackToBack{},
+		Msgs:    4,
+		Class:   packet.ClassSmall,
+	}
+}
+
+func TestRoleTrafficPairwiseRing(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Pairwise
+	rt.From = ids(0, 1, 2)
+	rt.To = ids(0, 1, 2)
+	flows, err := rt.Expand(simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(flows) != 3 {
+		t.Fatalf("ring expanded to %d flows, want 3", len(flows))
+	}
+	// Self-pairs shift by one: 0→1, 1→2, 2→0.
+	want := map[packet.NodeID]packet.NodeID{0: 1, 1: 2, 2: 0}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %v", f)
+		}
+		if want[f.Src] != f.Dst {
+			t.Fatalf("flow %d→%d, want %d→%d", f.Src, f.Dst, f.Src, want[f.Src])
+		}
+	}
+}
+
+func TestRoleTrafficPairwiseAcrossRoles(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Pairwise
+	rt.From = ids(0, 1, 2, 3)
+	rt.To = ids(4, 5)
+	flows, err := rt.Expand(simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(flows) != 4 {
+		t.Fatalf("%d flows, want 4", len(flows))
+	}
+	for i, f := range flows {
+		if f.Dst != ids(4, 5)[i%2] {
+			t.Fatalf("flow %d: %d→%d", i, f.Src, f.Dst)
+		}
+	}
+}
+
+func TestRoleTrafficBroadcastSkipsSelf(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Broadcast
+	rt.From = ids(0, 1)
+	rt.To = ids(0, 1, 2)
+	flows, err := rt.Expand(simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	// 2 senders × 3 receivers − 2 self-pairs = 4 flows.
+	if len(flows) != 4 {
+		t.Fatalf("%d flows, want 4", len(flows))
+	}
+	seen := map[[2]packet.NodeID]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %v", f)
+		}
+		seen[[2]packet.NodeID{f.Src, f.Dst}] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("duplicate flows: %v", seen)
+	}
+}
+
+func TestRoleTrafficRandomDeterministic(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Random
+	rt.From = ids(0, 1, 2, 3, 4, 5, 6, 7)
+	rt.To = ids(0, 1, 2, 3, 4, 5, 6, 7)
+	a, err := rt.Expand(simnet.NewRNG(42))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	b, _ := rt.Expand(simnet.NewRNG(42))
+	if len(a) != len(rt.From) {
+		t.Fatalf("%d flows, want %d", len(a), len(rt.From))
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].Flow != b[i].Flow {
+			t.Fatalf("same-seed expansion diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].Src == a[i].Dst {
+			t.Fatalf("random pattern produced self flow %v", a[i])
+		}
+	}
+	c, _ := rt.Expand(simnet.NewRNG(43))
+	diff := 0
+	for i := range a {
+		if a[i].Dst != c[i].Dst {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds drew identical destinations for all 8 senders")
+	}
+}
+
+func TestRoleTrafficFlowIDsSequential(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Broadcast
+	rt.BaseFlow = 100
+	rt.From = ids(0)
+	rt.To = ids(1, 2, 3)
+	flows, err := rt.Expand(simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for i, f := range flows {
+		if f.Flow != packet.FlowID(100+i) {
+			t.Fatalf("flow %d has ID %d, want %d", i, f.Flow, 100+i)
+		}
+	}
+}
+
+func TestRoleTrafficBurstsClonedPerFlow(t *testing.T) {
+	rt := baseClause()
+	rt.Pattern = Broadcast
+	rt.From = ids(0)
+	rt.To = ids(1, 2)
+	rt.Arrival = &Bursts{Size: 2, Gap: simnet.Microsecond}
+	flows, err := rt.Expand(simnet.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("%d flows, want 2", len(flows))
+	}
+	if flows[0].Arrival == flows[1].Arrival {
+		t.Fatal("stateful Bursts arrival shared between flows")
+	}
+}
+
+func TestRoleTrafficRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RoleTraffic)
+	}{
+		{"empty from", func(rt *RoleTraffic) { rt.From = nil }},
+		{"empty to", func(rt *RoleTraffic) { rt.To = nil }},
+		{"zero msgs", func(rt *RoleTraffic) { rt.Msgs = 0 }},
+		{"nil size", func(rt *RoleTraffic) { rt.Size = nil }},
+		{"nil arrival", func(rt *RoleTraffic) { rt.Arrival = nil }},
+		{"bad pattern", func(rt *RoleTraffic) { rt.Pattern = numPatterns }},
+		{"only self pairs", func(rt *RoleTraffic) { rt.Pattern = Broadcast; rt.From = ids(5); rt.To = ids(5) }},
+	}
+	for _, c := range cases {
+		rt := baseClause()
+		rt.From = ids(0, 1)
+		rt.To = ids(2, 3)
+		c.mut(&rt)
+		if _, err := rt.Expand(simnet.NewRNG(1)); err == nil {
+			t.Errorf("%s: Expand accepted invalid clause", c.name)
+		}
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for s, want := range map[string]Pattern{"": Pairwise, "pairwise": Pairwise, "broadcast": Broadcast, "random": Random} {
+		got, err := ParsePattern(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePattern(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePattern("ring-of-fire"); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}

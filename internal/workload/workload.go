@@ -119,6 +119,10 @@ type Driver struct {
 	rng     *simnet.RNG
 	// Submitted counts packets handed to the engines.
 	Submitted int
+	// OnError, when set, receives submission failures instead of the
+	// default panic. Chaos testnets crash nodes mid-run, so submissions to
+	// a closed engine become expected events to count, not bugs.
+	OnError func(spec FlowSpec, seq int, err error)
 }
 
 // NewDriver creates a workload driver over per-node engines.
@@ -149,6 +153,10 @@ func (d *Driver) Add(spec FlowSpec) {
 		}
 		d.eng.At(at, "workload.submit", func() {
 			if err := src.Submit(p); err != nil {
+				if d.OnError != nil {
+					d.OnError(spec, seq, err)
+					return
+				}
 				panic(fmt.Sprintf("workload: submit: %v", err))
 			}
 		})
