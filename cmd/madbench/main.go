@@ -52,13 +52,16 @@ func fmtBytes(n uint64) string {
 // counts (E11, X3) over v1, madbench/v3 added fault/recovery counters
 // for the chaos experiments (X5) — how many faults were injected into each
 // run and how many recovery actions (failovers, rendezvous retries) the
-// engines fired in response — plus their fleet totals, and madbench/v4
+// engines fired in response — plus their fleet totals, madbench/v4
 // adds per-experiment memory accounting (allocations, allocated bytes,
 // and GC pause time attributable to one experiment run — the "op" of the
 // *_per_op fields) so the zero-alloc datapath work stays observable in
-// the same trajectory the wall-clock numbers live in.
+// the same trajectory the wall-clock numbers live in, and madbench/v5
+// adds per-experiment latency quantiles from the telemetry subsystem's
+// span histograms (end-to-end and queue-wait, merged across every engine
+// in the run) plus the report-level sample totals.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "madbench/v4"
+	Schema      string           `json:"schema"` // "madbench/v5"
 	GeneratedAt time.Time        `json:"generated_at"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
@@ -75,6 +78,28 @@ type jsonReport struct {
 	TotalAllocs     uint64 `json:"total_allocs"`
 	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
 	GCPauseTotalNs  uint64 `json:"gc_pause_total_ns"`
+	// LatencySamples totals the span observations behind every reported
+	// quantile across all selected experiments (v5).
+	LatencySamples uint64 `json:"latency_samples"`
+}
+
+// jsonQuantiles is one span kind's digest: sample count plus the µs
+// quantiles (v5).
+type jsonQuantiles struct {
+	Count uint64  `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// jsonLatency carries one experiment's latency digest: the end-to-end
+// span (submit→in-order delivery; eager deliveries only — rendezvous
+// payloads are reconstructed at the receiver without the submit stamp)
+// and the queue-wait span (submit→first post attempt), merged across
+// every engine in the run (v5).
+type jsonLatency struct {
+	E2E   jsonQuantiles `json:"e2e"`
+	Qwait jsonQuantiles `json:"queue_wait"`
 }
 
 type jsonExperiment struct {
@@ -96,6 +121,9 @@ type jsonExperiment struct {
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
 	GCPauseNs   uint64 `json:"gc_pause_ns"`
+	// Latency is the experiment's final-run latency digest; omitted when
+	// the experiment reported none (v5).
+	Latency *jsonLatency `json:"latency,omitempty"`
 }
 
 func main() {
@@ -160,7 +188,7 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	report := jsonReport{
-		Schema:      "madbench/v4",
+		Schema:      "madbench/v5",
 		GeneratedAt: time.Now().UTC(),
 		Quick:       *quick,
 		Seed:        *seed,
@@ -188,6 +216,14 @@ func main() {
 			e.ID, wall.Round(time.Millisecond), allocs, fmtBytes(bytes), time.Duration(gcPause).Round(time.Microsecond))
 		decisions := exp.DecisionCount(e.ID)
 		injected, recovered := exp.FaultCounts(e.ID)
+		var latency *jsonLatency
+		if lat, ok := exp.Latency(e.ID); ok {
+			latency = &jsonLatency{
+				E2E:   jsonQuantiles{Count: lat.E2ECount, P50Us: lat.E2EP50Us, P95Us: lat.E2EP95Us, P99Us: lat.E2EP99Us},
+				Qwait: jsonQuantiles{Count: lat.QwaitCount, P50Us: lat.QwaitP50Us, P95Us: lat.QwaitP95Us, P99Us: lat.QwaitP99Us},
+			}
+			report.LatencySamples += lat.E2ECount + lat.QwaitCount
+		}
 		report.ControllerDecisions += decisions
 		report.FaultsInjected += injected
 		report.Recoveries += recovered
@@ -204,6 +240,7 @@ func main() {
 			AllocsPerOp:         allocs,
 			BytesPerOp:          bytes,
 			GCPauseNs:           gcPause,
+			Latency:             latency,
 		})
 	}
 

@@ -1,0 +1,80 @@
+// Monitor: a small TCP mesh with the observability surface switched on —
+// the companion workload for cmd/madmon and the CI mesh-smoke job.
+//
+// It boots N telemetry-enabled nodes (internal/cluster Options.Telemetry),
+// keeps a steady all-to-all message stream flowing, and publishes each
+// node's HTTP endpoint so an external prober (curl, Prometheus, madmon)
+// can scrape /metrics, /metrics.json, /fleet.json and /debug/pprof while
+// traffic is live:
+//
+//	go run ./examples/monitor -for 30s -endpoints endpoints.txt &
+//	madmon -nodes "$(paste -sd, endpoints.txt)" -snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"newmad/internal/cluster"
+	"newmad/internal/mad"
+	"newmad/internal/packet"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 3, "mesh size")
+		runFor    = flag.Duration("for", 30*time.Second, "how long to keep serving (0 = forever)")
+		endpoints = flag.String("endpoints", "", "write one telemetry address per line to this file ('-' or empty = stdout)")
+		gap       = flag.Duration("gap", 10*time.Millisecond, "pause between message rounds")
+	)
+	flag.Parse()
+
+	c, err := cluster.New(cluster.Options{Nodes: *nodes, Telemetry: true, TraceRing: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	for n := packet.NodeID(0); int(n) < *nodes; n++ {
+		c.Session(n).Channel("mon").OnMessage(func(src packet.NodeID, m *mad.Incoming) {})
+	}
+
+	addrs := make([]string, *nodes)
+	for i, node := range c.Nodes {
+		addrs[i] = node.Telemetry.Addr()
+	}
+	list := strings.Join(addrs, "\n") + "\n"
+	if *endpoints == "" || *endpoints == "-" {
+		fmt.Print(list)
+	} else if err := os.WriteFile(*endpoints, []byte(list), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitor: %d nodes serving telemetry (first: http://%s/metrics), traffic flowing\n", *nodes, addrs[0])
+
+	deadline := time.Time{}
+	if *runFor > 0 {
+		deadline = time.Now().Add(*runFor)
+	}
+	conns := make([]*mad.Connection, 0, *nodes*(*nodes-1))
+	for i := packet.NodeID(0); int(i) < *nodes; i++ {
+		for j := packet.NodeID(0); int(j) < *nodes; j++ {
+			if i != j {
+				conns = append(conns, c.Session(i).Channel("mon").Connect(j))
+			}
+		}
+	}
+	for round := 0; deadline.IsZero() || time.Now().Before(deadline); round++ {
+		for _, conn := range conns {
+			msg := conn.BeginPacking()
+			msg.Pack([]byte(fmt.Sprintf("round %d", round)), mad.SendCheaper, mad.RecvExpress)
+			msg.Pack(make([]byte, 1024), mad.SendCheaper, mad.RecvCheaper)
+			msg.EndPacking()
+		}
+		time.Sleep(*gap)
+	}
+	fmt.Println("monitor: done")
+}

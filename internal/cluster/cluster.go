@@ -28,6 +28,8 @@ import (
 	"newmad/internal/simnet"
 	"newmad/internal/stats"
 	"newmad/internal/strategy"
+	"newmad/internal/telemetry"
+	"newmad/internal/trace"
 )
 
 // Options configures a wall-clock mesh cluster.
@@ -91,6 +93,18 @@ type Options struct {
 	// mad session. Raw-packet workloads (exp X2) need it: their synthetic
 	// flow ids do not correspond to mad channels.
 	Raw bool
+
+	// Telemetry, when true, gives every node an HTTP observability
+	// endpoint on an ephemeral loopback port (Node.Telemetry, address via
+	// Node.Telemetry.Addr()): Prometheus text and JSON snapshots of the
+	// whole mesh (the registry is shared, so any node answers for any
+	// other), plus net/http/pprof and expvar. The shared registry is
+	// exposed as Cluster.Registry.
+	Telemetry bool
+	// TraceRing, when positive, attaches a trace.Recorder of that
+	// capacity to every engine (Node.Trace) — the flight-recorder ring
+	// that trace.DumpAnomaly spools to disk when something goes wrong.
+	TraceRing int
 }
 
 // Node is one member of the cluster: its transport endpoints (one per
@@ -107,12 +121,19 @@ type Node struct {
 	// Injectors holds the per-rail chaos injectors when Options.Chaos is
 	// set (indexed like Rails); nil otherwise.
 	Injectors []*chaos.Injector
+	// Trace is the node's flight-recorder ring (Options.TraceRing).
+	Trace *trace.Recorder
+	// Telemetry is the node's HTTP observability server (Options.Telemetry).
+	Telemetry *telemetry.Server
 }
 
 // Cluster is N Figure-1 stacks wired all-to-all over real TCP sockets.
 type Cluster struct {
 	Runtime *simnet.RealRuntime
 	Nodes   []*Node
+	// Registry aggregates every node's engine when Options.Telemetry is
+	// set; nil otherwise.
+	Registry *telemetry.Registry
 }
 
 // RailCaps returns the rail capability profiles a cluster built from o will
@@ -233,6 +254,9 @@ func New(o Options) (*Cluster, error) {
 			if o.OnPeerDown != nil {
 				onPeerDown = func(rail int, peer packet.NodeID) { o.OnPeerDown(node, rail, peer) }
 			}
+			if o.TraceRing > 0 {
+				n.Trace = trace.New(o.TraceRing)
+			}
 			return core.New(node, core.Options{
 				Bundle:          b,
 				Runtime:         c.Runtime,
@@ -247,6 +271,7 @@ func New(o Options) (*Cluster, error) {
 				RdvThreshold:    o.RdvThreshold,
 				OnPeerDown:      onPeerDown,
 				Stats:           n.Stats,
+				Trace:           n.Trace,
 			})
 		})
 		if err != nil {
@@ -254,6 +279,27 @@ func New(o Options) (*Cluster, error) {
 		}
 		n.Session = sess
 		n.Engine = sess.Engine()
+	}
+
+	// Observability last, once every engine exists: one shared registry,
+	// one HTTP endpoint per node whose parameterless /metrics answers for
+	// that node.
+	if o.Telemetry {
+		c.Registry = telemetry.NewRegistry()
+		for i, n := range c.Nodes {
+			c.Registry.Register(telemetry.Source{
+				Node:   packet.NodeID(i),
+				Role:   "node",
+				Engine: n.Engine,
+				Stats:  n.Stats,
+			})
+		}
+		for i, n := range c.Nodes {
+			n.Telemetry = telemetry.NewServer(c.Registry, packet.NodeID(i))
+			if _, err := n.Telemetry.Listen("127.0.0.1:0"); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	return c, nil
 }
@@ -270,6 +316,11 @@ func (c *Cluster) Len() int { return len(c.Nodes) }
 // Close stops every engine and closes every transport endpoint. It is safe
 // on a partially constructed cluster and idempotent.
 func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n.Telemetry != nil {
+			n.Telemetry.Close()
+		}
+	}
 	for _, n := range c.Nodes {
 		if n.Engine != nil {
 			n.Engine.Close()

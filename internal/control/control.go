@@ -136,6 +136,15 @@ type Controller struct {
 	// no-op for an already-running callback).
 	tickMu sync.Mutex
 
+	// scratch is the ping-pong snapshot pair for MetricsInto: the sampler
+	// retains the previous tick's snapshot for windowed deltas, so two
+	// buffers alternate — the one being refilled is never the one the
+	// sampler still reads. Guarded by tickMu (only tick touches it). At
+	// 1000-node testnet scale this is what removes the two slice
+	// allocations per node per sample.
+	scratch    [2]core.Metrics
+	scratchIdx int
+
 	mu        sync.Mutex
 	samp      *sampler
 	mode      Mode
@@ -327,7 +336,10 @@ func (c *Controller) tick() {
 	}
 	c.mu.Unlock()
 
-	m := c.eng.Metrics()
+	cur := &c.scratch[c.scratchIdx]
+	c.scratchIdx ^= 1
+	c.eng.MetricsInto(cur)
+	m := *cur
 
 	c.mu.Lock()
 	if c.closed {

@@ -165,6 +165,17 @@ type Engine struct {
 	// rdvTimers tracks the retry timer armed per outstanding rendezvous.
 	rdvTimers map[uint64]simnet.CancelFunc
 
+	// Latency spans (see spans.go). rdvStart stamps when each outgoing
+	// rendezvous queued its first RTS (sender side, SpanRdvGrant);
+	// rdvRecvStart stamps the first RTS arrival per inbound token
+	// (receiver side, SpanRdvData). arrivalRail is the rail index of the
+	// frame currently being dispatched — valid only under e.mu inside
+	// onFrame, read by the protocol-event hooks it calls.
+	spans        *stats.Spans
+	rdvStart     map[uint64]simnet.Time
+	rdvRecvStart map[uint64]simnet.Time
+	arrivalRail  int
+
 	nagleArmed  bool
 	nagleCancel simnet.CancelFunc
 	// nagleGen identifies the current arming: it advances on every arm and
@@ -244,6 +255,10 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		rdvTimers:  make(map[uint64]simnet.CancelFunc),
 		deliver:    opt.Deliver,
 
+		spans:        stats.NewSpans(int(NumSpanKinds), int(packet.NumClasses), len(rails)),
+		rdvStart:     make(map[uint64]simnet.Time),
+		rdvRecvStart: make(map[uint64]simnet.Time),
+
 		cSubmitted:      set.Counter("core.submitted"),
 		cSubmittedBytes: set.Counter("core.submitted_bytes"),
 		cFramesPosted:   set.Counter("core.frames_posted"),
@@ -275,7 +290,7 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	for i, r := range rails {
 		i, r := i, r
 		r.SetIdleHandler(func(ch int) { e.onIdle(i, ch) })
-		r.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) { e.onFrame(src, f) })
+		r.SetRecvHandler(func(src packet.NodeID, f *packet.Frame) { e.onFrame(i, src, f) })
 		// Rails that can hand back undeliverable frames and report peer
 		// failures feed the engine's failover machinery; simulated fabrics
 		// implement neither and keep the historical loss-free contract.
@@ -548,6 +563,7 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		e.ctrlQ = append(e.ctrlQ, rts)
 		e.set.Counter("core.rdv_started").Inc()
 		e.ctr.rdvBytes += uint64(p.Size())
+		e.rdvStart[rts.Ctrl.Token] = p.Enqueued
 		e.armRdvRetryLocked(rts.Ctrl.Token, 0)
 		e.mu.Unlock()
 		e.pumpAll()

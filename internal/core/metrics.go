@@ -81,9 +81,22 @@ type Metrics struct {
 
 // Metrics returns a consistent snapshot of the engine's observation surface.
 func (e *Engine) Metrics() Metrics {
+	var m Metrics
+	e.MetricsInto(&m)
+	return m
+}
+
+// MetricsInto fills m with a consistent snapshot, reusing m's RailFrames
+// and RailDowns backing arrays when they have capacity. Samplers that
+// snapshot every node per tick (internal/control, the testnet's telemetry
+// sweep) hold one scratch Metrics per engine and pay zero allocations per
+// sample; Metrics() is the convenience form for one-shot callers. Callers
+// that retain a previous snapshot for windowed deltas must keep two
+// scratch values and alternate — the slices are overwritten in place.
+func (e *Engine) MetricsInto(m *Metrics) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Metrics{
+	*m = Metrics{
 		Now:             e.rt.Now(),
 		Backlog:         e.backlog.size,
 		CtrlQueued:      len(e.ctrlQ),
@@ -100,12 +113,12 @@ func (e *Engine) Metrics() Metrics {
 		NagleFires:      e.ctr.nagleFires,
 		NagleEarly:      e.ctr.nagleEarly,
 		Delivered:       e.ctr.delivered,
-		RailFrames:      append([]uint64(nil), e.railFrames...),
+		RailFrames:      append(m.RailFrames[:0], e.railFrames...),
 		FramesReclaimed: e.ctr.framesReclaimed,
 		Failovers:       e.ctr.failovers,
 		FailoverQueued:  len(e.failQ),
 		RdvRetries:      e.ctr.rdvRetries,
-		RailDowns:       append([]uint64(nil), e.railDowns...),
+		RailDowns:       append(m.RailDowns[:0], e.railDowns...),
 		Lookahead:       e.cfg.Lookahead,
 		NagleDelay:      e.cfg.NagleDelay,
 		NagleFlushCount: e.cfg.NagleFlushCount,

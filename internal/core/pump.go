@@ -29,12 +29,13 @@ func (e *Engine) onIdle(ri, ch int) {
 	e.pumpLocked(ri, ch, true)
 	deliver, fns := e.takeDeliveriesLocked()
 	e.mu.Unlock()
-	e.dispatchDeliveries(deliver, fns)
+	e.dispatchDeliveries(deliver, fns, -1)
 }
 
-// onFrame is the receive upcall: route through the protocol dispatcher,
-// then hand any completed packets up and react to protocol events.
-func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
+// onFrame is the receive upcall on rail ri: route through the protocol
+// dispatcher, then hand any completed packets up and react to protocol
+// events.
+func (e *Engine) onFrame(ri int, src packet.NodeID, f *packet.Frame) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -45,8 +46,32 @@ func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
 		}
 		return
 	}
+	now := e.rt.Now()
+	// The protocol-event hooks the dispatcher calls (onRdvGrant) run under
+	// e.mu and read the arrival rail from here.
+	e.arrivalRail = ri
+	// SpanXmit: the sender stamped the frame at post time when the frame
+	// object itself crossed the fabric (simulated rails, loopback); frames
+	// decoded from a real wire read zero and are skipped.
+	if f.Posted > 0 {
+		e.spans.Observe(int(SpanXmit), int(frameClass(f)), ri, float64(now.Sub(f.Posted)))
+	}
+	// SpanRdvData bookkeeping: remember the first RTS arrival per inbound
+	// token (retries keep the original start), close the span when the
+	// granted bulk lands.
+	switch f.Kind {
+	case packet.FrameRTS:
+		if _, ok := e.rdvRecvStart[f.Ctrl.Token]; !ok {
+			e.rdvRecvStart[f.Ctrl.Token] = now
+		}
+	case packet.FrameRData:
+		if t0, ok := e.rdvRecvStart[f.Ctrl.Token]; ok {
+			delete(e.rdvRecvStart, f.Ctrl.Token)
+			e.spans.Observe(int(SpanRdvData), int(packet.ClassBulk), ri, float64(now.Sub(t0)))
+		}
+	}
 	e.rec.Record(trace.Event{
-		At: e.rt.Now(), Kind: trace.KindRecv, Node: e.node,
+		At: now, Kind: trace.KindRecv, Node: e.node,
 		A: int(f.Kind), B: f.PayloadSize(), Note: f.Kind.String(),
 	})
 	e.disp.HandleFrame(src, f)
@@ -61,7 +86,7 @@ func (e *Engine) onFrame(src packet.NodeID, f *packet.Frame) {
 	}
 	deliver, fns := e.takeDeliveriesLocked()
 	e.mu.Unlock()
-	e.dispatchDeliveries(deliver, fns)
+	e.dispatchDeliveries(deliver, fns, ri)
 	// Protocol handling may have queued reactive frames (CTS, acks, get
 	// replies) or granted rendezvous bulk; give idle channels a chance.
 	e.pumpAll()
@@ -84,7 +109,10 @@ func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
 	return d, fns
 }
 
-func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func()) {
+// dispatchDeliveries hands completed packets to the application. rail is
+// the arrival rail of the frame that produced them (the E2E span's rail
+// key), or -1 when the batch has no single arrival context.
+func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func(), rail int) {
 	for _, fn := range fns {
 		fn()
 	}
@@ -94,6 +122,7 @@ func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func()) {
 		if d.Pkt.Enqueued > 0 {
 			lat := e.rt.Now().Sub(d.Pkt.Enqueued)
 			e.hDeliveryLat.Add(float64(lat))
+			e.spans.Observe(int(SpanE2E), int(d.Pkt.Class), rail, float64(lat))
 			if d.Pkt.Class == packet.ClassControl {
 				e.hControlLat.Add(float64(lat))
 			}
@@ -137,6 +166,12 @@ func (e *Engine) enqueueReactive(f *packet.Frame) {
 func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
 	// Called with e.mu held (CTS arrives via onFrame -> dispatcher).
 	e.cancelRdvRetryLocked(token)
+	// SpanRdvGrant closes here: RTS first queued → CTS arrival, retries
+	// included. The arrival rail is the one onFrame is dispatching.
+	if t0, ok := e.rdvStart[token]; ok {
+		delete(e.rdvStart, token)
+		e.spans.Observe(int(SpanRdvGrant), int(packet.ClassBulk), e.arrivalRail, float64(e.rt.Now().Sub(t0)))
+	}
 	rdata := e.rdvS.BuildRData(token)
 	e.bulkQ = append(e.bulkQ, rdata)
 	e.set.Counter("core.rdv_granted").Inc()
@@ -162,7 +197,7 @@ func (e *Engine) pumpAll() {
 	}
 	deliver, fns := e.takeDeliveriesLocked()
 	e.mu.Unlock()
-	e.dispatchDeliveries(deliver, fns)
+	e.dispatchDeliveries(deliver, fns, -1)
 }
 
 func (e *Engine) railInfo(ri int) strategy.RailInfo {
@@ -358,6 +393,12 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 		entry := packet.EntryFromPacket(p)
 		entry.Enqueued = p.Enqueued
 		f.Entries = append(f.Entries, entry)
+		// SpanQueueWait: how long this packet sat in the lookahead pool
+		// before a plan pulled it, keyed by its class and the rail the
+		// plan was built for.
+		if p.Enqueued > 0 {
+			e.spans.Observe(int(SpanQueueWait), int(p.Class), ri, float64(e.planCtx.Now.Sub(p.Enqueued)))
+		}
 	}
 	e.postLocked(ri, ch, f, plan.Packets, plan.HostExtra)
 
@@ -466,6 +507,10 @@ func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, 
 	// BEFORE the handoff. On failure the frame stays ours.
 	kind := f.Kind
 	wire := f.WireSize()
+	// SpanXmit's departure stamp. In-memory only: on simulated fabrics the
+	// frame object crosses to the receiver carrying it; on wire rails the
+	// encoder ignores it and the receiver's decoded frame reads zero.
+	f.Posted = e.rt.Now()
 	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
 		if errors.Is(err, drivers.ErrPeerDown) {
 			e.failQ = append(e.failQ, f)

@@ -36,7 +36,7 @@ func e10Point(classes strategy.ClassPolicy, bulks, pings int, seed uint64) (Metr
 	}
 	b.Classes = classes
 	prof := caps.MX // 4 channels
-	rig, err := NewRig(RigOptions{Profiles: []caps.Caps{prof}})
+	rig, err := NewRig(RigOptions{ID: "E10", Profiles: []caps.Caps{prof}})
 	if err != nil {
 		return Metrics{}, err
 	}

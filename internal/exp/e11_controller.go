@@ -171,6 +171,7 @@ func E11Run(tuningName string, adaptive bool, cfg Config) (E11Result, error) {
 	}
 
 	rig, err = NewRig(RigOptions{
+		ID:        "E11",
 		Profiles:  []caps.Caps{SingleChannel(caps.MX)},
 		OnDeliver: onDeliver,
 	})

@@ -35,7 +35,7 @@ func init() {
 // situation §4's claim is about. (Back-to-back arrivals would let a flow
 // aggregate with itself and hide the cross-flow effect.)
 func e1Point(bundle string, flows, perFlow, size int, seed uint64) (Metrics, error) {
-	rig, err := NewRig(RigOptions{Bundle: bundle})
+	rig, err := NewRig(RigOptions{ID: "E1", Bundle: bundle})
 	if err != nil {
 		return Metrics{}, err
 	}

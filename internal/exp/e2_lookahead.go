@@ -28,7 +28,7 @@ func init() {
 }
 
 func e2Point(window, flows, perFlow int, seed uint64) (Metrics, error) {
-	rig, err := NewRig(RigOptions{Lookahead: window})
+	rig, err := NewRig(RigOptions{ID: "E2", Lookahead: window})
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -30,6 +30,7 @@ func init() {
 
 func e3Point(delay simnet.Duration, flows, perFlow int, seed uint64) (Metrics, error) {
 	rig, err := NewRig(RigOptions{
+		ID:         "E3",
 		Nagle:      delay,
 		NagleFlush: 16, // rely on the timer, not backlog pressure
 	})

@@ -44,7 +44,7 @@ func e4Point(rail strategy.RailPolicy, profiles []caps.Caps, flows, perFlow int,
 		return Metrics{}, nil, err
 	}
 	b.Rail = rail
-	rig, err := NewRig(RigOptions{Profiles: profiles})
+	rig, err := NewRig(RigOptions{ID: "E4", Profiles: profiles})
 	if err != nil {
 		return Metrics{}, nil, err
 	}

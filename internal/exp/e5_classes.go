@@ -42,7 +42,7 @@ func e5Point(classes strategy.ClassPolicy, pings, bulks int, seed uint64) (Metri
 	// Two channels: enough for one reserved control lane plus a bulk lane.
 	prof := caps.MX
 	prof.Channels = 2
-	rig, err := NewRig(RigOptions{Profiles: []caps.Caps{prof}})
+	rig, err := NewRig(RigOptions{ID: "E5", Profiles: []caps.Caps{prof}})
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -31,6 +31,7 @@ func init() {
 
 func e6Point(budget, dests, flowsPerDest, perFlow int, seed uint64) (Metrics, float64, error) {
 	rig, err := NewRig(RigOptions{
+		ID:           "E6",
 		Bundle:       "search",
 		SearchBudget: budget,
 		Nodes:        dests + 1,

@@ -29,7 +29,7 @@ func init() {
 }
 
 func e7Point(prof caps.Caps, flows, perFlow, size int, seed uint64) (Metrics, error) {
-	rig, err := NewRig(RigOptions{Profiles: []caps.Caps{SingleChannel(prof)}})
+	rig, err := NewRig(RigOptions{ID: "E7", Profiles: []caps.Caps{SingleChannel(prof)}})
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -32,7 +32,7 @@ func e8Point(policy strategy.ProtocolPolicy, size, count int, seed uint64) (Metr
 		return Metrics{}, err
 	}
 	b.Protocol = policy
-	rig, err := NewRig(RigOptions{})
+	rig, err := NewRig(RigOptions{ID: "E8"})
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -38,6 +38,7 @@ type e9Result struct {
 func e9Point(bundle string, iters, calls int, seed uint64) (e9Result, error) {
 	const nodes = 4
 	rig, err := NewRig(RigOptions{
+		ID:           "E9",
 		Nodes:        nodes,
 		Bundle:       bundle,
 		WithSessions: true,

@@ -97,6 +97,63 @@ func FaultCounts(id string) (injected, recovered uint64) {
 	return c[0], c[1]
 }
 
+// Every experiment reports the latency quantiles of its final run;
+// madbench folds them into its machine-readable output (madbench/v5).
+var (
+	latMu     sync.Mutex
+	latencies = map[string]LatencySummary{}
+)
+
+// LatencySummary is one run's delivery-latency digest: the end-to-end
+// span (submit→deliver; eager deliveries only — rendezvous payloads are
+// reconstructed at the receiver without the submit stamp) and the
+// queue-wait span (submit→first post attempt), merged across every
+// engine in the run.
+type LatencySummary struct {
+	E2ECount   uint64
+	E2EP50Us   float64
+	E2EP95Us   float64
+	E2EP99Us   float64
+	QwaitCount uint64
+	QwaitP50Us float64
+	QwaitP95Us float64
+	QwaitP99Us float64
+}
+
+// summarizeLatency digests two merged span histograms (nanosecond
+// samples) into microsecond quantiles.
+func summarizeLatency(e2e, qwait *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		E2ECount:   e2e.Count(),
+		E2EP50Us:   e2e.Quantile(0.50) / 1e3,
+		E2EP95Us:   e2e.Quantile(0.95) / 1e3,
+		E2EP99Us:   e2e.Quantile(0.99) / 1e3,
+		QwaitCount: qwait.Count(),
+		QwaitP50Us: qwait.Quantile(0.50) / 1e3,
+		QwaitP95Us: qwait.Quantile(0.95) / 1e3,
+		QwaitP99Us: qwait.Quantile(0.99) / 1e3,
+	}
+}
+
+// reportLatency records one experiment run's latency digest, replacing
+// any previous record for that ID. Experiments that run several variants
+// report once per variant; the last one (by convention the full engine)
+// is what madbench exports.
+func reportLatency(id string, s LatencySummary) {
+	latMu.Lock()
+	latencies[id] = s
+	latMu.Unlock()
+}
+
+// Latency returns the latency digest recorded by the last run of the
+// experiment; ok is false when the experiment never reported one.
+func Latency(id string) (s LatencySummary, ok bool) {
+	latMu.Lock()
+	defer latMu.Unlock()
+	s, ok = latencies[id]
+	return s, ok
+}
+
 // Get returns the experiment with the given ID.
 func Get(id string) (Experiment, bool) {
 	e, ok := registry[id]
@@ -139,10 +196,16 @@ type Rig struct {
 	Sessions map[packet.NodeID]*mad.Session
 	// Delivered counts per node.
 	Delivered map[packet.NodeID]int
+
+	id string // experiment ID for latency reporting (RigOptions.ID)
 }
 
 // RigOptions configures rig construction.
 type RigOptions struct {
+	// ID, when set, makes every Run report its merged latency-span
+	// quantiles under this experiment ID (see Latency).
+	ID string
+
 	Nodes    int
 	Profiles []caps.Caps // default: single-channel MX
 	Bundle   string      // default "aggregate"
@@ -188,6 +251,7 @@ func NewRig(o RigOptions) (*Rig, error) {
 		Engines:   make(map[packet.NodeID]*core.Engine),
 		Sessions:  make(map[packet.NodeID]*mad.Session),
 		Delivered: make(map[packet.NodeID]int),
+		id:        o.ID,
 	}
 	for n := 0; n < o.Nodes; n++ {
 		node := packet.NodeID(n)
@@ -277,5 +341,18 @@ func (r *Rig) Run(expected int) (Metrics, error) {
 	if end > 0 {
 		m.MsgPerSec = float64(total) / (float64(end) / float64(simnet.Second))
 	}
+	if r.id != "" {
+		reportLatency(r.id, summarizeLatency(
+			r.SpanTotal(core.SpanE2E), r.SpanTotal(core.SpanQueueWait)))
+	}
 	return m, nil
+}
+
+// SpanTotal merges one latency-span kind across every engine in the rig.
+func (r *Rig) SpanTotal(kind core.SpanKind) *stats.Histogram {
+	h := &stats.Histogram{}
+	for _, eng := range r.Engines {
+		h.Merge(eng.Spans().Total(int(kind)))
+	}
+	return h
 }

@@ -141,6 +141,25 @@ func TestX5ShapeChaosExactlyOnceAndReplayable(t *testing.T) {
 		if a.Failovers+a.Reclaimed == 0 {
 			return fmt.Errorf("failures observed (%d downs) but no failover activity", a.PeerDowns)
 		}
+		// Telemetry rides the chaos run: the fleet roll-up must carry a
+		// non-empty delivery-latency histogram (queue_wait is the span
+		// that survives the real TCP wire) and a clean run leaves no
+		// flight-recorder spool behind.
+		if a.Fleet.Nodes != 3 {
+			return fmt.Errorf("fleet roll-up covers %d of 3 nodes", a.Fleet.Nodes)
+		}
+		if a.Fleet.SpanTotal("queue_wait").Count() == 0 {
+			return fmt.Errorf("fleet queue-wait histogram empty after %d deliveries", a.Msgs)
+		}
+		if a.QwaitP99Us <= 0 {
+			return fmt.Errorf("queue-wait p99 not populated: %+v", a.QwaitP99Us)
+		}
+		if a.SpoolDir != "" {
+			return fmt.Errorf("clean run wrote an anomaly spool at %s", a.SpoolDir)
+		}
+		if lat, ok := Latency("X5"); !ok || lat.QwaitCount == 0 {
+			return fmt.Errorf("X5 did not report latency quantiles: %+v ok=%v", lat, ok)
+		}
 		b, err := X5Chaos(quick)
 		if err != nil {
 			return err

@@ -33,7 +33,7 @@ func init() {
 func x1Point(bundle string, flows, perFlow, size int, seed uint64) (Metrics, error) {
 	wan := caps.WAN
 	wan.Channels = 2
-	rig, err := NewRig(RigOptions{Bundle: bundle, Profiles: []caps.Caps{wan}})
+	rig, err := NewRig(RigOptions{ID: "X1", Bundle: bundle, Profiles: []caps.Caps{wan}})
 	if err != nil {
 		return Metrics{}, err
 	}

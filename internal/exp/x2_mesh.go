@@ -72,7 +72,7 @@ func x2Packet(nodes, seq, size int, src, dst packet.NodeID) *packet.Packet {
 // virtual-time prediction.
 func X2Sim(cfg Config) (X2Result, error) {
 	nodes, perFlow, size := x2Shape(cfg)
-	rig, err := NewRig(RigOptions{Nodes: nodes, Profiles: []caps.Caps{caps.TCP}})
+	rig, err := NewRig(RigOptions{ID: "X2", Nodes: nodes, Profiles: []caps.Caps{caps.TCP}})
 	if err != nil {
 		return X2Result{}, err
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,11 +10,14 @@ import (
 	"newmad/internal/caps"
 	"newmad/internal/chaos"
 	"newmad/internal/cluster"
+	"newmad/internal/core"
 	"newmad/internal/packet"
 	"newmad/internal/proto"
 	"newmad/internal/simnet"
 	"newmad/internal/stats"
 	"newmad/internal/strategy"
+	"newmad/internal/telemetry"
+	"newmad/internal/trace"
 )
 
 // X5 — chaos addendum (not a claim of the paper; added with the fault
@@ -64,6 +68,17 @@ type X5Result struct {
 	// Trace is the executed fault schedule; two runs from one seed must
 	// produce Equal traces.
 	Trace *chaos.Trace
+	// QwaitP50Us/QwaitP99Us are the survivors' queue-wait quantiles (µs):
+	// how long payloads sat in the backlog while rails flapped underneath.
+	// Queue-wait is the span that survives the real TCP wire — the
+	// end-to-end stamp is in-memory-only and never encoded (see
+	// internal/core span taxonomy).
+	QwaitP50Us, QwaitP99Us float64
+	// Fleet is the run's telemetry roll-up across all three engines.
+	Fleet telemetry.FleetSnapshot
+	// SpoolDir names the flight-recorder dump written when delivery broke
+	// (empty on a clean run).
+	SpoolDir string
 }
 
 func x5Shape(cfg Config) (smallMsgs, smallSize, bulkMsgs, bulkSize, flaps int) {
@@ -135,6 +150,7 @@ func X5Chaos(cfg Config) (X5Result, error) {
 		Nodes:       3,
 		Rails:       x5Rails(),
 		Raw:         true,
+		TraceRing:   512, // flight recorders: the anomaly spool's evidence
 		RdvRetry:    simnet.FromWall(40 * time.Millisecond),
 		RdvRetryMax: 10,
 		Chaos: &cluster.ChaosPlan{
@@ -169,6 +185,20 @@ func X5Chaos(cfg Config) (X5Result, error) {
 		return X5Result{}, err
 	}
 	defer c.Close()
+
+	// Telemetry over the chaos run: one registry across the three engines,
+	// rolled up into the result's fleet snapshot. No HTTP server here —
+	// madbench consumes the snapshot directly.
+	reg := telemetry.NewRegistry()
+	for n := 0; n < 3; n++ {
+		role := "survivor"
+		if n == 2 {
+			role = "bystander"
+		}
+		reg.Register(telemetry.Source{
+			Node: packet.NodeID(n), Role: role, Engine: c.Engine(packet.NodeID(n)),
+		})
+	}
 
 	start := time.Now()
 	stopBg := make(chan struct{})
@@ -278,8 +308,9 @@ waitDelivery:
 		PeerDowns:      uint64(downs.Load()),
 		Trace:          tr,
 	}
+	var m core.Metrics
 	for n := 0; n < 2; n++ {
-		m := c.Engine(packet.NodeID(n)).Metrics()
+		c.Engine(packet.NodeID(n)).MetricsInto(&m)
 		res.Failovers += m.Failovers
 		res.Reclaimed += m.FramesReclaimed
 		res.RdvRetries += m.RdvRetries
@@ -292,7 +323,26 @@ waitDelivery:
 	}
 	res.Lost = total - len(delivered)
 	mu.Unlock()
+
+	res.Fleet = reg.Fleet()
+	qwait := res.Fleet.SpanTotal("queue_wait")
+	res.QwaitP50Us = qwait.Quantile(0.50) / 1e3
+	res.QwaitP99Us = qwait.Quantile(0.99) / 1e3
+	reportLatency("X5", summarizeLatency(res.Fleet.SpanTotal("e2e"), qwait))
 	reportFaults("X5", res.FaultsInjected+res.PeerDowns, res.Failovers+res.RdvRetries)
+
+	// Broken delivery freezes the evidence before anyone can panic: every
+	// node's flight-recorder ring lands on disk as JSONL.
+	if res.Lost != 0 || res.Duplicated != 0 {
+		recs := make(map[int]*trace.Recorder, len(c.Nodes))
+		for i, node := range c.Nodes {
+			recs[i] = node.Trace
+		}
+		reason := fmt.Sprintf("x5-lost%d-dup%d", res.Lost, res.Duplicated)
+		if dir, derr := trace.DumpAnomaly(os.TempDir(), reason, recs, 256); derr == nil {
+			res.SpoolDir = dir
+		}
+	}
 	return res, nil
 }
 
@@ -302,12 +352,14 @@ func runX5(cfg Config) []*stats.Table {
 		panic(err)
 	}
 	if res.Lost != 0 || res.Duplicated != 0 {
-		panic(fmt.Sprintf("exp: X5 delivery broken: %d lost, %d duplicated of %d", res.Lost, res.Duplicated, res.Msgs))
+		panic(fmt.Sprintf("exp: X5 delivery broken: %d lost, %d duplicated of %d (flight-recorder spool: %s)",
+			res.Lost, res.Duplicated, res.Msgs, res.SpoolDir))
 	}
 	t := stats.NewTable(
 		"X5 — conglomerate workload under rolling rail flaps, a node crash, and control-frame drops",
-		"msgs", "MB", "time(ms)", "lost", "dup", "faults", "peer-downs", "failovers", "reclaimed", "rdv-retries")
-	t.Caption = "faults are injected deterministically from the workload seed; the executed schedule replays event-for-event on a re-run (the shape test asserts trace equality)"
+		"msgs", "MB", "time(ms)", "lost", "dup", "faults", "peer-downs", "failovers", "reclaimed", "rdv-retries",
+		"qwait p50/p99 us")
+	t.Caption = "faults are injected deterministically from the workload seed; the executed schedule replays event-for-event on a re-run (the shape test asserts trace equality); qwait is backlog residence time while rails flapped"
 	t.AddRow(
 		fmt.Sprintf("%d", res.Msgs),
 		stats.FormatFloat(float64(res.Bytes)/1e6),
@@ -319,6 +371,7 @@ func runX5(cfg Config) []*stats.Table {
 		fmt.Sprintf("%d", res.Failovers),
 		fmt.Sprintf("%d", res.Reclaimed),
 		fmt.Sprintf("%d", res.RdvRetries),
+		fmt.Sprintf("%.0f/%.0f", res.QwaitP50Us, res.QwaitP99Us),
 	)
 	return []*stats.Table{t}
 }

@@ -77,6 +77,7 @@ func (f *Frame) Reset() {
 	f.Dst = 0
 	f.Ctrl = Ctrl{}
 	f.Bulk = nil
+	f.Posted = 0
 }
 
 // SetBacking records the pooled wire buffer this frame was decoded from.

@@ -30,6 +30,12 @@ type Frame struct {
 	// Bulk is the payload of FrameRData and FramePut transactions.
 	Bulk []byte
 
+	// Posted is diagnostic post-time metadata (the telemetry Xmit span's
+	// departure stamp). Like Entry.Enqueued it travels only in-memory —
+	// simulated fabrics hand the frame object across; it is not part of
+	// the wire encoding and reads zero after a real transport.
+	Posted simnet.Time
+
 	// Pool lifecycle state (see pool.go): whether this struct came from
 	// the frame pool, the wire buffer its payload slices alias on the
 	// receive path, and whether that buffer escaped to the application.

@@ -25,6 +25,7 @@ import (
 	"newmad/internal/packet"
 	"newmad/internal/proto"
 	"newmad/internal/simnet"
+	"newmad/internal/stats"
 	"newmad/internal/strategy"
 )
 
@@ -396,5 +397,38 @@ func BenchmarkMeshRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		<-done
+	}
+}
+
+// BenchmarkSpanObserve measures the telemetry substrate's per-sample cost
+// in isolation: one histogram insert behind a per-cell mutex, with
+// pre-resolved integer indices — the price every datapath stamp pays.
+func BenchmarkSpanObserve(b *testing.B) {
+	sp := stats.NewSpans(5, int(packet.NumClasses), 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Observe(1, int(packet.ClassSmall), i&1, float64(100+i&1023))
+	}
+}
+
+// TestAllocsSpanObserve pins the telemetry observation budget at zero:
+// recording a latency sample into a warmed span family must not allocate,
+// or the always-on spans would erode the eager-pump and receive-path
+// gates above. (A cold histogram allocates its bucket map and grows its
+// reservoir — amortized away here by warming, exactly as the engines
+// warm during their first packets.)
+func TestAllocsSpanObserve(t *testing.T) {
+	sp := stats.NewSpans(5, int(packet.NumClasses), 2)
+	var n int
+	observe := func() {
+		sp.Observe(1, int(packet.ClassSmall), n&1, float64(100+n&1023))
+		n++
+	}
+	for i := 0; i < 4096; i++ {
+		observe() // warm the bucket maps and fill the reservoirs
+	}
+	if allocs := testing.AllocsPerRun(1000, observe); allocs > 0 {
+		t.Fatalf("span observe costs %.2f allocs/op, budget is 0", allocs)
 	}
 }

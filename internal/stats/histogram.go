@@ -191,6 +191,70 @@ func (h *Histogram) Stddev() float64 {
 	return math.Sqrt(ss / float64(h.count-1))
 }
 
+// Clone returns a deep copy of h. The copy shares nothing with the
+// original, so it can be serialized or merged while the original keeps
+// absorbing samples (telemetry snapshots clone under the owner's lock and
+// do the expensive quantile math outside it).
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{
+		count:    h.count,
+		sum:      h.sum,
+		min:      h.min,
+		max:      h.max,
+		overflow: h.overflow,
+	}
+	if h.buckets != nil {
+		out.buckets = make(map[int]uint64, len(h.buckets))
+		for b, n := range h.buckets {
+			out.buckets[b] = n
+		}
+	}
+	if len(h.samples) > 0 {
+		out.samples = append(make([]float64, 0, len(h.samples)), h.samples...)
+	}
+	return out
+}
+
+// Buckets returns a copy of the log2 bucket counts, keyed by bucket index
+// (see bucketOf: bucket 0 holds [0,1), bucket b>0 holds [2^(b-1), 2^b)).
+// Together with Count/Sum/Min/Max this is the mergeable wire form of a
+// histogram — FromBuckets reconstructs a quantile-capable Histogram from
+// it on the other side of a JSON boundary.
+func (h *Histogram) Buckets() map[int]uint64 {
+	if len(h.buckets) == 0 {
+		return nil
+	}
+	out := make(map[int]uint64, len(h.buckets))
+	for b, n := range h.buckets {
+		out[b] = n
+	}
+	return out
+}
+
+// FromBuckets reconstructs a Histogram from its mergeable wire form: the
+// log2 bucket counts plus the exact aggregates. The reconstruction has no
+// sample reservoir, so quantiles interpolate within buckets (clamped to
+// the [min,max] envelope) — exactly the overflow behavior of a histogram
+// that outlived its reservoir. Inconsistent inputs (count 0 with buckets)
+// yield an empty histogram.
+func FromBuckets(buckets map[int]uint64, count uint64, sum, min, max float64) *Histogram {
+	if count == 0 {
+		return &Histogram{}
+	}
+	h := &Histogram{
+		buckets:  make(map[int]uint64, len(buckets)),
+		count:    count,
+		sum:      sum,
+		min:      min,
+		max:      max,
+		overflow: true,
+	}
+	for b, n := range buckets {
+		h.buckets[b] = n
+	}
+	return h
+}
+
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {

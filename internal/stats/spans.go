@@ -1,0 +1,130 @@
+package stats
+
+import "sync"
+
+// Spans is a fixed-shape family of histograms indexed by three small
+// dimensions — span kind, traffic class, rail — backed by one shard per
+// (kind, class, rail) cell. It is the telemetry substrate for the engine's
+// latency spans: the datapath calls Observe with pre-resolved integer
+// indices (no map lookups, no name formatting), each cell has its own
+// mutex so observation never contends with a concurrent snapshot of a
+// different cell, and Histogram.Add allocates only when its reservoir
+// grows (amortized O(log n) appends over the run) — which is what keeps
+// the AllocsPerRun gates of internal/perf intact with telemetry on.
+//
+// A nil *Spans ignores Observe and reports empty snapshots, so callers
+// can thread an optional family without nil checks.
+type Spans struct {
+	kinds   int
+	classes int
+	rails   int
+	shards  []spanShard
+}
+
+type spanShard struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// NewSpans returns a family with kinds × classes × rails cells. Each
+// dimension is clamped to at least 1.
+func NewSpans(kinds, classes, rails int) *Spans {
+	if kinds < 1 {
+		kinds = 1
+	}
+	if classes < 1 {
+		classes = 1
+	}
+	if rails < 1 {
+		rails = 1
+	}
+	return &Spans{
+		kinds:   kinds,
+		classes: classes,
+		rails:   rails,
+		shards:  make([]spanShard, kinds*classes*rails),
+	}
+}
+
+// Dims returns the family's (kinds, classes, rails) shape.
+func (s *Spans) Dims() (kinds, classes, rails int) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.kinds, s.classes, s.rails
+}
+
+// Observe records one sample in the (kind, class, rail) cell. A negative
+// rail (callers that genuinely have no rail context) is folded into rail
+// 0; kind/class/rail beyond the family's shape are dropped rather than
+// misfiled.
+func (s *Spans) Observe(kind, class, rail int, v float64) {
+	if s == nil {
+		return
+	}
+	if rail < 0 {
+		rail = 0
+	}
+	if kind < 0 || kind >= s.kinds || class < 0 || class >= s.classes || rail >= s.rails {
+		return
+	}
+	sh := &s.shards[(kind*s.classes+class)*s.rails+rail]
+	sh.mu.Lock()
+	sh.h.Add(v)
+	sh.mu.Unlock()
+}
+
+// SpanCell is one populated cell of a snapshot: the indices plus a deep
+// copy of the cell's histogram, safe to read, merge or serialize while
+// the family keeps absorbing samples.
+type SpanCell struct {
+	Kind  int
+	Class int
+	Rail  int
+	Hist  *Histogram
+}
+
+// Snapshot clones every non-empty cell, in (kind, class, rail) order.
+func (s *Spans) Snapshot() []SpanCell {
+	if s == nil {
+		return nil
+	}
+	var out []SpanCell
+	for k := 0; k < s.kinds; k++ {
+		for c := 0; c < s.classes; c++ {
+			for r := 0; r < s.rails; r++ {
+				sh := &s.shards[(k*s.classes+c)*s.rails+r]
+				sh.mu.Lock()
+				var h *Histogram
+				if sh.h.Count() > 0 {
+					h = sh.h.Clone()
+				}
+				sh.mu.Unlock()
+				if h != nil {
+					out = append(out, SpanCell{Kind: k, Class: c, Rail: r, Hist: h})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Total merges every (class, rail) cell of one kind into a single fresh
+// histogram — the "all traffic" view of one span.
+func (s *Spans) Total(kind int) *Histogram {
+	out := &Histogram{}
+	if s == nil || kind < 0 || kind >= s.kinds {
+		return out
+	}
+	for c := 0; c < s.classes; c++ {
+		for r := 0; r < s.rails; r++ {
+			sh := &s.shards[(kind*s.classes+c)*s.rails+r]
+			sh.mu.Lock()
+			if sh.h.Count() > 0 {
+				out.Merge(&sh.h)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition, hand-written against the v0.0.4 format so
+// the repo stays stdlib-only. Histograms are rendered as cumulative
+// buckets at the log2 upper bounds the stats.Histogram actually keeps
+// (le="1", le="2", le="4", ... le="+Inf"), so a scraper's
+// histogram_quantile sees the true bucket layout rather than a lossy
+// re-binning.
+
+// promName lowercases and maps every non-[a-z0-9_] byte to '_' — the
+// stats.Set convention is dotted names ("chaos.faults.raildrop"), the
+// Prometheus convention is underscores.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promHead(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promHist writes one histogram family sample set under name with the
+// given label pairs (already formatted as `k="v"` fragments).
+func promHist(w io.Writer, name, labels string, hs HistStat) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for _, b := range hs.Bkts {
+		cum += b.N
+		// Bucket idx holds values < 2^idx (idx 0 holds [0,1)), so the
+		// inclusive upper bound le=2^idx covers it.
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, math.Pow(2, float64(b.Idx)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, hs.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, hs.Sum, name, hs.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, hs.Sum, name, labels, hs.Count)
+	}
+}
+
+// engineCounter rows shared by node and fleet rendering.
+type promRow struct {
+	name, help string
+	v          uint64
+}
+
+func engineRows(t FleetTotals) []promRow {
+	return []promRow{
+		{"newmad_submitted_total", "Packets submitted by the application.", t.Submitted},
+		{"newmad_submitted_bytes_total", "Payload bytes submitted.", t.SubmittedBytes},
+		{"newmad_delivered_total", "Packets delivered to receive handlers.", t.Delivered},
+		{"newmad_frames_posted_total", "Wire frames posted across all rails.", t.FramesPosted},
+		{"newmad_packets_sent_total", "Packets carried by posted frames.", t.PacketsSent},
+		{"newmad_aggregates_total", "Frames that carried more than one packet.", t.Aggregates},
+		{"newmad_idle_upcalls_total", "NIC-idle scheduler activations.", t.IdleUpcalls},
+		{"newmad_frames_reclaimed_total", "Frames handed back by failing rails.", t.FramesReclaimed},
+		{"newmad_failovers_total", "Frames re-posted on a live rail after reclaim.", t.Failovers},
+		{"newmad_rdv_retries_total", "Rendezvous RTS retries fired.", t.RdvRetries},
+		{"newmad_rail_downs_total", "Rail peer-down events.", t.RailDowns},
+	}
+}
+
+// WriteProm renders one node's snapshot in Prometheus text format.
+func WriteProm(w io.Writer, ns NodeSnapshot) {
+	m := &ns.Metrics
+	var t FleetTotals
+	t.add(m)
+	for _, r := range engineRows(t) {
+		promHead(w, r.name, "counter", r.help)
+		fmt.Fprintf(w, "%s %d\n", r.name, r.v)
+	}
+
+	promHead(w, "newmad_backlog", "gauge", "Packets waiting in the send backlog.")
+	fmt.Fprintf(w, "newmad_backlog %d\n", m.Backlog)
+	promHead(w, "newmad_failover_queued", "gauge", "Frames waiting for any rail to their peer.")
+	fmt.Fprintf(w, "newmad_failover_queued %d\n", m.FailoverQueued)
+
+	if len(m.RailFrames) > 0 {
+		promHead(w, "newmad_rail_frames_total", "counter", "Frames posted per rail.")
+		for i, v := range m.RailFrames {
+			fmt.Fprintf(w, "newmad_rail_frames_total{rail=\"%d\"} %d\n", i, v)
+		}
+	}
+
+	if len(ns.Spans) > 0 {
+		promHead(w, "newmad_span_ns", "histogram", "Packet lifecycle span latency in nanoseconds.")
+		for _, sp := range ns.Spans {
+			labels := fmt.Sprintf("span=%q,class=%q,rail=\"%d\"", sp.Span, sp.Class, sp.Rail)
+			promHist(w, "newmad_span_ns", labels, sp.HistStat)
+		}
+	}
+
+	writeSetProm(w, ns.Counters, ns.Gauges, ns.Hists)
+}
+
+// WriteFleetProm renders the fleet roll-up in Prometheus text format.
+func WriteFleetProm(w io.Writer, fs FleetSnapshot) {
+	for _, r := range engineRows(fs.Totals) {
+		promHead(w, r.name, "counter", r.help)
+		fmt.Fprintf(w, "%s %d\n", r.name, r.v)
+	}
+	promHead(w, "newmad_fleet_nodes", "gauge", "Engines registered in this fleet.")
+	fmt.Fprintf(w, "newmad_fleet_nodes %d\n", fs.Nodes)
+
+	if len(fs.Spans) > 0 {
+		promHead(w, "newmad_span_ns", "histogram", "Fleet-wide packet lifecycle span latency in nanoseconds.")
+		for _, sp := range fs.Spans {
+			labels := fmt.Sprintf("span=%q,class=%q,rail=\"%d\"", sp.Span, sp.Class, sp.Rail)
+			promHist(w, "newmad_span_ns", labels, sp.HistStat)
+		}
+	}
+	writeSetProm(w, fs.Counters, fs.Gauges, fs.Hists)
+}
+
+// writeSetProm renders a snapshot's stats.Set maps, one Prometheus
+// family per name.
+func writeSetProm(w io.Writer, ctrs map[string]uint64, gauges map[string]float64, hists map[string]HistStat) {
+	for _, n := range sortedKeys(ctrs) {
+		pn := "newmad_" + promName(n) + "_total"
+		promHead(w, pn, "counter", "Experiment counter "+n+".")
+		fmt.Fprintf(w, "%s %d\n", pn, ctrs[n])
+	}
+	for _, n := range sortedKeys(gauges) {
+		pn := "newmad_" + promName(n)
+		promHead(w, pn, "gauge", "Experiment gauge "+n+".")
+		fmt.Fprintf(w, "%s %g\n", pn, gauges[n])
+	}
+	for _, n := range sortedKeys(hists) {
+		pn := "newmad_" + promName(n)
+		promHead(w, pn, "histogram", "Experiment histogram "+n+".")
+		promHist(w, pn, "", hists[n])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,463 @@
+// Package telemetry is the observability surface over the optimizer
+// fleet: a Registry aggregates every engine's metrics snapshot, latency
+// spans and shared counter sets into uniform, JSON-able snapshots, rolls
+// a whole testnet up into one fleet view (per-role quantile merge via
+// stats.Histogram.Merge), and exposes it all over HTTP as Prometheus text
+// and JSON alongside net/http/pprof and expvar (http.go, prom.go).
+//
+// The division of labor with the datapath: engines observe into sharded
+// stats.Spans cells (internal/core) and never format anything; this
+// package does all naming, quantile math and serialization at scrape
+// time, outside the engine lock.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"newmad/internal/core"
+	"newmad/internal/packet"
+	"newmad/internal/stats"
+)
+
+// Schema identifies the snapshot JSON layout.
+const Schema = "newmad-telemetry/v1"
+
+// Source is one observed engine: the handle the Registry scrapes.
+type Source struct {
+	// Node is the engine's node ID (the registry key).
+	Node packet.NodeID
+	// Role is the topology role ("leader", "worker", ...); roles group
+	// the fleet roll-up. Empty is a valid role.
+	Role string
+	// Engine supplies Metrics and latency spans (required).
+	Engine *core.Engine
+	// Stats, when non-nil, contributes the node's counter/histogram/gauge
+	// set to its snapshot. Leave nil when the set is shared across nodes
+	// (the testnet's fleet-wide set) — register it once with
+	// SetFleetStats instead, or every node would re-report it.
+	Stats *stats.Set
+	// Extra, when non-nil, contributes additional counters (chaos fault
+	// totals, ledger accounting) to this node's snapshot at scrape time.
+	Extra func() map[string]uint64
+}
+
+// Registry aggregates sources into snapshots. Safe for concurrent use;
+// scraping never blocks an engine beyond its own metric mutexes.
+type Registry struct {
+	mu         sync.Mutex
+	sources    []Source
+	byNode     map[packet.NodeID]int
+	fleetStats *stats.Set
+	fleetExtra func() map[string]uint64
+	scratch    core.Metrics // serially reused under mu for roll-ups
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNode: make(map[packet.NodeID]int)}
+}
+
+// Register adds (or replaces) a source.
+func (r *Registry) Register(s Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byNode[s.Node]; ok {
+		r.sources[i] = s
+		return
+	}
+	r.byNode[s.Node] = len(r.sources)
+	r.sources = append(r.sources, s)
+}
+
+// SetFleetStats registers a counter set shared by the whole fleet (the
+// testnet's single stats.Set); it is reported once per fleet snapshot
+// instead of once per node.
+func (r *Registry) SetFleetStats(s *stats.Set) {
+	r.mu.Lock()
+	r.fleetStats = s
+	r.mu.Unlock()
+}
+
+// SetFleetExtra registers a fleet-level counter callback (ledger
+// accounting, chaos totals), reported in fleet snapshots.
+func (r *Registry) SetFleetExtra(fn func() map[string]uint64) {
+	r.mu.Lock()
+	r.fleetExtra = fn
+	r.mu.Unlock()
+}
+
+// Nodes returns the registered node IDs, ascending.
+func (r *Registry) Nodes() []packet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]packet.NodeID, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s.Node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *Registry) source(node packet.NodeID) (Source, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byNode[node]
+	if !ok {
+		return Source{}, false
+	}
+	return r.sources[i], true
+}
+
+// Bucket is one log2 histogram bucket in wire form: bucket 0 holds
+// [0,1), bucket idx>0 holds [2^(idx-1), 2^idx).
+type Bucket struct {
+	Idx int    `json:"idx"`
+	N   uint64 `json:"n"`
+}
+
+// HistStat is the JSON form of one histogram: the quantiles a human
+// reads plus the mergeable bucket counts a roll-up needs.
+type HistStat struct {
+	Count uint64   `json:"count"`
+	Sum   float64  `json:"sum"`
+	Min   float64  `json:"min"`
+	Max   float64  `json:"max"`
+	Mean  float64  `json:"mean"`
+	P50   float64  `json:"p50"`
+	P95   float64  `json:"p95"`
+	P99   float64  `json:"p99"`
+	Bkts  []Bucket `json:"buckets,omitempty"`
+}
+
+// HistStatOf summarizes h.
+func HistStatOf(h *stats.Histogram) HistStat {
+	hs := HistStat{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	b := h.Buckets()
+	if len(b) > 0 {
+		idxs := make([]int, 0, len(b))
+		for i := range b {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		hs.Bkts = make([]Bucket, 0, len(idxs))
+		for _, i := range idxs {
+			hs.Bkts = append(hs.Bkts, Bucket{Idx: i, N: b[i]})
+		}
+	}
+	return hs
+}
+
+// Histogram reconstructs a mergeable histogram from the wire form — the
+// client side (madmon, fleet roll-ups across JSON boundaries) merges
+// these with stats.Histogram.Merge for honest cross-node quantiles.
+func (hs HistStat) Histogram() *stats.Histogram {
+	b := make(map[int]uint64, len(hs.Bkts))
+	for _, bk := range hs.Bkts {
+		b[bk.Idx] = bk.N
+	}
+	return stats.FromBuckets(b, hs.Count, hs.Sum, hs.Min, hs.Max)
+}
+
+// SpanStat is one latency-span cell: which lifecycle leg, for which
+// traffic class, on which rail, with the distribution in nanoseconds.
+type SpanStat struct {
+	Span  string `json:"span"`
+	Class string `json:"class"`
+	Rail  int    `json:"rail"`
+	HistStat
+}
+
+// NodeSnapshot is one engine's uniform telemetry snapshot.
+type NodeSnapshot struct {
+	Schema   string              `json:"schema"`
+	Node     int32               `json:"node"`
+	Role     string              `json:"role,omitempty"`
+	NowNs    int64               `json:"now_ns"`
+	Metrics  core.Metrics        `json:"metrics"`
+	Spans    []SpanStat          `json:"spans,omitempty"`
+	Counters map[string]uint64   `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Hists    map[string]HistStat `json:"hists,omitempty"`
+}
+
+// spanStats renders an engine's span family.
+func spanStats(e *core.Engine) []SpanStat {
+	cells := e.Spans().Snapshot()
+	out := make([]SpanStat, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, SpanStat{
+			Span:     core.SpanKind(c.Kind).String(),
+			Class:    packet.ClassID(c.Class).String(),
+			Rail:     c.Rail,
+			HistStat: HistStatOf(c.Hist),
+		})
+	}
+	return out
+}
+
+// setStats renders a stats.Set into snapshot maps.
+func setStats(s *stats.Set) (ctrs map[string]uint64, gauges map[string]float64, hists map[string]HistStat) {
+	cn, hn, gn := s.Names()
+	if len(cn) > 0 {
+		ctrs = make(map[string]uint64, len(cn))
+		for _, n := range cn {
+			ctrs[n] = s.CounterValue(n)
+		}
+	}
+	if len(gn) > 0 {
+		gauges = make(map[string]float64, len(gn))
+		for _, n := range gn {
+			v, _ := s.Gauge(n)
+			gauges[n] = v
+		}
+	}
+	if len(hn) > 0 {
+		hists = make(map[string]HistStat, len(hn))
+		for _, n := range hn {
+			hists[n] = HistStatOf(s.Histogram(n))
+		}
+	}
+	return
+}
+
+// Snapshot scrapes one node.
+func (r *Registry) Snapshot(node packet.NodeID) (NodeSnapshot, bool) {
+	s, ok := r.source(node)
+	if !ok {
+		return NodeSnapshot{}, false
+	}
+	return snapshotSource(s), true
+}
+
+func snapshotSource(s Source) NodeSnapshot {
+	ns := NodeSnapshot{
+		Schema:  Schema,
+		Node:    int32(s.Node),
+		Role:    s.Role,
+		Metrics: s.Engine.Metrics(),
+		Spans:   spanStats(s.Engine),
+	}
+	ns.NowNs = int64(ns.Metrics.Now)
+	if s.Stats != nil {
+		ns.Counters, ns.Gauges, ns.Hists = setStats(s.Stats)
+	}
+	if s.Extra != nil {
+		if ns.Counters == nil {
+			ns.Counters = make(map[string]uint64)
+		}
+		for k, v := range s.Extra() {
+			ns.Counters[k] = v
+		}
+	}
+	return ns
+}
+
+// SnapshotAll scrapes every node, ascending by node ID.
+func (r *Registry) SnapshotAll() []NodeSnapshot {
+	r.mu.Lock()
+	srcs := append([]Source(nil), r.sources...)
+	r.mu.Unlock()
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Node < srcs[j].Node })
+	out := make([]NodeSnapshot, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, snapshotSource(s))
+	}
+	return out
+}
+
+// FleetTotals is the fleet's (or one role's) summed engine activity.
+type FleetTotals struct {
+	Submitted       uint64 `json:"submitted"`
+	SubmittedBytes  uint64 `json:"submitted_bytes"`
+	Delivered       uint64 `json:"delivered"`
+	FramesPosted    uint64 `json:"frames_posted"`
+	PacketsSent     uint64 `json:"packets_sent"`
+	Aggregates      uint64 `json:"aggregates"`
+	IdleUpcalls     uint64 `json:"idle_upcalls"`
+	Backlog         int    `json:"backlog"`
+	FailoverQueued  int    `json:"failover_queued"`
+	FramesReclaimed uint64 `json:"frames_reclaimed"`
+	Failovers       uint64 `json:"failovers"`
+	RdvRetries      uint64 `json:"rdv_retries"`
+	RailDowns       uint64 `json:"rail_downs"`
+}
+
+func (t *FleetTotals) add(m *core.Metrics) {
+	t.Submitted += m.Submitted
+	t.SubmittedBytes += m.SubmittedBytes
+	t.Delivered += m.Delivered
+	t.FramesPosted += m.FramesPosted
+	t.PacketsSent += m.PacketsSent
+	t.Aggregates += m.Aggregates
+	t.IdleUpcalls += m.IdleUpcalls
+	t.Backlog += m.Backlog
+	t.FailoverQueued += m.FailoverQueued
+	t.FramesReclaimed += m.FramesReclaimed
+	t.Failovers += m.Failovers
+	t.RdvRetries += m.RdvRetries
+	for _, d := range m.RailDowns {
+		t.RailDowns += d
+	}
+}
+
+// RoleRollup is one role's merged view: summed totals plus per-span
+// histograms merged across the role's nodes (class and rail collapsed,
+// so a 1000-node role stays a handful of entries).
+type RoleRollup struct {
+	Role   string      `json:"role"`
+	Nodes  int         `json:"nodes"`
+	Totals FleetTotals `json:"totals"`
+	Spans  []SpanStat  `json:"spans,omitempty"`
+}
+
+// FleetSnapshot is the whole registry rolled into one document: fleet
+// totals, fleet-wide span cells (merged across nodes, keyed by
+// span/class/rail), per-role roll-ups, and the shared counter set.
+type FleetSnapshot struct {
+	Schema   string              `json:"schema"`
+	NowNs    int64               `json:"now_ns"`
+	Nodes    int                 `json:"nodes"`
+	Totals   FleetTotals         `json:"totals"`
+	Spans    []SpanStat          `json:"spans,omitempty"`
+	Roles    []RoleRollup        `json:"roles,omitempty"`
+	Counters map[string]uint64   `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Hists    map[string]HistStat `json:"hists,omitempty"`
+}
+
+// spanCellKey keys the fleet-wide merge.
+type spanCellKey struct {
+	kind, class, rail int
+}
+
+// Fleet rolls every registered engine into one snapshot. Histograms
+// merge via stats.Histogram.Merge — counts and buckets are exact, and
+// quantiles of the merged distribution come from merged reservoirs (or
+// bucket interpolation beyond reservoir capacity), not from averaging
+// per-node quantiles.
+func (r *Registry) Fleet() FleetSnapshot {
+	r.mu.Lock()
+	srcs := append([]Source(nil), r.sources...)
+	fleetStats := r.fleetStats
+	fleetExtra := r.fleetExtra
+	r.mu.Unlock()
+
+	fs := FleetSnapshot{Schema: Schema, Nodes: len(srcs)}
+	cells := make(map[spanCellKey]*stats.Histogram)
+	type roleAcc struct {
+		nodes  int
+		totals FleetTotals
+		spans  []*stats.Histogram // per span kind
+	}
+	roles := make(map[string]*roleAcc)
+
+	var m core.Metrics
+	for _, s := range srcs {
+		s.Engine.MetricsInto(&m)
+		if int64(m.Now) > fs.NowNs {
+			fs.NowNs = int64(m.Now)
+		}
+		fs.Totals.add(&m)
+		ra := roles[s.Role]
+		if ra == nil {
+			ra = &roleAcc{spans: make([]*stats.Histogram, int(core.NumSpanKinds))}
+			for i := range ra.spans {
+				ra.spans[i] = &stats.Histogram{}
+			}
+			roles[s.Role] = ra
+		}
+		ra.nodes++
+		ra.totals.add(&m)
+		for _, c := range s.Engine.Spans().Snapshot() {
+			key := spanCellKey{c.Kind, c.Class, c.Rail}
+			if cells[key] == nil {
+				cells[key] = &stats.Histogram{}
+			}
+			cells[key].Merge(c.Hist)
+			if c.Kind < len(ra.spans) {
+				ra.spans[c.Kind].Merge(c.Hist)
+			}
+		}
+	}
+
+	keys := make([]spanCellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		return a.rail < b.rail
+	})
+	for _, k := range keys {
+		fs.Spans = append(fs.Spans, SpanStat{
+			Span:     core.SpanKind(k.kind).String(),
+			Class:    packet.ClassID(k.class).String(),
+			Rail:     k.rail,
+			HistStat: HistStatOf(cells[k]),
+		})
+	}
+
+	roleNames := make([]string, 0, len(roles))
+	for n := range roles {
+		roleNames = append(roleNames, n)
+	}
+	sort.Strings(roleNames)
+	for _, n := range roleNames {
+		ra := roles[n]
+		rr := RoleRollup{Role: n, Nodes: ra.nodes, Totals: ra.totals}
+		for k, h := range ra.spans {
+			if h.Count() == 0 {
+				continue
+			}
+			rr.Spans = append(rr.Spans, SpanStat{
+				Span:     core.SpanKind(k).String(),
+				Class:    "all",
+				Rail:     -1,
+				HistStat: HistStatOf(h),
+			})
+		}
+		fs.Roles = append(fs.Roles, rr)
+	}
+
+	if fleetStats != nil {
+		fs.Counters, fs.Gauges, fs.Hists = setStats(fleetStats)
+	}
+	if fleetExtra != nil {
+		if fs.Counters == nil {
+			fs.Counters = make(map[string]uint64)
+		}
+		for k, v := range fleetExtra() {
+			fs.Counters[k] = v
+		}
+	}
+	return fs
+}
+
+// SpanTotal returns the fleet snapshot's merged histogram for one span
+// kind across every class and rail — convenience for assertions like
+// "the fleet observed deliveries".
+func (fs *FleetSnapshot) SpanTotal(span string) *stats.Histogram {
+	out := &stats.Histogram{}
+	for _, s := range fs.Spans {
+		if s.Span == span {
+			out.Merge(s.Histogram())
+		}
+	}
+	return out
+}

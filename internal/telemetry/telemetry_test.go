@@ -1,0 +1,278 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"newmad/internal/exp"
+	"newmad/internal/packet"
+	"newmad/internal/stats"
+	"newmad/internal/telemetry"
+)
+
+// rig builds a small cluster, pushes msgs packets from every node to its
+// successor, runs it dry and returns a populated registry.
+func rig(t *testing.T, nodes, msgs int) (*exp.Rig, *telemetry.Registry) {
+	t.Helper()
+	r, err := exp.NewRig(exp.RigOptions{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nodes; n++ {
+		src := packet.NodeID(n)
+		dst := packet.NodeID((n + 1) % nodes)
+		for q := 0; q < msgs; q++ {
+			p := &packet.Packet{
+				Flow: packet.FlowID(n + 1), Msg: packet.MsgID(q), Seq: q, Last: true,
+				Src: src, Dst: dst, Class: packet.ClassSmall,
+				Payload: make([]byte, 128),
+			}
+			if err := r.Engines[src].Submit(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.Cl.Eng.Run()
+
+	reg := telemetry.NewRegistry()
+	for n := 0; n < nodes; n++ {
+		role := "worker"
+		if n == 0 {
+			role = "leader"
+		}
+		reg.Register(telemetry.Source{
+			Node:   packet.NodeID(n),
+			Role:   role,
+			Engine: r.Engines[packet.NodeID(n)],
+		})
+	}
+	reg.SetFleetStats(r.Cl.Stats)
+	return r, reg
+}
+
+func TestNodeSnapshot(t *testing.T) {
+	r, reg := rig(t, 3, 16)
+	ns, ok := reg.Snapshot(0)
+	if !ok {
+		t.Fatal("node 0 not registered")
+	}
+	if ns.Schema != telemetry.Schema || ns.Node != 0 || ns.Role != "leader" {
+		t.Fatalf("snapshot header wrong: %+v", ns)
+	}
+	if ns.Metrics.Submitted != 16 {
+		t.Fatalf("submitted = %d, want 16", ns.Metrics.Submitted)
+	}
+	var qw, e2e uint64
+	for _, sp := range ns.Spans {
+		switch sp.Span {
+		case "queue_wait":
+			qw += sp.Count
+		case "e2e":
+			e2e += sp.Count
+		}
+		if sp.Class == "" {
+			t.Fatalf("span %q missing class name", sp.Span)
+		}
+	}
+	if qw != 16 {
+		t.Fatalf("queue-wait samples = %d, want 16", qw)
+	}
+	if e2e != 16 { // node 0 receives node 2's 16 packets
+		t.Fatalf("e2e samples = %d, want 16", e2e)
+	}
+	if _, ok := reg.Snapshot(99); ok {
+		t.Fatal("snapshot of unknown node succeeded")
+	}
+	_ = r
+}
+
+func TestFleetRollup(t *testing.T) {
+	r, reg := rig(t, 4, 8)
+	fs := reg.Fleet()
+	if fs.Nodes != 4 {
+		t.Fatalf("fleet nodes = %d", fs.Nodes)
+	}
+	if fs.Totals.Submitted != 32 || fs.Totals.Delivered != 32 {
+		t.Fatalf("fleet totals: %+v", fs.Totals)
+	}
+	if fs.SpanTotal("e2e").Count() != 32 {
+		t.Fatalf("fleet e2e count = %d, want 32", fs.SpanTotal("e2e").Count())
+	}
+	if fs.SpanTotal("e2e").Quantile(0.99) <= 0 {
+		t.Fatal("fleet e2e p99 is zero")
+	}
+
+	// Role roll-up: 1 leader + 3 workers, every node saw 8 deliveries.
+	if len(fs.Roles) != 2 {
+		t.Fatalf("roles = %d, want 2", len(fs.Roles))
+	}
+	byRole := map[string]telemetry.RoleRollup{}
+	for _, rr := range fs.Roles {
+		byRole[rr.Role] = rr
+	}
+	if byRole["leader"].Nodes != 1 || byRole["worker"].Nodes != 3 {
+		t.Fatalf("role node counts: %+v", byRole)
+	}
+	if byRole["worker"].Totals.Delivered != 24 {
+		t.Fatalf("worker deliveries = %d, want 24", byRole["worker"].Totals.Delivered)
+	}
+	var workerE2E uint64
+	for _, sp := range byRole["worker"].Spans {
+		if sp.Span == "e2e" {
+			workerE2E = sp.Count
+		}
+	}
+	if workerE2E != 24 {
+		t.Fatalf("worker merged e2e count = %d, want 24", workerE2E)
+	}
+
+	// The shared cluster stats set rides along once, at fleet level.
+	if len(fs.Hists) == 0 && len(fs.Counters) == 0 {
+		t.Log("cluster stats set empty (acceptable), counters:", fs.Counters)
+	}
+
+	// JSON round-trip: the wire form reconstructs mergeable histograms.
+	raw, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back telemetry.FleetSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.SpanTotal("e2e").Count(); got != 32 {
+		t.Fatalf("round-tripped e2e count = %d, want 32", got)
+	}
+	_ = r
+}
+
+func TestHistStatRoundTrip(t *testing.T) {
+	h := &stats.Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	hs := telemetry.HistStatOf(h)
+	if hs.Count != 1000 || hs.P50 <= 0 || hs.P99 < hs.P50 {
+		t.Fatalf("bad summary: %+v", hs)
+	}
+	back := hs.Histogram()
+	if back.Count() != 1000 || back.Sum() != h.Sum() {
+		t.Fatalf("reconstruction lost mass: count=%d sum=%g", back.Count(), back.Sum())
+	}
+	// Bucket-level reconstruction keeps quantiles within a 2x band.
+	q, want := back.Quantile(0.5), h.Quantile(0.5)
+	if q < want/2 || q > want*2 {
+		t.Fatalf("round-trip p50 %g vs %g", q, want)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	_, reg := rig(t, 2, 8)
+	ns, _ := reg.Snapshot(1)
+	var b strings.Builder
+	telemetry.WriteProm(&b, ns)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE newmad_submitted_total counter",
+		"newmad_submitted_total 8",
+		"# TYPE newmad_span_ns histogram",
+		`newmad_span_ns_bucket{span="e2e",class="small",rail="0",le="+Inf"} 8`,
+		"# TYPE newmad_backlog gauge",
+		"newmad_backlog 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Cumulative bucket counts never decrease and end at _count.
+	var prev uint64
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, `newmad_span_ns_bucket{span="e2e"`) {
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(ln[strings.LastIndex(ln, "} ")+2:], "%d", &n); err != nil {
+			t.Fatalf("unparseable sample %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", ln)
+		}
+		prev = n
+	}
+	if prev != 8 {
+		t.Fatalf("final cumulative bucket = %d, want 8", prev)
+	}
+
+	var fb strings.Builder
+	telemetry.WriteFleetProm(&fb, reg.Fleet())
+	if !strings.Contains(fb.String(), "newmad_fleet_nodes 2") {
+		t.Fatalf("fleet prom missing node gauge:\n%s", fb.String())
+	}
+}
+
+func TestHTTPServer(t *testing.T) {
+	_, reg := rig(t, 2, 4)
+	srv := telemetry.NewServer(reg, 0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "newmad_span_ns_bucket") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get("/metrics?node=1"); code != 200 || !strings.Contains(body, "newmad_delivered_total 4") {
+		t.Fatalf("/metrics?node=1: %d\n%s", code, body)
+	}
+	if code, _ := get("/metrics?node=7"); code != 404 {
+		t.Fatalf("/metrics?node=7 returned %d, want 404", code)
+	}
+
+	code, body := get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var ns telemetry.NodeSnapshot
+	if err := json.Unmarshal([]byte(body), &ns); err != nil {
+		t.Fatalf("/metrics.json not a NodeSnapshot: %v", err)
+	}
+	if ns.Schema != telemetry.Schema || ns.Metrics.Submitted != 4 {
+		t.Fatalf("unexpected snapshot: %+v", ns)
+	}
+
+	code, body = get("/fleet.json")
+	if code != 200 {
+		t.Fatalf("/fleet.json: %d", code)
+	}
+	var fs telemetry.FleetSnapshot
+	if err := json.Unmarshal([]byte(body), &fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Nodes != 2 || fs.SpanTotal("e2e").Count() != 8 {
+		t.Fatalf("fleet over HTTP: nodes=%d e2e=%d", fs.Nodes, fs.SpanTotal("e2e").Count())
+	}
+
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+}

@@ -53,6 +53,10 @@ type Manifest struct {
 	MaxEvents uint64 `json:"max_events"`
 	// Engine tunes every node's optimizer.
 	Engine EngineTuning `json:"engine"`
+	// Telemetry tunes the run's observability sweep: periodic fleet
+	// snapshots on the virtual clock, per-node flight-recorder rings and
+	// the dump-on-anomaly spool.
+	Telemetry TelemetryClause `json:"telemetry"`
 	// Roles partition the nodes. Node IDs are assigned to roles sorted by
 	// role name, in contiguous blocks, so membership is independent of the
 	// order roles appear in the file.
@@ -79,6 +83,26 @@ type EngineTuning struct {
 	RdvRetryUS int `json:"rdv_retry_us"`
 	// RdvRetryMax bounds retries per rendezvous (0 = engine default).
 	RdvRetryMax int `json:"rdv_retry_max"`
+}
+
+// TelemetryClause tunes a run's observability. The zero value keeps the
+// always-on minimum: engines still stamp latency spans (that is free and
+// unconditional), the registry still rolls the fleet up once at the end
+// of Run, but no periodic sweep, no flight recorders, no spool.
+type TelemetryClause struct {
+	// SnapshotMS takes a fleet snapshot every that many virtual
+	// milliseconds while the run is active (0 = final snapshot only).
+	// Snapshots accumulate on Net.Snapshots.
+	SnapshotMS int `json:"snapshot_ms"`
+	// TraceRing attaches a flight-recorder ring of this capacity to every
+	// node (0 = none). Required (defaulted to 256) when SpoolDir is set.
+	TraceRing int `json:"trace_ring"`
+	// SpoolDir, when non-empty, receives a flight-recorder dump — the
+	// last SpoolLastN trace events of every involved node — whenever Run
+	// detects an anomaly (lost, duplicated or misrouted delivery).
+	SpoolDir string `json:"spool_dir"`
+	// SpoolLastN bounds the events dumped per node (default 256).
+	SpoolLastN int `json:"spool_last_n"`
 }
 
 // Role is one class of nodes.
@@ -199,6 +223,14 @@ func (m *Manifest) applyDefaults() {
 			m.Roles[i].Profile = "tcp"
 		}
 	}
+	if m.Telemetry.SpoolDir != "" {
+		if m.Telemetry.TraceRing == 0 {
+			m.Telemetry.TraceRing = 256
+		}
+		if m.Telemetry.SpoolLastN == 0 {
+			m.Telemetry.SpoolLastN = 256
+		}
+	}
 }
 
 // Validate checks the manifest's internal consistency. It resolves every
@@ -216,6 +248,9 @@ func (m *Manifest) Validate() error {
 	}
 	if len(m.Roles) == 0 {
 		return fmt.Errorf("testnet: no roles")
+	}
+	if m.Telemetry.SnapshotMS < 0 || m.Telemetry.TraceRing < 0 || m.Telemetry.SpoolLastN < 0 {
+		return fmt.Errorf("testnet: negative telemetry tuning %+v", m.Telemetry)
 	}
 	if _, err := strategy.New(m.Engine.Bundle); err != nil {
 		return fmt.Errorf("testnet: %w", err)
@@ -412,4 +447,3 @@ func parseChaosOp(s string) (chaos.Op, error) {
 	}
 	return 0, fmt.Errorf("unknown chaos op %q (heals are implied by for_ms)", s)
 }
-

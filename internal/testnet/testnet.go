@@ -15,6 +15,8 @@ import (
 	"newmad/internal/simnet"
 	"newmad/internal/stats"
 	"newmad/internal/strategy"
+	"newmad/internal/telemetry"
+	"newmad/internal/trace"
 	"newmad/internal/workload"
 )
 
@@ -32,13 +34,22 @@ type Net struct {
 	// execution. Two same-seed runs must produce traces with an empty Diff.
 	Script chaos.Script
 	Trace  *chaos.Trace
+	// Registry aggregates every live engine; Snapshots accumulates the
+	// periodic fleet roll-ups (manifest telemetry.snapshot_ms) plus the
+	// final one Run always takes.
+	Registry  *telemetry.Registry
+	Snapshots []telemetry.FleetSnapshot
 
 	flows     []workload.FlowSpec
 	submitted int
 	refused   map[flowKey]bool
 	delivered map[flowKey]int
 	misrouted int
-	ctrlDrops uint64
+	// misroutedAt remembers which nodes saw misrouted deliveries, for the
+	// anomaly spool's "involved nodes" set.
+	misroutedAt map[int]bool
+	ctrlDrops   uint64
+	recorders   map[int]*trace.Recorder
 }
 
 // Node is one emulated network member.
@@ -66,13 +77,16 @@ func Build(m *Manifest) (*Net, error) {
 		return nil, err
 	}
 	n := &Net{
-		M:         m,
-		Eng:       simnet.NewEngine(),
-		Stats:     &stats.Set{},
-		Groups:    m.Groups(),
-		Trace:     &chaos.Trace{},
-		refused:   make(map[flowKey]bool),
-		delivered: make(map[flowKey]int),
+		M:           m,
+		Eng:         simnet.NewEngine(),
+		Stats:       &stats.Set{},
+		Groups:      m.Groups(),
+		Trace:       &chaos.Trace{},
+		Registry:    telemetry.NewRegistry(),
+		refused:     make(map[flowKey]bool),
+		delivered:   make(map[flowKey]int),
+		misroutedAt: make(map[int]bool),
+		recorders:   make(map[int]*trace.Recorder),
 	}
 	// Every stochastic decision forks off this one generator by key, so a
 	// stream's identity — not the order anything was built in — determines
@@ -132,6 +146,11 @@ func Build(m *Manifest) (*Net, error) {
 				bundle.Rail = strategy.NewScheduledRail(sorted)
 			}
 			nodeID := node.ID
+			var rec *trace.Recorder
+			if m.Telemetry.TraceRing > 0 {
+				rec = trace.New(m.Telemetry.TraceRing)
+				n.recorders[id] = rec
+			}
 			eng, err := core.New(nodeID, core.Options{
 				Bundle:       bundle,
 				Runtime:      n.Eng,
@@ -143,13 +162,26 @@ func Build(m *Manifest) (*Net, error) {
 				RdvRetry:     simnet.Duration(m.Engine.RdvRetryUS) * simnet.Microsecond,
 				RdvRetryMax:  m.Engine.RdvRetryMax,
 				Stats:        n.Stats,
+				Trace:        rec,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("testnet: node %d: %w", id, err)
 			}
 			node.Engine = eng
 			n.Nodes[id] = node
+			// The stats set is fleet-shared (registered once below), so
+			// per-node sources carry only the engine's private surface.
+			n.Registry.Register(telemetry.Source{
+				Node:   nodeID,
+				Role:   role.Name,
+				Engine: eng,
+			})
 		}
+	}
+	n.Registry.SetFleetStats(n.Stats)
+
+	if m.Telemetry.SnapshotMS > 0 {
+		n.scheduleSnapshots(simnet.Duration(m.Telemetry.SnapshotMS) * simnet.Millisecond)
 	}
 
 	if err := n.scheduleWorkload(base); err != nil {
@@ -205,6 +237,22 @@ func (n *Net) scheduleWorkload(base *simnet.RNG) error {
 		nextFlow += packet.FlowID(len(flows))
 	}
 	return nil
+}
+
+// scheduleSnapshots plants a self-rescheduling fleet sweep on the virtual
+// clock. The tick re-arms itself only while other events remain pending —
+// Pending() excludes the executing tick — so the sweep follows the run's
+// activity without keeping the heap alive forever (the drain contract of
+// Run would otherwise never hold).
+func (n *Net) scheduleSnapshots(every simnet.Duration) {
+	var tick func()
+	tick = func() {
+		n.Snapshots = append(n.Snapshots, n.Registry.Fleet())
+		if n.Eng.Pending() > 0 {
+			n.Eng.After(every, "testnet.snapshot", tick)
+		}
+	}
+	n.Eng.After(every, "testnet.snapshot", tick)
 }
 
 // scheduleChaos resolves the group script against the topology and plants
@@ -278,6 +326,7 @@ func (n *Net) flushPair(a, b int) {
 func (n *Net) record(node packet.NodeID, d proto.Deliverable) {
 	if d.Pkt.Dst != node {
 		n.misrouted++
+		n.misroutedAt[int(node)] = true
 		return
 	}
 	n.delivered[flowKey{d.Pkt.Flow, d.Pkt.Seq}]++
@@ -310,6 +359,11 @@ type Result struct {
 	Events  uint64
 	End     simnet.Time
 	Drained bool
+	// SpoolDir is where the anomaly dump landed (empty when the run was
+	// clean or no spool was configured). Result stays comparable (the
+	// seed-replay battery compares whole values), so the fleet telemetry
+	// roll-up lives on Net.Snapshots / Net.Fleet, not here.
+	SpoolDir string
 }
 
 // String renders a one-line summary.
@@ -334,6 +388,8 @@ func (n *Net) Run() *Result {
 		End:         n.Eng.Now(),
 		Drained:     drained,
 	}
+	// involved collects the endpoints of anomalous flows for the spool.
+	involved := make(map[int]bool)
 	for _, f := range n.flows {
 		srcCrashed := n.Nodes[f.Src].crashed
 		dstCrashed := n.Nodes[f.Dst].crashed
@@ -348,12 +404,44 @@ func (n *Net) Run() *Result {
 				res.CrashLost++
 			case cnt == 0:
 				res.Lost++
+				involved[int(f.Src)] = true
+				involved[int(f.Dst)] = true
 			default:
-				res.Duplicates += cnt - 1
+				if cnt > 1 {
+					res.Duplicates += cnt - 1
+					involved[int(f.Src)] = true
+					involved[int(f.Dst)] = true
+				}
 			}
 		}
 	}
+	n.Snapshots = append(n.Snapshots, n.Registry.Fleet())
+
+	if t := n.M.Telemetry; t.SpoolDir != "" && (res.Lost > 0 || res.Duplicates > 0 || res.Misrouted > 0) {
+		for id := range n.misroutedAt {
+			involved[id] = true
+		}
+		dump := make(map[int]*trace.Recorder, len(involved))
+		for id := range involved {
+			if r := n.recorders[id]; r != nil {
+				dump[id] = r
+			}
+		}
+		reason := fmt.Sprintf("lost%d-dup%d-misrouted%d", res.Lost, res.Duplicates, res.Misrouted)
+		if dir, err := trace.DumpAnomaly(t.SpoolDir, reason, dump, t.SpoolLastN); err == nil {
+			res.SpoolDir = dir
+		}
+	}
 	return res
+}
+
+// Fleet returns the latest fleet telemetry roll-up — the final one after
+// Run, or a live roll-up mid-run when no snapshot has been taken yet.
+func (n *Net) Fleet() telemetry.FleetSnapshot {
+	if len(n.Snapshots) > 0 {
+		return n.Snapshots[len(n.Snapshots)-1]
+	}
+	return n.Registry.Fleet()
 }
 
 // Close shuts down every engine (idempotent; crashed nodes are already

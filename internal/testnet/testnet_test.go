@@ -1,6 +1,7 @@
 package testnet
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ var (
 	flagDrop  = flag.Float64("testnet.drop", 10, "control-frame drop percentage for the battery")
 	flagSeed  = flag.Uint64("testnet.seed", 42, "seed for the battery manifests")
 	flagTrace = flag.String("testnet.trace", "", "write the executed chaos trace to this file (CI failure artifact)")
+	flagFleet = flag.String("testnet.fleet", "", "write the battery's final fleet telemetry roll-up (JSON) to this file (CI artifact)")
 )
 
 func batteryNodes() int {
@@ -158,11 +160,24 @@ func TestTestnet_ExactlyOnceUnderDrop(t *testing.T) {
 	nodes, drop, seed := batteryNodes(), *flagDrop, *flagSeed
 	replayHint(t, nodes, drop, seed)
 	m := batteryManifest(nodes, drop, seed)
-	_, res := mustRun(t, m)
+	n, res := mustRun(t, m)
 	t.Logf("%v", res)
 	assertExactlyOnce(t, res)
 	if drop > 0 && res.CtrlDropped == 0 {
 		t.Errorf("drop_pct=%v injected no control-frame faults", drop)
+	}
+	fleet := n.Fleet()
+	if fleet.SpanTotal("e2e").Count() == 0 {
+		t.Error("battery fleet roll-up has an empty delivery-latency histogram")
+	}
+	if *flagFleet != "" {
+		data, err := json.MarshalIndent(fleet, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(*flagFleet, data, 0o644); err != nil {
+			t.Fatalf("writing fleet artifact: %v", err)
+		}
 	}
 }
 

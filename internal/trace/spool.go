@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The flight-recorder spool: the in-memory ring keeps the last capacity
+// events, the spool persists them as JSONL so a post-mortem survives the
+// process. Two sinks share the format:
+//
+//   - Spool streams every recorded event to a bounded, rotating file pair
+//     (attach one to a Recorder via OnRecord for an always-on disk tail);
+//   - DumpAnomaly writes the current ring contents of a set of recorders
+//     in one shot — the "something just went wrong, freeze the evidence"
+//     path used by the testnet ledger and the chaos soaks.
+
+// spoolRecord is the stable JSONL schema of one event. Kind travels as
+// its mnemonic so dumps grep well; the numeric fields are the Event's,
+// widened to fixed-size integers.
+type spoolRecord struct {
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+	Node int32  `json:"node"`
+	Flow int32  `json:"flow,omitempty"`
+	Seq  int    `json:"seq,omitempty"`
+	A    int    `json:"a,omitempty"`
+	B    int    `json:"b,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+func recordOf(e Event) spoolRecord {
+	return spoolRecord{
+		At:   int64(e.At),
+		Kind: e.Kind.String(),
+		Node: int32(e.Node),
+		Flow: int32(e.Flow),
+		Seq:  e.Seq,
+		A:    e.A,
+		B:    e.B,
+		Note: e.Note,
+	}
+}
+
+// Spool is a bounded, rotating JSONL event sink. It keeps at most two
+// generations on disk — <name>.jsonl (current) and <name>.1.jsonl
+// (previous) — rotating when the current file passes maxBytes, so the
+// disk footprint is bounded by ~2×maxBytes regardless of run length.
+// Write is safe for concurrent use.
+type Spool struct {
+	mu      sync.Mutex
+	path    string // current file
+	prev    string // rotated-out file
+	max     int64
+	f       *os.File
+	written int64
+	dropped uint64
+}
+
+// DefaultSpoolBytes bounds one spool generation when NewSpool is given a
+// non-positive limit.
+const DefaultSpoolBytes = 4 << 20
+
+// NewSpool creates (or truncates) dir/<name>.jsonl and returns the sink.
+// maxBytes ≤ 0 uses DefaultSpoolBytes.
+func NewSpool(dir, name string, maxBytes int64) (*Spool, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSpoolBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: spool dir: %w", err)
+	}
+	path := filepath.Join(dir, name+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: spool: %w", err)
+	}
+	return &Spool{
+		path: path,
+		prev: filepath.Join(dir, name+".1.jsonl"),
+		max:  maxBytes,
+		f:    f,
+	}, nil
+}
+
+// Write appends one event. Errors are absorbed into a drop counter — the
+// spool rides the datapath's OnRecord tap, which must never propagate a
+// disk failure into the engine.
+func (s *Spool) Write(e Event) {
+	if s == nil {
+		return
+	}
+	buf, err := json.Marshal(recordOf(e))
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		s.dropped++
+		return
+	}
+	if s.written+int64(len(buf)) > s.max {
+		if err := s.rotateLocked(); err != nil {
+			s.dropped++
+			return
+		}
+	}
+	n, err := s.f.Write(buf)
+	s.written += int64(n)
+	if err != nil {
+		s.dropped++
+	}
+}
+
+// rotateLocked moves the current generation to .1 and starts a fresh one.
+func (s *Spool) rotateLocked() error {
+	s.f.Close()
+	s.f = nil
+	if err := os.Rename(s.path, s.prev); err != nil {
+		return err
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.written = 0
+	return nil
+}
+
+// Attach installs the spool as r's OnRecord tap. One spool per recorder:
+// this replaces any previous tap.
+func (s *Spool) Attach(r *Recorder) { r.OnRecord(s.Write) }
+
+// Dropped returns how many events failed to reach disk.
+func (s *Spool) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Path returns the current generation's file path.
+func (s *Spool) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Close flushes and closes the current generation.
+func (s *Spool) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// DumpAnomaly freezes the evidence after a correctness anomaly (a lost,
+// duplicated or misrouted packet): for each involved node it writes the
+// last lastN ring events of that node's recorder as JSONL under a fresh
+// directory dir/<reason>-XXXX/node-<id>.jsonl, and returns the directory.
+// lastN ≤ 0 dumps each full ring. Nodes with a nil recorder are skipped.
+// The directory name is uniqued by os.MkdirTemp, so repeated anomalies in
+// one run never overwrite each other.
+func DumpAnomaly(dir, reason string, nodes map[int]*Recorder, lastN int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("trace: anomaly dir: %w", err)
+	}
+	out, err := os.MkdirTemp(dir, sanitize(reason)+"-")
+	if err != nil {
+		return "", fmt.Errorf("trace: anomaly dir: %w", err)
+	}
+	for id, r := range nodes {
+		if r == nil {
+			continue
+		}
+		evs := r.Events()
+		if lastN > 0 && len(evs) > lastN {
+			evs = evs[len(evs)-lastN:]
+		}
+		var buf []byte
+		for _, e := range evs {
+			line, err := json.Marshal(recordOf(e))
+			if err != nil {
+				continue
+			}
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
+		}
+		name := filepath.Join(out, fmt.Sprintf("node-%d.jsonl", id))
+		if err := os.WriteFile(name, buf, 0o644); err != nil {
+			return out, fmt.Errorf("trace: anomaly dump %s: %w", name, err)
+		}
+	}
+	return out, nil
+}
+
+// sanitize keeps the reason filesystem-safe.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "anomaly"
+	}
+	return string(out)
+}

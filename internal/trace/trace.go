@@ -175,16 +175,32 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Filter returns retained events of the given kinds (all when empty),
-// oldest-first.
-func (r *Recorder) Filter(kinds ...Kind) []Event {
-	want := map[Kind]bool{}
+// KindMask is a set of event kinds packed into one word (kindMax ≤ 64).
+type KindMask uint64
+
+// MaskOf builds the mask selecting exactly the given kinds.
+func MaskOf(kinds ...Kind) KindMask {
+	var m KindMask
 	for _, k := range kinds {
-		want[k] = true
+		if k < kindMax {
+			m |= 1 << k
+		}
 	}
+	return m
+}
+
+// Has reports whether the mask selects k.
+func (m KindMask) Has(k Kind) bool { return m&(1<<k) != 0 }
+
+// Filter returns retained events of the given kinds (all when empty),
+// oldest-first. The kind set is a bitmask, not a map: Filter runs inside
+// assertion loops over large testnet traces, where a per-call map
+// allocation is pure overhead.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	want := MaskOf(kinds...)
 	var out []Event
 	for _, e := range r.Events() {
-		if len(want) == 0 || want[e.Kind] {
+		if want == 0 || want.Has(e.Kind) {
 			out = append(out, e)
 		}
 	}

@@ -112,6 +112,105 @@ func TestDumpAndStrings(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundOrdering pins Events' oldest-first contract at every
+// phase of ring occupancy: partially filled, exactly full, and mid-wrap at
+// several offsets — the reconstruction indexes by next%cap, which is easy
+// to get off by one.
+func TestRingWraparoundOrdering(t *testing.T) {
+	const capacity = 16
+	for _, total := range []int{1, capacity - 1, capacity, capacity + 1, capacity + 7, 3 * capacity, 3*capacity + 5} {
+		r := New(capacity)
+		for i := 0; i < total; i++ {
+			r.Record(Event{Seq: i})
+		}
+		evs := r.Events()
+		wantLen := total
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("total=%d: len=%d, want %d", total, len(evs), wantLen)
+		}
+		first := total - wantLen
+		for i, e := range evs {
+			if e.Seq != first+i {
+				t.Fatalf("total=%d: events[%d].Seq=%d, want %d (window %v)", total, i, e.Seq, first+i, evs)
+			}
+		}
+	}
+}
+
+func TestKindMask(t *testing.T) {
+	m := MaskOf(KindPlan, KindPost)
+	if !m.Has(KindPlan) || !m.Has(KindPost) || m.Has(KindSubmit) {
+		t.Fatalf("mask = %b", m)
+	}
+	if MaskOf() != 0 {
+		t.Fatal("empty mask not zero")
+	}
+	if MaskOf(Kind(200)) != 0 {
+		t.Fatal("out-of-range kind set a bit")
+	}
+	// The satellite's point: building the kind set allocates nothing.
+	if n := testing.AllocsPerRun(100, func() { _ = MaskOf(KindPlan, KindRecv, KindFault) }); n != 0 {
+		t.Fatalf("MaskOf allocates %v/op", n)
+	}
+}
+
+// TestConcurrentRecordEventsOnRecord drives Record, Events, Filter and
+// OnRecord swaps from separate goroutines; run under -race this is the
+// recorder's concurrency contract.
+func TestConcurrentRecordEventsOnRecord(t *testing.T) {
+	r := New(64)
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				r.Record(Event{Kind: Kind(i % int(kindMax)), Seq: i, Node: packet.NodeID(g)})
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Events()
+				_ = r.Filter(KindPlan, KindRecv)
+				_ = r.Len()
+			}
+		}
+	}()
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if i%2 == 0 {
+					r.OnRecord(func(Event) {})
+				} else {
+					r.OnRecord(nil)
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
 	r := New(128)
 	var wg sync.WaitGroup
