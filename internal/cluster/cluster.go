@@ -62,6 +62,12 @@ type Options struct {
 	Listen []string
 
 	// Engine tuning, passed through to core.Options.
+	//
+	// Shards is each engine's pump-shard count (core.Options.Shards):
+	// wall-clock clusters set it near GOMAXPROCS so concurrent submitters
+	// to different peers never share a lock; 0 keeps the single-shard
+	// serialized layout.
+	Shards       int
 	Lookahead    int
 	NagleDelay   simnet.Duration
 	NagleFlush   int
@@ -262,6 +268,7 @@ func New(o Options) (*Cluster, error) {
 				Runtime:         c.Runtime,
 				Rails:           rails,
 				Deliver:         wrapped,
+				Shards:          o.Shards,
 				Lookahead:       o.Lookahead,
 				NagleDelay:      o.NagleDelay,
 				NagleFlushCount: o.NagleFlush,

@@ -18,15 +18,21 @@
 //     constraint rules of internal/packet bound every reordering; driver
 //     capability records parameterize every decision.
 //
-// The engine is safe for concurrent use: under the discrete-event runtime
-// all upcalls arrive on one goroutine, while the loopback driver delivers
-// idle and receive upcalls from its own goroutines.
+// The engine is safe for concurrent use. There is no engine-wide lock:
+// send-side state is partitioned into destination-hashed shards fed by
+// lock-free submit inboxes (shard.go), each NIC channel's pump is
+// serialized by its own chanPump, and the receive/protocol side runs under
+// one protocol mutex (pmu). Under the discrete-event runtime all upcalls
+// arrive on one goroutine and every lock is uncontended; the loopback
+// driver delivers idle and receive upcalls from its own goroutines and
+// exercises the full lock hierarchy (see shard.go for the ordering rules).
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"newmad/internal/caps"
 	"newmad/internal/drivers"
@@ -52,6 +58,16 @@ type Options struct {
 	// Deliver receives reassembled in-order packets (the upcall into the
 	// mad layer). It may call back into the engine (e.g. Submit a reply).
 	Deliver proto.DeliverFunc
+
+	// Shards partitions the send-side state (backlog index, reactive and
+	// failover queues, Nagle delay, pump scratch) into this many
+	// destination-hashed pump shards. 0 and 1 both mean one shard — the
+	// fully serialized legacy layout, which deterministic simulations
+	// rely on. Wall-clock deployments set this near GOMAXPROCS so flows
+	// to different destinations never contend on a lock; flows sharing a
+	// destination always land in one shard, preserving the optimizer's
+	// cross-flow aggregation view.
+	Shards int
 
 	// Lookahead bounds how many eligible waiting packets a plan may
 	// consider (the paper's "packet lookahead window"); 0 = unbounded.
@@ -87,7 +103,7 @@ type Options struct {
 	RdvRetryMax int
 	// OnPeerDown, when set, observes rail-level peer failures: rail is the
 	// engine's rail index, peer the unreachable node. Called outside the
-	// engine lock; installed only on rails that can report failures
+	// engine locks; installed only on rails that can report failures
 	// (drivers.PeerDownNotifier).
 	OnPeerDown func(rail int, peer packet.NodeID)
 	// Stats receives counters and histograms; nil allocates a private set.
@@ -96,41 +112,53 @@ type Options struct {
 	Trace *trace.Recorder
 }
 
+// tuning is the runtime-tunable knob block, swapped atomically as one
+// immutable value so the datapath reads a consistent tuning without a
+// lock and the Set* methods never stall a pump.
+type tuning struct {
+	lookahead    int
+	nagleDelay   simnet.Duration
+	nagleFlush   int
+	searchBudget int
+	rdvThreshold int
+}
+
+// rdvTimer is one armed rendezvous retry: the cancel handle plus the
+// generation that identifies this arming. On the wall-clock runtime a
+// cancelled timer's callback may already be committed to run; the
+// generation check in onRdvRetry makes such a stale fire inert instead of
+// letting it cancel or duplicate a newer arming for the same token.
+type rdvTimer struct {
+	gen    uint64
+	cancel simnet.CancelFunc
+}
+
 // Engine is the per-node optimizer-scheduler.
 type Engine struct {
-	node packet.NodeID
-	rt   simnet.Runtime
-	set  *stats.Set
-	rec  *trace.Recorder // nil = tracing off; trace.Recorder tolerates nil
+	node  packet.NodeID
+	rt    simnet.Runtime
+	set   *stats.Set
+	rec   *trace.Recorder // nil = tracing off; trace.Recorder tolerates nil
+	cfg   Options         // immutable after New; tunables live in tun
+	rails []drivers.Driver
 
-	mu     sync.Mutex
-	bundle strategy.Bundle
-	cfg    Options
-	rails  []drivers.Driver
+	bundle atomic.Pointer[strategy.Bundle]
+	tun    atomic.Pointer[tuning]
+	closed atomic.Bool
 
-	// ctr/railFrames are the engine-private observation counters behind
-	// Metrics(); retuneObs is notified on every runtime tuning change.
-	ctr        counters
-	railFrames []uint64
-	retuneObs  func(RetuneEvent)
+	// submitSeq totally orders submissions across shards (the eligible
+	// view's merge key). backlogSz/backlogPeak track the global waiting-
+	// packet count — the Nagle flush decision and BacklogLen read it
+	// without touching any shard. idleUps counts scheduler activations.
+	submitSeq   atomic.Uint64
+	backlogSz   atomic.Int64
+	backlogPeak atomic.Int64
+	idleUps     atomic.Uint64
 
-	submitSeq uint64
-	backlog   backlogIndex    // waiting packets, indexed by (dst, class)
-	ctrlQ     []*packet.Frame // reactive control frames (RTS/CTS/Ack)
-	bulkQ     []*packet.Frame // granted rendezvous data, RMA frames
-	favorBulk bool            // round-robin fairness between backlog and bulkQ
-
-	// Pump scratch, reused across pumps so the steady-state eager path
-	// allocates nothing: the eligible view and its merge cursors, the
-	// per-queue removal subsequences, the strategy context handed to plan
-	// builders (builders must not retain it past Build), and the probe
-	// packets the class/rail policies are consulted with.
-	viewScratch  []*packet.Packet
-	curScratch   []backlogCursor
-	takenScratch []*packet.Packet
-	planCtx      strategy.Context
-	ctrlProbe    packet.Packet
-	bulkProbe    packet.Packet
+	// shards own the send side; pumps[rail][channel] serialize each NIC
+	// channel's scan over them.
+	shards []*shard
+	pumps  [][]chanPump
 
 	// Hot-path metric handles, resolved once at construction: the per-
 	// frame path must not pay a map lookup (or a fmt.Sprintf for the
@@ -148,42 +176,43 @@ type Engine struct {
 	railCtr         []*stats.Counter
 	hPlanPackets    *stats.Histogram
 	hPlanEvaluated  *stats.Histogram
-	hPlanScore      *stats.Histogram
+	hPlanScore     *stats.Histogram
 	hDeliveryLat    *stats.Histogram
 	hControlLat     *stats.Histogram
 
-	// failQ holds frames whose rail failed under them — reclaimed from a
-	// dead connection by the driver, or refused with ErrPeerDown at post
-	// time. They are re-posted on any rail that still reaches their
-	// destination, bypassing the rail policy (whose preferred rail is the
-	// one that just died); with no such rail they wait for a heal. See
-	// pumpFailoverLocked.
-	failQ []*packet.Frame
-	// railDowns counts peer-down events per rail — the controller's
-	// evidence for demoting a lossy rail.
-	railDowns []uint64
-	// rdvTimers tracks the retry timer armed per outstanding rendezvous.
-	rdvTimers map[uint64]simnet.CancelFunc
+	// spans is the latency-span family (spans.go); its cells carry their
+	// own locks, so shards and the receive path observe into one shared
+	// family without coordination.
+	spans *stats.Spans
+
+	// pmu serializes the receive/protocol side and the cross-shard
+	// coordination state below it: protocol engines and their maps, the
+	// rendezvous span stamps and retry timers, delivery batching, and the
+	// per-rail failure counters. pmu may take shard locks; shard locks
+	// never take pmu (see shard.go for the full ordering).
+	pmu       sync.Mutex
+	retuneObs func(RetuneEvent)
+	railDowns []uint64 // peer-down events per rail (lossy-rail evidence)
+
+	// rdvTimers tracks the retry timer armed per outstanding rendezvous;
+	// rdvGen stamps each arming (see rdvTimer).
+	rdvTimers map[uint64]rdvTimer
+	rdvGen    uint64
+
+	// Engine-private counters that belong to no shard: deliveries and
+	// rendezvous retries happen on the protocol side.
+	ctrDelivered  uint64
+	ctrRdvRetries uint64
 
 	// Latency spans (see spans.go). rdvStart stamps when each outgoing
 	// rendezvous queued its first RTS (sender side, SpanRdvGrant);
 	// rdvRecvStart stamps the first RTS arrival per inbound token
 	// (receiver side, SpanRdvData). arrivalRail is the rail index of the
-	// frame currently being dispatched — valid only under e.mu inside
+	// frame currently being dispatched — valid only under pmu inside
 	// onFrame, read by the protocol-event hooks it calls.
-	spans        *stats.Spans
 	rdvStart     map[uint64]simnet.Time
 	rdvRecvStart map[uint64]simnet.Time
 	arrivalRail  int
-
-	nagleArmed  bool
-	nagleCancel simnet.CancelFunc
-	// nagleGen identifies the current arming: it advances on every arm and
-	// disarm so a timer fire that lost the race against a concurrent disarm
-	// (possible on the wall-clock runtime, where cancellation of an
-	// already-running timer callback is a no-op) recognizes itself as stale
-	// instead of clobbering a newer armed delay.
-	nagleGen uint64
 
 	reasm *proto.Reassembler
 	rdvS  *proto.RdvSender
@@ -191,17 +220,15 @@ type Engine struct {
 	rma   *proto.RMA
 	disp  *proto.Dispatcher
 
-	// pendingDeliver/pendingFns collect upcalls produced while holding mu;
-	// they are invoked after unlock so user callbacks can re-enter the
-	// engine (submit replies, start new RMA operations, ...).
+	// pendingDeliver/pendingFns collect upcalls produced while holding
+	// pmu; they are invoked after unlock so user callbacks can re-enter
+	// the engine (submit replies, start new RMA operations, ...).
 	// deliverSpare is the double-buffer: a drained batch's backing array,
 	// recycled so steady-state receives never regrow the pending slice.
 	pendingDeliver []proto.Deliverable
 	deliverSpare   []proto.Deliverable
 	pendingFns     []func()
 	deliver        proto.DeliverFunc
-
-	closed bool
 }
 
 // New creates and wires a node engine.
@@ -221,7 +248,7 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	}
 	if opt.Lookahead < 0 || opt.NagleDelay < 0 || opt.SearchBudget < 0 ||
 		opt.RdvThreshold < 0 || opt.NagleFlushCount < 0 ||
-		opt.RdvRetry < 0 || opt.RdvRetryMax < 0 {
+		opt.RdvRetry < 0 || opt.RdvRetryMax < 0 || opt.Shards < 0 {
 		return nil, fmt.Errorf("core: negative tuning option")
 	}
 	if opt.NagleFlushCount == 0 {
@@ -229,6 +256,10 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	}
 	if opt.RdvRetryMax == 0 {
 		opt.RdvRetryMax = DefaultRdvRetryMax
+	}
+	nshards := opt.Shards
+	if nshards == 0 {
+		nshards = 1
 	}
 	set := opt.Stats
 	if set == nil {
@@ -243,17 +274,15 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 	}
 
 	e := &Engine{
-		node:       node,
-		rt:         opt.Runtime,
-		set:        set,
-		rec:        opt.Trace,
-		bundle:     b,
-		cfg:        opt,
-		rails:      rails,
-		railFrames: make([]uint64, len(rails)),
-		railDowns:  make([]uint64, len(rails)),
-		rdvTimers:  make(map[uint64]simnet.CancelFunc),
-		deliver:    opt.Deliver,
+		node:      node,
+		rt:        opt.Runtime,
+		set:       set,
+		rec:       opt.Trace,
+		cfg:       opt,
+		rails:     rails,
+		railDowns: make([]uint64, len(rails)),
+		rdvTimers: make(map[uint64]rdvTimer),
+		deliver:   opt.Deliver,
 
 		spans:        stats.NewSpans(int(NumSpanKinds), int(packet.NumClasses), len(rails)),
 		rdvStart:     make(map[uint64]simnet.Time),
@@ -275,9 +304,24 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		hDeliveryLat:    set.Histogram("core.delivery_latency_ns"),
 		hControlLat:     set.Histogram("core.control_latency_ns"),
 	}
-	e.ctrlProbe = packet.Packet{Class: packet.ClassControl}
+	e.bundle.Store(&b)
+	e.tun.Store(&tuning{
+		lookahead:    opt.Lookahead,
+		nagleDelay:   opt.NagleDelay,
+		nagleFlush:   opt.NagleFlushCount,
+		searchBudget: opt.SearchBudget,
+		rdvThreshold: opt.RdvThreshold,
+	})
 	for _, r := range rails {
 		e.railCtr = append(e.railCtr, set.Counter(fmt.Sprintf("core.rail.%s.frames", r.Caps().Name)))
+	}
+	e.shards = make([]*shard, nshards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
+	}
+	e.pumps = make([][]chanPump, len(rails))
+	for i, r := range rails {
+		e.pumps[i] = make([]chanPump, r.NumChannels())
 	}
 	e.reasm = proto.NewReassembler(node, func(d proto.Deliverable) {
 		e.pendingDeliver = append(e.pendingDeliver, d)
@@ -311,44 +355,44 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 const DefaultRdvRetryMax = 6
 
 // onFrameLoss receives frames a failing rail reclaimed from its queue.
-// They join the failover queue and re-travel on whatever rail still
-// reaches their destination; the receiver's sequence-number dedupe turns
-// the possible duplicate (the mid-write ambiguous frame) back into
+// They join the owning shard's failover queue (all reclaimed frames share
+// the peer, hence the shard) and re-travel on whatever rail still reaches
+// their destination; the receiver's sequence-number dedupe turns the
+// possible duplicate (the mid-write ambiguous frame) back into
 // exactly-once delivery.
 func (e *Engine) onFrameLoss(ri int, peer packet.NodeID, frames []*packet.Frame) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
-	e.failQ = append(e.failQ, frames...)
-	e.ctr.framesReclaimed += uint64(len(frames))
+	s := e.shardOf(peer)
+	s.mu.Lock()
+	s.failQ = append(s.failQ, frames...)
+	s.nFail.Add(int64(len(frames)))
+	s.ctr.framesReclaimed += uint64(len(frames))
+	s.mu.Unlock()
 	e.set.Counter("core.frames_reclaimed").Add(uint64(len(frames)))
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
 		A: ri, B: len(frames), Note: "reclaim:rail-down",
 	})
-	e.mu.Unlock()
 	e.pumpAll()
 }
 
 // onPeerDown counts a rail-level peer failure and forwards it to the
 // observer. The count per rail is the controller's lossy-rail evidence.
 func (e *Engine) onPeerDown(ri int, peer packet.NodeID) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
+	e.pmu.Lock()
 	e.railDowns[ri]++
+	e.pmu.Unlock()
 	e.set.Counter("core.rail_peer_downs").Inc()
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
 		A: ri, B: int(peer), Note: "peer-down",
 	})
-	obs := e.cfg.OnPeerDown
-	e.mu.Unlock()
-	if obs != nil {
+	if obs := e.cfg.OnPeerDown; obs != nil {
 		obs(ri, peer)
 	}
 }
@@ -368,25 +412,35 @@ func (e *Engine) SetBundle(b strategy.Bundle) error {
 	if b.Builder == nil || b.Rail == nil || b.Classes == nil || b.Protocol == nil {
 		return fmt.Errorf("core: incomplete strategy bundle %q", b.Name)
 	}
-	e.mu.Lock()
-	changed := e.bundle.Name != b.Name
-	e.bundle = b
+	old := e.bundle.Swap(&b)
 	e.set.Counter("core.policy_switches").Inc()
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindPolicy, Node: e.node, Note: b.Name})
-	obs := e.retuneObs
-	e.mu.Unlock()
 	e.pumpAll()
-	if changed && obs != nil {
-		obs(RetuneEvent{At: e.rt.Now(), Knob: "bundle", Note: "bundle=" + b.Name})
+	if old.Name != b.Name {
+		if obs := e.retuneObserver(); obs != nil {
+			obs(RetuneEvent{At: e.rt.Now(), Knob: "bundle", Note: "bundle=" + b.Name})
+		}
 	}
 	return nil
 }
 
 // Bundle returns the strategy currently in effect.
-func (e *Engine) Bundle() strategy.Bundle {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.bundle
+func (e *Engine) Bundle() strategy.Bundle { return *e.bundle.Load() }
+
+// updateTuning swaps the tuning block through mut, returning whether mut
+// reported a change. mut runs on a private copy and may run more than once
+// under contention.
+func (e *Engine) updateTuning(mut func(*tuning) bool) bool {
+	for {
+		old := e.tun.Load()
+		nt := *old
+		if !mut(&nt) {
+			return false
+		}
+		if e.tun.CompareAndSwap(old, &nt) {
+			return true
+		}
+	}
 }
 
 // SetLookahead adjusts the lookahead window at runtime (E2 sweeps this; the
@@ -396,10 +450,13 @@ func (e *Engine) SetLookahead(n int) {
 	if n < 0 {
 		n = 0
 	}
-	e.mu.Lock()
-	changed := e.cfg.Lookahead != n
-	e.cfg.Lookahead = n
-	e.mu.Unlock()
+	changed := e.updateTuning(func(t *tuning) bool {
+		if t.lookahead == n {
+			return false
+		}
+		t.lookahead = n
+		return true
+	})
 	if changed {
 		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "lookahead", Note: fmt.Sprintf("lookahead=%d", n)})
 	}
@@ -424,18 +481,28 @@ func (e *Engine) SetNagle(d simnet.Duration, flushCount int) {
 	if flushCount <= 0 {
 		flushCount = DefaultNagleFlushCount
 	}
-	e.mu.Lock()
-	changed := e.cfg.NagleDelay != d || e.cfg.NagleFlushCount != flushCount
-	e.cfg.NagleDelay = d
-	e.cfg.NagleFlushCount = flushCount
-	release := d == 0 && e.nagleArmed
-	if release {
-		e.ctr.nagleEarly++
-		e.disarmNagleLocked()
-	}
-	e.mu.Unlock()
-	if release {
-		e.pumpAll()
+	changed := e.updateTuning(func(t *tuning) bool {
+		if t.nagleDelay == d && t.nagleFlush == flushCount {
+			return false
+		}
+		t.nagleDelay = d
+		t.nagleFlush = flushCount
+		return true
+	})
+	if d == 0 {
+		released := false
+		for _, s := range e.shards {
+			s.mu.Lock()
+			if s.nagleArmed {
+				s.ctr.nagleEarly++
+				s.disarmNagleLocked()
+				released = true
+			}
+			s.mu.Unlock()
+		}
+		if released {
+			e.pumpAll()
+		}
 	}
 	if changed {
 		e.notifyRetune(RetuneEvent{
@@ -453,10 +520,13 @@ func (e *Engine) SetSearchBudget(n int) {
 	if n < 0 {
 		n = 0
 	}
-	e.mu.Lock()
-	changed := e.cfg.SearchBudget != n
-	e.cfg.SearchBudget = n
-	e.mu.Unlock()
+	changed := e.updateTuning(func(t *tuning) bool {
+		if t.searchBudget == n {
+			return false
+		}
+		t.searchBudget = n
+		return true
+	})
 	if changed {
 		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "budget", Note: fmt.Sprintf("budget=%d", n)})
 	}
@@ -469,10 +539,13 @@ func (e *Engine) SetRdvThreshold(n int) {
 	if n < 0 {
 		n = 0
 	}
-	e.mu.Lock()
-	changed := e.cfg.RdvThreshold != n
-	e.cfg.RdvThreshold = n
-	e.mu.Unlock()
+	changed := e.updateTuning(func(t *tuning) bool {
+		if t.rdvThreshold == n {
+			return false
+		}
+		t.rdvThreshold = n
+		return true
+	})
 	if changed {
 		e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "rdv-threshold", Note: fmt.Sprintf("rdv-threshold=%d", n)})
 	}
@@ -485,9 +558,7 @@ func (e *Engine) SetRdvThreshold(n int) {
 // SetBundle replaces the rail policy, so weights are re-applied by whoever
 // switches bundles (the controller does this through its tunings).
 func (e *Engine) SetRailWeights(w []float64) bool {
-	e.mu.Lock()
-	rs, ok := e.bundle.Rail.(strategy.RailWeightSetter)
-	e.mu.Unlock()
+	rs, ok := e.bundle.Load().Rail.(strategy.RailWeightSetter)
 	if !ok {
 		return false
 	}
@@ -505,9 +576,7 @@ func (e *Engine) SetRailWeights(w []float64) bool {
 // The controller's rail-demotion logic reads this to compose its zeroes
 // with whatever operating point the tuning established.
 func (e *Engine) RailWeights() (w []float64, ok bool) {
-	e.mu.Lock()
-	rs, tunable := e.bundle.Rail.(strategy.RailWeightSetter)
-	e.mu.Unlock()
+	rs, tunable := e.bundle.Load().Rail.(strategy.RailWeightSetter)
 	if !tunable {
 		return nil, false
 	}
@@ -516,7 +585,10 @@ func (e *Engine) RailWeights() (w []float64, ok bool) {
 
 // Submit enqueues one packet from the collect layer and returns
 // immediately. Packets of one flow must be submitted with consecutive Seq
-// values starting at zero; the mad layer guarantees this.
+// values starting at zero; the mad layer guarantees this. Eager packets
+// travel through the destination shard's lock-free inbox: Submit never
+// contends with a pump in progress, and concurrent submitters to different
+// destinations never touch a shared lock.
 func (e *Engine) Submit(p *packet.Packet) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -524,28 +596,20 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	if p.Src != e.node {
 		return fmt.Errorf("core: packet src %d submitted on node %d", p.Src, e.node)
 	}
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return fmt.Errorf("core: engine closed")
 	}
-	e.submitSeq++
-	p.SubmitSeq = e.submitSeq
+	p.SubmitSeq = e.submitSeq.Add(1)
 	p.Enqueued = e.rt.Now()
 	if p.Enqueued == 0 {
 		// Zero marks "never submitted" in latency accounting; clamp the
 		// simulation epoch to 1 ns so t=0 submissions still count.
 		p.Enqueued = 1
 	}
-	e.bundle.Classes.Observe(p)
+	b := e.bundle.Load()
+	b.Classes.Observe(p)
 	e.cSubmitted.Inc()
 	e.cSubmittedBytes.Add(uint64(p.Size()))
-	e.ctr.submitted++
-	e.ctr.submittedBytes += uint64(p.Size())
-	if p.Class == packet.ClassControl {
-		e.ctr.submittedCtrl++
-	}
 	e.rec.Record(trace.Event{
 		At: p.Enqueued, Kind: trace.KindSubmit, Node: e.node,
 		Flow: p.Flow, Seq: p.Seq, A: p.Size(), B: int(p.Class),
@@ -558,63 +622,54 @@ func (e *Engine) Submit(p *packet.Packet) error {
 	// threshold override (SetRdvThreshold) takes precedence over the bundle
 	// policy so the controller can move the switchover without swapping
 	// bundles.
-	if e.useRendezvousLocked(p) {
+	if e.useRendezvous(b, p) {
+		e.pmu.Lock()
+		if e.closed.Load() {
+			e.pmu.Unlock()
+			return fmt.Errorf("core: engine closed")
+		}
 		rts := e.rdvS.Start(p)
-		e.ctrlQ = append(e.ctrlQ, rts)
-		e.set.Counter("core.rdv_started").Inc()
-		e.ctr.rdvBytes += uint64(p.Size())
 		e.rdvStart[rts.Ctrl.Token] = p.Enqueued
+		s := e.shardOf(p.Dst)
+		s.mu.Lock()
+		s.ctrlQ = append(s.ctrlQ, rts)
+		s.nCtrl.Add(1)
+		s.ctr.submitted++
+		s.ctr.submittedBytes += uint64(p.Size())
+		if p.Class == packet.ClassControl {
+			s.ctr.submittedCtrl++
+		}
+		s.ctr.rdvBytes += uint64(p.Size())
+		s.mu.Unlock()
 		e.armRdvRetryLocked(rts.Ctrl.Token, 0)
-		e.mu.Unlock()
+		e.pmu.Unlock()
+		e.set.Counter("core.rdv_started").Inc()
 		e.pumpAll()
 		return nil
 	}
-	e.ctr.eagerBytes += uint64(p.Size())
-
-	e.backlog.push(p)
-	if depth := float64(e.backlog.size); depth > gauge(e.set, "core.backlog_peak") {
-		e.set.SetGauge("core.backlog_peak", depth)
-	}
-
-	// Nagle: submission-triggered sends may be delayed briefly; the idle
-	// upcall path (onIdle) always sends immediately.
-	if e.cfg.NagleDelay > 0 && e.backlog.size < e.cfg.NagleFlushCount {
-		if !e.nagleArmed {
-			e.nagleArmed = true
-			e.nagleGen++
-			gen := e.nagleGen
-			e.nagleCancel = e.rt.Schedule(e.cfg.NagleDelay, "core.nagle", func() { e.onNagle(gen) })
-			e.rec.Record(trace.Event{
-				At: e.rt.Now(), Kind: trace.KindNagleArm, Node: e.node,
-				A: int(e.cfg.NagleDelay), B: e.backlog.size,
-			})
-		}
-		e.mu.Unlock()
-		return nil
-	}
-	if e.nagleArmed {
-		e.ctr.nagleEarly++
-		e.disarmNagleLocked()
-	}
-	e.mu.Unlock()
-	e.pumpAll()
+	s := e.shardOf(p.Dst)
+	// The count goes up before the push: the drain election's emptiness
+	// check must never read zero while a packet is in flight.
+	s.nInbox.Add(1)
+	s.inbox.push(p)
+	s.submitKick()
 	return nil
 }
 
-// useRendezvousLocked applies the runtime threshold override, falling back
-// to the bundle's protocol policy when no override is set.
-func (e *Engine) useRendezvousLocked(p *packet.Packet) bool {
-	if thr := e.cfg.RdvThreshold; thr > 0 {
+// useRendezvous applies the runtime threshold override, falling back to
+// the bundle's protocol policy when no override is set.
+func (e *Engine) useRendezvous(b *strategy.Bundle, p *packet.Packet) bool {
+	if thr := e.tun.Load().rdvThreshold; thr > 0 {
 		return !packet.EagerOnly(p) && p.Size() > thr
 	}
-	return e.bundle.Protocol.UseRendezvous(p, e.protoCaps(p))
+	return b.Protocol.UseRendezvous(p, e.protoCaps(b, p))
 }
 
 // protoCaps returns the capability record governing protocol selection for
 // p: the first rail the packet is eligible to use.
-func (e *Engine) protoCaps(p *packet.Packet) caps.Caps {
+func (e *Engine) protoCaps(b *strategy.Bundle, p *packet.Packet) caps.Caps {
 	for i, r := range e.rails {
-		if e.bundle.Rail.Eligible(p, e.railInfo(i)) {
+		if b.Rail.Eligible(p, e.railInfo(i)) {
 			return r.Caps()
 		}
 	}
@@ -623,72 +678,71 @@ func (e *Engine) protoCaps(p *packet.Packet) caps.Caps {
 
 // Flush forces any Nagle-delayed packets out now.
 func (e *Engine) Flush() {
-	e.mu.Lock()
-	if e.nagleArmed {
-		e.ctr.nagleEarly++
-		e.disarmNagleLocked()
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.nagleArmed {
+			s.ctr.nagleEarly++
+			s.disarmNagleLocked()
+		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
-	e.pumpAll()
-}
-
-func (e *Engine) disarmNagleLocked() {
-	e.nagleArmed = false
-	e.nagleGen++
-	if e.nagleCancel != nil {
-		e.nagleCancel()
-		e.nagleCancel = nil
-	}
-}
-
-func (e *Engine) onNagle(gen uint64) {
-	e.mu.Lock()
-	if gen != e.nagleGen {
-		// Stale fire: this arming was disarmed (and possibly re-armed)
-		// while the callback was already in flight.
-		e.mu.Unlock()
-		return
-	}
-	e.nagleArmed = false
-	e.nagleCancel = nil
-	e.set.Counter("core.nagle_flushes").Inc()
-	e.ctr.nagleFires++
-	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: e.backlog.size})
-	e.mu.Unlock()
 	e.pumpAll()
 }
 
 // armRdvRetryLocked schedules the attempt-th RTS retry for token, with
-// exponential backoff. No-op when retry is disabled or the budget is spent.
+// exponential backoff. No-op when retry is disabled or the budget is
+// spent. Each arming carries a fresh generation: a fire whose generation
+// no longer matches the armed timer (it was cancelled or superseded while
+// the callback was in flight — the same wall-clock race nagleGen guards)
+// is discarded by onRdvRetry instead of acting on the newer arming's
+// state. Caller holds pmu.
 func (e *Engine) armRdvRetryLocked(token uint64, attempt int) {
 	if e.cfg.RdvRetry <= 0 || attempt >= e.cfg.RdvRetryMax {
 		return
 	}
+	e.rdvGen++
+	gen := e.rdvGen
 	delay := e.cfg.RdvRetry << uint(attempt)
-	e.rdvTimers[token] = e.rt.Schedule(delay, "core.rdv-retry", func() {
-		e.onRdvRetry(token, attempt)
-	})
+	// The callback cannot observe the map before this function returns:
+	// onRdvRetry takes pmu, which the caller holds.
+	e.rdvTimers[token] = rdvTimer{
+		gen:    gen,
+		cancel: e.rt.Schedule(delay, "core.rdv-retry", func() { e.onRdvRetry(token, attempt, gen) }),
+	}
 }
 
 // onRdvRetry fires when a rendezvous has waited out its CTS window: if the
 // transfer is still ungranted, the RTS is rebuilt and re-queued (the
 // receiver's token dedupe makes the duplicate harmless) and the next
 // backoff is armed.
-func (e *Engine) onRdvRetry(token uint64, attempt int) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+func (e *Engine) onRdvRetry(token uint64, attempt int, gen uint64) {
+	e.pmu.Lock()
+	if e.closed.Load() {
+		e.pmu.Unlock()
+		return
+	}
+	t, ok := e.rdvTimers[token]
+	if !ok || t.gen != gen {
+		// Stale fire: this arming was cancelled (grant or Close) or
+		// superseded while the callback was already in flight. Without the
+		// generation check a stale fire would consume the *newer* arming's
+		// map entry and fork a duplicate retry chain.
+		e.pmu.Unlock()
 		return
 	}
 	delete(e.rdvTimers, token)
 	rts := e.rdvS.RetryRTS(token)
 	if rts == nil {
 		// Granted while the timer was in flight: nothing to do.
-		e.mu.Unlock()
+		e.pmu.Unlock()
 		return
 	}
-	e.ctrlQ = append(e.ctrlQ, rts)
-	e.ctr.rdvRetries++
+	s := e.shardOf(rts.Dst)
+	s.mu.Lock()
+	s.ctrlQ = append(s.ctrlQ, rts)
+	s.nCtrl.Add(1)
+	s.mu.Unlock()
+	e.ctrRdvRetries++
 	e.set.Counter("core.rdv_retries").Inc()
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
@@ -696,50 +750,57 @@ func (e *Engine) onRdvRetry(token uint64, attempt int) {
 		Note: "rdv-retry",
 	})
 	e.armRdvRetryLocked(token, attempt+1)
-	e.mu.Unlock()
+	e.pmu.Unlock()
 	e.pumpAll()
 }
 
-// cancelRdvRetryLocked disarms the retry timer for a granted token.
+// cancelRdvRetryLocked disarms the retry timer for a granted token. Caller
+// holds pmu. Deleting the map entry is what makes a lost-race fire inert:
+// the fire's generation can no longer match anything.
 func (e *Engine) cancelRdvRetryLocked(token uint64) {
-	if c, ok := e.rdvTimers[token]; ok {
+	if t, ok := e.rdvTimers[token]; ok {
 		delete(e.rdvTimers, token)
-		c()
+		t.cancel()
 	}
 }
 
-// Close detaches the engine from its rails.
+// Close detaches the engine from its rails and cancels every outstanding
+// timer — the per-shard Nagle delays and all rendezvous retries — under
+// their owning locks. On the wall-clock runtime a cancelled timer's
+// callback may already be running; the closed flag and the generation
+// checks make such late fires inert (pinned by TestCloseCancelsAllTimers).
 func (e *Engine) Close() {
-	e.mu.Lock()
-	e.closed = true
-	e.disarmNagleLocked()
-	for tok, c := range e.rdvTimers {
+	e.pmu.Lock()
+	e.closed.Store(true)
+	for tok, t := range e.rdvTimers {
 		delete(e.rdvTimers, tok)
-		c()
+		t.cancel()
 	}
-	rails := e.rails
-	e.mu.Unlock()
-	for _, r := range rails {
+	e.pmu.Unlock()
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.nagleArmed {
+			s.disarmNagleLocked()
+		}
+		s.drainDiscardLocked()
+		s.mu.Unlock()
+	}
+	for _, r := range e.rails {
 		r.SetIdleHandler(nil)
 		r.SetRecvHandler(nil)
 	}
 }
 
 // BacklogLen returns the number of waiting packets (diagnostic).
-func (e *Engine) BacklogLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.backlog.size
-}
+func (e *Engine) BacklogLen() int { return int(e.backlogSz.Load()) }
 
 // QueuedFrames returns pending (control, bulk) frame counts (diagnostic).
 func (e *Engine) QueuedFrames() (ctrl, bulk int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.ctrlQ), len(e.bulkQ)
-}
-
-func gauge(s *stats.Set, name string) float64 {
-	v, _ := s.Gauge(name)
-	return v
+	for _, s := range e.shards {
+		s.mu.Lock()
+		ctrl += len(s.ctrlQ)
+		bulk += len(s.bulkQ)
+		s.mu.Unlock()
+	}
+	return ctrl, bulk
 }

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/drivers"
+	"newmad/internal/memsim"
+	"newmad/internal/packet"
+	"newmad/internal/proto"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+// Failover re-post ordering. When a rail heals after handing frames back,
+// the reclaimed frames and freshly planned frames for the *same flow* race
+// for the channel: the pump must re-post the failover queue before building
+// new plans, or the receiver sees seq 2 before seq 0 and the in-order
+// reassembler wedges the flow. The sim fabric drops silently (it implements
+// neither FrameLossNotifier nor PeerChecker), so this test builds a lossy
+// rail by hand and drives the heal between pump steps.
+
+// lossyDriver is a hand-controlled rail: one channel whose idleness the
+// test toggles, a peer-liveness flag, and a recording of every posted
+// frame. It implements the failure surface (FrameLossNotifier +
+// PeerChecker) the simulated fabrics lack.
+type lossyDriver struct {
+	mu     sync.Mutex
+	node   packet.NodeID
+	caps   caps.Caps
+	idle   bool
+	down   bool
+	posted []*packet.Frame
+	idleFn drivers.IdleFunc
+	recvFn drivers.RecvFunc
+	lossFn drivers.FrameLossHandler
+}
+
+func newLossyDriver(node packet.NodeID) *lossyDriver {
+	c := caps.MX
+	c.Channels = 1
+	return &lossyDriver{node: node, caps: c, idle: true}
+}
+
+func (d *lossyDriver) Name() string        { return "lossy" }
+func (d *lossyDriver) Node() packet.NodeID { return d.node }
+func (d *lossyDriver) Caps() caps.Caps     { return d.caps }
+func (d *lossyDriver) Mem() memsim.Model   { return memsim.DefaultModel() }
+func (d *lossyDriver) NumChannels() int    { return 1 }
+func (d *lossyDriver) Close() error        { return nil }
+
+func (d *lossyDriver) ChannelIdle(int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.idle
+}
+
+func (d *lossyDriver) FirstIdle() (int, bool) {
+	if d.ChannelIdle(0) {
+		return 0, true
+	}
+	return 0, false
+}
+
+// Post records the frame and occupies the channel, so the engine advances
+// exactly one frame per step() — the test controls interleaving.
+func (d *lossyDriver) Post(ch int, f *packet.Frame, _ simnet.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.idle {
+		return drivers.ErrChannelBusy
+	}
+	if d.down {
+		return drivers.ErrPeerDown
+	}
+	d.posted = append(d.posted, f)
+	d.idle = false
+	return nil
+}
+
+func (d *lossyDriver) SetIdleHandler(fn drivers.IdleFunc)              { d.idleFn = fn }
+func (d *lossyDriver) SetRecvHandler(fn drivers.RecvFunc)              { d.recvFn = fn }
+func (d *lossyDriver) SetFrameLossHandler(fn drivers.FrameLossHandler) { d.lossFn = fn }
+
+func (d *lossyDriver) PeerDown(packet.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+// step frees the channel and fires the idle upcall: one pump pass.
+func (d *lossyDriver) step() {
+	d.mu.Lock()
+	d.idle = true
+	d.mu.Unlock()
+	d.idleFn(0)
+}
+
+// fail marks the peer dead and hands the not-yet-delivered frames back to
+// the engine, exactly as the TCP mesh driver does when a connection dies
+// with frames queued.
+func (d *lossyDriver) fail(peer packet.NodeID) []*packet.Frame {
+	d.mu.Lock()
+	d.down = true
+	lost := d.posted
+	d.posted = nil
+	d.idle = true
+	d.mu.Unlock()
+	d.lossFn(peer, lost)
+	return lost
+}
+
+func (d *lossyDriver) heal() {
+	d.mu.Lock()
+	d.down = false
+	d.mu.Unlock()
+}
+
+func (d *lossyDriver) taken() []*packet.Frame {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.posted
+	d.posted = nil
+	return out
+}
+
+// TestFailoverRepostOrderAfterHeal drives one flow through a rail failure:
+// seqs 0-1 are posted, reclaimed by the dying rail, and sit in the failover
+// queue while seqs 2-5 of the same flow pile into the backlog (the down
+// peer is unplannable). After the heal, the pump must emit the reclaimed
+// frames before any fresh plan — the posted sequence is 0,1,2..5 exactly
+// once — and a receiving engine fed those frames delivers the flow in order
+// exactly once.
+func TestFailoverRepostOrderAfterHeal(t *testing.T) {
+	rt := &hostileRuntime{}
+	d0 := newLossyDriver(0)
+	b, err := strategy.New("aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := New(0, Options{
+		Bundle:  b,
+		Runtime: rt,
+		Rails:   []drivers.Driver{d0},
+		Deliver: func(proto.Deliverable) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Seqs 0 and 1 travel while the rail is up, one frame each.
+	if err := sender.Submit(pkt(1, 0, 0, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	d0.step() // channel freed after seq 0's frame; nothing else queued yet
+	if err := sender.Submit(pkt(1, 1, 0, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d0.step()
+	}
+
+	// The rail dies with both frames undelivered and hands them back.
+	if n := len(d0.fail(1)); n != 2 {
+		t.Fatalf("rail reclaimed %d frames, want 2", n)
+	}
+	if got := sender.Metrics().FramesReclaimed; got != 2 {
+		t.Fatalf("FramesReclaimed = %d, want 2", got)
+	}
+
+	// Same-flow traffic keeps arriving during the outage. The peer is
+	// unreachable, so the backlog holds it: nothing may be posted.
+	for s := 2; s <= 5; s++ {
+		if err := sender.Submit(pkt(1, s, 0, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		d0.step()
+	}
+	if leaked := d0.taken(); len(leaked) != 0 {
+		t.Fatalf("posted %d frames through a dead peer", len(leaked))
+	}
+
+	// Heal mid-stream and pump to quiescence.
+	d0.heal()
+	sender.Flush()
+	for i := 0; i < 10; i++ {
+		d0.step()
+	}
+	frames := d0.taken()
+
+	// Flatten to (seq) order: the two failover frames must precede every
+	// planned frame, and each seq appears exactly once.
+	var seqs []int
+	for i, f := range frames {
+		if f.Kind != packet.FrameData {
+			t.Fatalf("frame %d: unexpected kind %v", i, f.Kind)
+		}
+		for _, e := range f.Entries {
+			seqs = append(seqs, e.Seq)
+		}
+	}
+	if len(seqs) != 6 {
+		t.Fatalf("posted %d packets after heal, want 6 (got seqs %v)", len(seqs), seqs)
+	}
+	for want, got := range seqs {
+		if got != want {
+			t.Fatalf("post order %v: failover frames did not precede fresh plans", seqs)
+		}
+	}
+	if got := sender.Metrics().Failovers; got != 2 {
+		t.Fatalf("Failovers = %d, want 2", got)
+	}
+
+	// End-to-end: a receiver fed the healed rail's frames delivers the
+	// flow in order, exactly once.
+	d1 := newLossyDriver(1)
+	var delivered []proto.Deliverable
+	receiver, err := New(1, Options{
+		Bundle:  b,
+		Runtime: rt,
+		Rails:   []drivers.Driver{d1},
+		Deliver: func(dl proto.Deliverable) { delivered = append(delivered, dl) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer receiver.Close()
+	for _, f := range frames {
+		d1.recvFn(0, f)
+	}
+	if len(delivered) != 6 {
+		t.Fatalf("receiver delivered %d packets, want 6", len(delivered))
+	}
+	for want, dl := range delivered {
+		if dl.Pkt.Flow != 1 || dl.Pkt.Seq != want {
+			t.Fatalf("delivery %d: flow %d seq %d, want flow 1 seq %d", want, dl.Pkt.Flow, dl.Pkt.Seq, want)
+		}
+	}
+}

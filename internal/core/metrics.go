@@ -12,7 +12,11 @@ import (
 // the engines of one rig — so a controller watching one node never sees a
 // neighbour's traffic folded into its evidence.
 
-// counters is the engine-private activity tally, guarded by Engine.mu.
+// counters is one shard's slice of the engine-private activity tally,
+// guarded by that shard's mu. MetricsInto sums the slices; delivery and
+// rendezvous-retry tallies live on the engine under pmu (they belong to
+// the protocol side, not to any shard), and idle upcalls are a plain
+// engine atomic.
 type counters struct {
 	submitted      uint64
 	submittedBytes uint64
@@ -22,15 +26,12 @@ type counters struct {
 	framesPosted   uint64
 	packetsSent    uint64
 	aggregates     uint64
-	idleUpcalls    uint64
 	nagleFires     uint64 // delay timer expired and triggered a pump
 	nagleEarly     uint64 // delay cut short by backlog pressure or Flush
-	delivered      uint64
 
 	// Resilience counters (the chaos observation surface).
 	framesReclaimed uint64 // frames handed back by failing rails
 	failovers       uint64 // failover-queue frames re-posted on a live rail
-	rdvRetries      uint64 // rendezvous RTS retries fired
 }
 
 // Metrics is a point-in-time snapshot of one engine: queue depths, activity
@@ -77,6 +78,10 @@ type Metrics struct {
 	SearchBudget    int
 	RdvThreshold    int
 	Bundle          string
+	// Shards is the engine's pump-shard count (1 = the legacy serialized
+	// layout). Constant for the engine's lifetime; snapshotted so fleet
+	// telemetry can tell sharded and serialized nodes apart.
+	Shards int
 }
 
 // Metrics returns a consistent snapshot of the engine's observation surface.
@@ -86,46 +91,47 @@ func (e *Engine) Metrics() Metrics {
 	return m
 }
 
-// MetricsInto fills m with a consistent snapshot, reusing m's RailFrames
-// and RailDowns backing arrays when they have capacity. Samplers that
-// snapshot every node per tick (internal/control, the testnet's telemetry
-// sweep) hold one scratch Metrics per engine and pay zero allocations per
-// sample; Metrics() is the convenience form for one-shot callers. Callers
-// that retain a previous snapshot for windowed deltas must keep two
-// scratch values and alternate — the slices are overwritten in place.
+// MetricsInto fills m with a snapshot, reusing m's RailFrames and RailDowns
+// backing arrays when they have capacity. Samplers that snapshot every node
+// per tick (internal/control, the testnet's telemetry sweep) hold one
+// scratch Metrics per engine and pay zero allocations per sample;
+// Metrics() is the convenience form for one-shot callers. Callers that
+// retain a previous snapshot for windowed deltas must keep two scratch
+// values and alternate — the slices are overwritten in place.
+//
+// On a sharded engine the snapshot is a merge: each shard is summed under
+// its own lock, then the protocol-side tallies are read under pmu. Each
+// shard's contribution is internally consistent, but the merge is not one
+// global atomic cut — totals are exact once the engine quiesces, and
+// monotone per shard while it runs, which is all the windowed-delta
+// controllers need. With one shard (the deterministic-simulation layout)
+// every upcall is serialized anyway and the snapshot is exact, as before.
 func (e *Engine) MetricsInto(m *Metrics) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	tun := e.tun.Load()
 	*m = Metrics{
 		Now:             e.rt.Now(),
-		Backlog:         e.backlog.size,
-		CtrlQueued:      len(e.ctrlQ),
-		BulkQueued:      len(e.bulkQ),
-		Submitted:       e.ctr.submitted,
-		SubmittedBytes:  e.ctr.submittedBytes,
-		SubmittedCtrl:   e.ctr.submittedCtrl,
-		EagerBytes:      e.ctr.eagerBytes,
-		RdvBytes:        e.ctr.rdvBytes,
-		FramesPosted:    e.ctr.framesPosted,
-		PacketsSent:     e.ctr.packetsSent,
-		Aggregates:      e.ctr.aggregates,
-		IdleUpcalls:     e.ctr.idleUpcalls,
-		NagleFires:      e.ctr.nagleFires,
-		NagleEarly:      e.ctr.nagleEarly,
-		Delivered:       e.ctr.delivered,
-		RailFrames:      append(m.RailFrames[:0], e.railFrames...),
-		FramesReclaimed: e.ctr.framesReclaimed,
-		Failovers:       e.ctr.failovers,
-		FailoverQueued:  len(e.failQ),
-		RdvRetries:      e.ctr.rdvRetries,
-		RailDowns:       append(m.RailDowns[:0], e.railDowns...),
-		Lookahead:       e.cfg.Lookahead,
-		NagleDelay:      e.cfg.NagleDelay,
-		NagleFlushCount: e.cfg.NagleFlushCount,
-		SearchBudget:    e.cfg.SearchBudget,
-		RdvThreshold:    e.cfg.RdvThreshold,
-		Bundle:          e.bundle.Name,
+		IdleUpcalls:     e.idleUps.Load(),
+		RailFrames:      m.RailFrames[:0],
+		RailDowns:       m.RailDowns[:0],
+		Lookahead:       tun.lookahead,
+		NagleDelay:      tun.nagleDelay,
+		NagleFlushCount: tun.nagleFlush,
+		SearchBudget:    tun.searchBudget,
+		RdvThreshold:    tun.rdvThreshold,
+		Bundle:          e.bundle.Load().Name,
+		Shards:          len(e.shards),
 	}
+	for range e.rails {
+		m.RailFrames = append(m.RailFrames, 0)
+	}
+	for _, s := range e.shards {
+		s.mergeInto(m)
+	}
+	e.pmu.Lock()
+	m.Delivered = e.ctrDelivered
+	m.RdvRetries = e.ctrRdvRetries
+	m.RailDowns = append(m.RailDowns, e.railDowns...)
+	e.pmu.Unlock()
 }
 
 // RetuneEvent describes one runtime tuning change, delivered to the
@@ -139,21 +145,26 @@ type RetuneEvent struct {
 // SetRetuneObserver installs fn to be called after every runtime tuning
 // change (SetBundle, SetLookahead, SetNagle, SetSearchBudget,
 // SetRdvThreshold, SetRailWeights). Pass nil to remove it. The observer runs outside the
-// engine lock and may call back into the engine.
+// engine locks and may call back into the engine.
 func (e *Engine) SetRetuneObserver(fn func(RetuneEvent)) {
-	e.mu.Lock()
+	e.pmu.Lock()
 	e.retuneObs = fn
-	e.mu.Unlock()
+	e.pmu.Unlock()
+}
+
+// retuneObserver reads the installed observer under pmu.
+func (e *Engine) retuneObserver() func(RetuneEvent) {
+	e.pmu.Lock()
+	obs := e.retuneObs
+	e.pmu.Unlock()
+	return obs
 }
 
 // notifyRetune records the change on the trace and invokes the observer.
-// Call without holding e.mu.
+// Call without holding any engine lock.
 func (e *Engine) notifyRetune(ev RetuneEvent) {
 	e.rec.Record(trace.Event{At: ev.At, Kind: trace.KindPolicy, Node: e.node, Note: ev.Note})
-	e.mu.Lock()
-	obs := e.retuneObs
-	e.mu.Unlock()
-	if obs != nil {
+	if obs := e.retuneObserver(); obs != nil {
 		obs(ev)
 	}
 }

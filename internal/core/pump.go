@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"newmad/internal/drivers"
 	"newmad/internal/packet"
@@ -18,27 +19,20 @@ import (
 // serializing its frame. Per the paper, this — not Submit — is the moment
 // the optimizer runs, with whatever backlog accumulated meanwhile.
 func (e *Engine) onIdle(ri, ch int) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
 	e.cIdleUpcalls.Inc()
-	e.ctr.idleUpcalls++
+	e.idleUps.Add(1)
 	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindIdle, Node: e.node, A: ri, B: ch})
-	e.pumpLocked(ri, ch, true)
-	deliver, fns := e.takeDeliveriesLocked()
-	e.mu.Unlock()
-	e.dispatchDeliveries(deliver, fns, -1)
+	e.kickChannel(ri, ch, true)
 }
 
 // onFrame is the receive upcall on rail ri: route through the protocol
-// dispatcher, then hand any completed packets up and react to protocol
-// events.
+// dispatcher under pmu, then hand any completed packets up and react to
+// protocol events.
 func (e *Engine) onFrame(ri int, src packet.NodeID, f *packet.Frame) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		// Still the terminal consumer: a frame racing Close would
 		// otherwise leak its pooled wire buffer.
 		if f.Backed() {
@@ -46,9 +40,18 @@ func (e *Engine) onFrame(ri int, src packet.NodeID, f *packet.Frame) {
 		}
 		return
 	}
+	e.pmu.Lock()
+	if e.closed.Load() {
+		// Close won pmu between our check and the lock; same contract.
+		e.pmu.Unlock()
+		if f.Backed() {
+			packet.ReleaseFrame(f)
+		}
+		return
+	}
 	now := e.rt.Now()
 	// The protocol-event hooks the dispatcher calls (onRdvGrant) run under
-	// e.mu and read the arrival rail from here.
+	// pmu and read the arrival rail from here.
 	e.arrivalRail = ri
 	// SpanXmit: the sender stamped the frame at post time when the frame
 	// object itself crossed the fabric (simulated rails, loopback); frames
@@ -85,13 +88,16 @@ func (e *Engine) onFrame(ri int, src packet.NodeID, f *packet.Frame) {
 		packet.ReleaseFrame(f)
 	}
 	deliver, fns := e.takeDeliveriesLocked()
-	e.mu.Unlock()
+	e.pmu.Unlock()
 	e.dispatchDeliveries(deliver, fns, ri)
 	// Protocol handling may have queued reactive frames (CTS, acks, get
 	// replies) or granted rendezvous bulk; give idle channels a chance.
 	e.pumpAll()
 }
 
+// takeDeliveriesLocked swaps out the accumulated delivery batch. Caller
+// holds pmu — all delivery producers (reassembler completion, RMA
+// callbacks) run under it.
 func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
 	d := e.pendingDeliver
 	// Double-buffer: the spare (recycled by dispatchDeliveries once a
@@ -105,7 +111,7 @@ func (e *Engine) takeDeliveriesLocked() ([]proto.Deliverable, []func()) {
 	}
 	fns := e.pendingFns
 	e.pendingFns = nil
-	e.ctr.delivered += uint64(len(d))
+	e.ctrDelivered += uint64(len(d))
 	return d, fns
 }
 
@@ -141,30 +147,36 @@ func (e *Engine) dispatchDeliveries(ds []proto.Deliverable, fns []func(), rail i
 	for i := range ds {
 		ds[i] = proto.Deliverable{}
 	}
-	e.mu.Lock()
+	e.pmu.Lock()
 	if e.deliverSpare == nil {
 		e.deliverSpare = ds[:0]
 	}
-	e.mu.Unlock()
+	e.pmu.Unlock()
 }
 
 // enqueueReactive is the SendHook for the protocol engines: CTS/Ack frames
-// join the control queue, data-bearing frames join the bulk queue.
+// join the owning shard's control queue, data-bearing frames its bulk
+// queue. Called with pmu held (protocol engines run under it); taking the
+// shard lock nested is the pmu > shard.mu tier order.
 func (e *Engine) enqueueReactive(f *packet.Frame) {
-	// Called with e.mu held (protocol engines run under the engine lock).
+	s := e.shardOf(f.Dst)
+	s.mu.Lock()
 	switch f.Kind {
 	case packet.FrameCTS, packet.FrameAck, packet.FrameRTS:
-		e.ctrlQ = append(e.ctrlQ, f)
+		s.ctrlQ = append(s.ctrlQ, f)
+		s.nCtrl.Add(1)
 	default:
-		e.bulkQ = append(e.bulkQ, f)
+		s.bulkQ = append(s.bulkQ, f)
+		s.nBulk.Add(1)
 	}
+	s.mu.Unlock()
 	e.cReactive.Inc()
 }
 
 // onRdvGrant fires when a CTS arrives for a rendezvous this node started:
 // the bulk payload becomes schedulable and the retry timer stands down.
 func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
-	// Called with e.mu held (CTS arrives via onFrame -> dispatcher).
+	// Called with pmu held (CTS arrives via onFrame -> dispatcher).
 	e.cancelRdvRetryLocked(token)
 	// SpanRdvGrant closes here: RTS first queued → CTS arrival, retries
 	// included. The arrival rail is the one onFrame is dispatching.
@@ -173,7 +185,11 @@ func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
 		e.spans.Observe(int(SpanRdvGrant), int(packet.ClassBulk), e.arrivalRail, float64(e.rt.Now().Sub(t0)))
 	}
 	rdata := e.rdvS.BuildRData(token)
-	e.bulkQ = append(e.bulkQ, rdata)
+	s := e.shardOf(rdata.Dst)
+	s.mu.Lock()
+	s.bulkQ = append(s.bulkQ, rdata)
+	s.nBulk.Add(1)
+	s.mu.Unlock()
 	e.set.Counter("core.rdv_granted").Inc()
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindRdv, Node: e.node,
@@ -183,31 +199,56 @@ func (e *Engine) onRdvGrant(token uint64, p *packet.Packet) {
 
 // pumpAll offers work to every idle channel of every rail once.
 func (e *Engine) pumpAll() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
 	for ri, r := range e.rails {
 		for ch := 0; ch < r.NumChannels(); ch++ {
 			if r.ChannelIdle(ch) {
-				e.pumpLocked(ri, ch, false)
+				e.kickChannel(ri, ch, false)
 			}
 		}
 	}
-	deliver, fns := e.takeDeliveriesLocked()
-	e.mu.Unlock()
-	e.dispatchDeliveries(deliver, fns, -1)
 }
 
 func (e *Engine) railInfo(ri int) strategy.RailInfo {
 	return strategy.RailInfo{Index: ri, Count: len(e.rails), Caps: e.rails[ri].Caps()}
 }
 
-// pumpLocked tries to occupy (rail ri, channel ch) with the most valuable
-// work available. Priority: control frames, then alternating fairly
-// between the eager backlog and granted bulk. Returns whether a frame was
-// posted.
+// pumpReactiveLocked tries to occupy (rail ri, channel ch) with this
+// shard's latency-critical traffic: a control frame if the class policy
+// admits control here, else a failover re-post. Returns whether a frame
+// was posted. Caller holds s.mu (under the owning chanPump).
+func (s *shard) pumpReactiveLocked(b *strategy.Bundle, ri, ch int) bool {
+	e := s.eng
+	numCh := e.rails[ri].NumChannels()
+	// Control/signalling first: tiny, never queues behind data if the
+	// class policy admits it here. The probe packet is shard-owned
+	// scratch: policies only read it.
+	if b.Classes.Allowed(packet.ClassControl, ch, numCh) &&
+		b.Rail.Eligible(&s.ctrlProbe, e.railInfo(ri)) {
+		if f := s.popFrameLocked(&s.ctrlQ, &s.nCtrl); f != nil {
+			s.postLocked(ri, ch, f, nil, 0)
+			return true
+		}
+	}
+	// Failover traffic: frames whose original rail died re-travel on the
+	// first live channel that admits their class — ahead of fresh work, so
+	// recovery latency stays bounded by one pump cycle, not by queue
+	// depth. Running before any fresh plan also keeps a healed peer's
+	// reclaimed frames ahead of same-flow frames still in the backlog:
+	// the reassembler tolerates reordering, but the failover queue
+	// clearing first keeps recovery from queueing behind new plans.
+	if s.pumpFailoverLocked(b, ri, ch) {
+		return true
+	}
+	return false
+}
+
+// pumpWorkLocked tries to occupy (rail ri, channel ch) with this shard's
+// planned work, alternating fairly between the eager backlog and granted
+// bulk. Returns whether a frame was posted. Caller holds s.mu (under the
+// owning chanPump).
 //
 // idleUpcall distinguishes a genuine NIC-idle activation from an
 // opportunistic pump (after a received frame, a policy switch, ...). An
@@ -217,40 +258,14 @@ func (e *Engine) railInfo(ri int) strategy.RailInfo {
 // never against a genuine idle upcall: per the paper, the moment a send
 // channel becomes free the optimizer runs with whatever accumulated.
 // Control and granted-bulk frames are never held.
-func (e *Engine) pumpLocked(ri, ch int, idleUpcall bool) bool {
-	r := e.rails[ri]
-	if !r.ChannelIdle(ch) {
-		return false
-	}
-	info := e.railInfo(ri)
-	numCh := r.NumChannels()
-
-	// 1. Control/signalling first: latency-critical, tiny, never queues
-	// behind data if the class policy admits it here. The probe packet is
-	// engine-owned scratch: policies only read it.
-	if e.bundle.Classes.Allowed(packet.ClassControl, ch, numCh) &&
-		e.bundle.Rail.Eligible(&e.ctrlProbe, info) {
-		if f := e.popFrameLocked(&e.ctrlQ); f != nil {
-			e.postLocked(ri, ch, f, nil, 0)
-			return true
-		}
-	}
-
-	// 2. Failover traffic: frames whose original rail died re-travel on the
-	// first live channel that admits their class — ahead of fresh work, so
-	// recovery latency stays bounded by one pump cycle, not by queue depth.
-	if e.pumpFailoverLocked(ri, ch) {
-		return true
-	}
-
-	holdBacklog := e.nagleArmed && !idleUpcall
-	tryBacklog := func() bool { return !holdBacklog && e.pumpBacklogLocked(ri, ch) }
-	tryBulk := func() bool { return e.pumpBulkLocked(ri, ch) }
+func (s *shard) pumpWorkLocked(b *strategy.Bundle, ri, ch int, idleUpcall, favorBulk bool) bool {
+	holdBacklog := s.nagleArmed && !idleUpcall
+	tryBacklog := func() bool { return !holdBacklog && s.pumpBacklogLocked(b, ri, ch) }
+	tryBulk := func() bool { return s.pumpBulkLocked(b, ri, ch) }
 	first, second := tryBacklog, tryBulk
-	if e.favorBulk {
+	if favorBulk {
 		first, second = tryBulk, tryBacklog
 	}
-	e.favorBulk = !e.favorBulk
 	if first() {
 		return true
 	}
@@ -290,96 +305,106 @@ func (e *Engine) railReaches(ri int, peer packet.NodeID) bool {
 // but the rail policy is bypassed — its preferred rail for the frame is
 // exactly the one that died — and rails that do not reach the frame's
 // destination are skipped. Frames nothing currently reaches stay queued for
-// a heal.
-func (e *Engine) pumpFailoverLocked(ri, ch int) bool {
-	if len(e.failQ) == 0 {
+// a heal. Caller holds s.mu.
+func (s *shard) pumpFailoverLocked(b *strategy.Bundle, ri, ch int) bool {
+	if len(s.failQ) == 0 {
 		return false
 	}
+	e := s.eng
 	numCh := e.rails[ri].NumChannels()
-	for i, f := range e.failQ {
-		if !e.bundle.Classes.Allowed(frameClass(f), ch, numCh) {
+	for i, f := range s.failQ {
+		if !b.Classes.Allowed(frameClass(f), ch, numCh) {
 			continue
 		}
 		if !e.railReaches(ri, f.Dst) {
 			continue
 		}
-		e.failQ = append(e.failQ[:i], e.failQ[i+1:]...)
-		e.ctr.failovers++
+		s.failQ = append(s.failQ[:i], s.failQ[i+1:]...)
+		s.nFail.Add(-1)
+		s.ctr.failovers++
 		e.set.Counter("core.failovers").Inc()
 		e.rec.Record(trace.Event{
 			At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
 			A: ri, B: f.WireSize(), Note: "failover:" + f.Kind.String(),
 		})
-		e.postLocked(ri, ch, f, nil, 0)
+		s.postLocked(ri, ch, f, nil, 0)
 		return true
 	}
 	return false
 }
 
 // pumpBulkLocked posts the first bulk frame admitted on this channel.
-func (e *Engine) pumpBulkLocked(ri, ch int) bool {
+// Caller holds s.mu.
+func (s *shard) pumpBulkLocked(b *strategy.Bundle, ri, ch int) bool {
+	e := s.eng
 	r := e.rails[ri]
 	info := e.railInfo(ri)
 	numCh := r.NumChannels()
-	for i, f := range e.bulkQ {
+	for i, f := range s.bulkQ {
 		class := packet.ClassBulk
 		if f.Kind == packet.FramePut || f.Kind == packet.FrameGet || f.Kind == packet.FrameGetReply {
 			class = packet.ClassRMA
 		}
-		if !e.bundle.Classes.Allowed(class, ch, numCh) {
+		if !b.Classes.Allowed(class, ch, numCh) {
 			continue
 		}
 		// The probe carries the transfer's full identity (flow, msg,
 		// fragment seq) so striping rail policies can spread distinct bulk
 		// transfers across rails while keeping each transfer's placement
-		// stable. It is engine-owned scratch: policies only read it.
-		e.bulkProbe = packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
-		if !e.bundle.Rail.Eligible(&e.bulkProbe, info) {
+		// stable. It is shard-owned scratch: policies only read it.
+		s.bulkProbe = packet.Packet{Class: class, Flow: f.Ctrl.Flow, Msg: f.Ctrl.Msg, Seq: f.Ctrl.Seq}
+		if !b.Rail.Eligible(&s.bulkProbe, info) {
 			continue
 		}
 		if !e.railReaches(ri, f.Dst) {
 			continue
 		}
-		e.bulkQ = append(e.bulkQ[:i], e.bulkQ[i+1:]...)
-		e.postLocked(ri, ch, f, nil, 0)
+		s.bulkQ = append(s.bulkQ[:i], s.bulkQ[i+1:]...)
+		s.nBulk.Add(-1)
+		s.postLocked(ri, ch, f, nil, 0)
 		return true
 	}
 	return false
 }
 
-// pumpBacklogLocked runs the plan builder over the eligible backlog view.
-// The view, the strategy context and the plan live only for this pump;
-// builders must not retain any of them past Build.
-func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
+// pumpBacklogLocked runs the plan builder over the shard's eligible backlog
+// view. The view, the strategy context and the plan live only for this
+// pump; builders must not retain any of them past Build. Caller holds s.mu.
+func (s *shard) pumpBacklogLocked(b *strategy.Bundle, ri, ch int) bool {
+	e := s.eng
 	r := e.rails[ri]
 	info := e.railInfo(ri)
 	numCh := r.NumChannels()
+	tun := e.tun.Load()
 
-	view := e.eligibleLocked(info, ch, numCh)
+	view := s.eligibleLocked(b, info, ch, numCh, tun.lookahead)
 	if len(view) == 0 {
 		return false
 	}
-	e.planCtx = strategy.Context{
+	s.planCtx = strategy.Context{
 		Now:     e.rt.Now(),
 		Caps:    r.Caps(),
 		Mem:     r.Mem(),
 		Backlog: view,
-		Budget:  e.cfg.SearchBudget,
+		Budget:  tun.searchBudget,
 	}
-	plan := e.bundle.Builder.Build(&e.planCtx)
+	plan := b.Builder.Build(&s.planCtx)
 	if plan == nil || len(plan.Packets) == 0 {
 		return false
 	}
 	if !packet.OrderedSubset(plan.Packets) {
-		panic(fmt.Sprintf("core: strategy %q produced an order-violating plan", e.bundle.Builder.Name()))
+		panic(fmt.Sprintf("core: strategy %q produced an order-violating plan", b.Builder.Name()))
 	}
-	e.takenScratch = e.backlog.removePlan(plan.Packets, e.takenScratch[:0])
-	if e.backlog.size == 0 && e.nagleArmed {
+	s.takenScratch = s.backlog.removePlan(plan.Packets, s.takenScratch[:0])
+	taken := int64(len(plan.Packets))
+	s.nBacklog.Add(-taken)
+	e.backlogSz.Add(-taken)
+	if s.backlog.size == 0 && s.nagleArmed {
 		// The idle path drained everything the delay was holding; retire
 		// the timer silently (neither a fire nor an early flush — the
 		// packets left through a genuine idle upcall, so the delay was
 		// neither pure latency nor pressure-cut).
-		e.disarmNagleLocked()
+		s.disarmNagleLocked()
 	}
 
 	// The frame is pooled: on wire rails the owner goroutine releases it
@@ -397,16 +422,16 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 		// before a plan pulled it, keyed by its class and the rail the
 		// plan was built for.
 		if p.Enqueued > 0 {
-			e.spans.Observe(int(SpanQueueWait), int(p.Class), ri, float64(e.planCtx.Now.Sub(p.Enqueued)))
+			e.spans.Observe(int(SpanQueueWait), int(p.Class), ri, float64(s.planCtx.Now.Sub(p.Enqueued)))
 		}
 	}
-	e.postLocked(ri, ch, f, plan.Packets, plan.HostExtra)
+	s.postLocked(ri, ch, f, plan.Packets, plan.HostExtra)
 
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindPlan, Node: e.node,
 		Flow: plan.Packets[0].Flow, Seq: plan.Packets[0].Seq,
 		A: len(plan.Packets), B: plan.Evaluated,
-		Note: e.bundle.Builder.Name(),
+		Note: b.Builder.Name(),
 	})
 	e.hPlanPackets.Add(float64(len(plan.Packets)))
 	e.hPlanEvaluated.Add(float64(plan.Evaluated))
@@ -416,28 +441,30 @@ func (e *Engine) pumpBacklogLocked(ri, ch int) bool {
 	if len(plan.Packets) > 1 {
 		e.cAggregates.Inc()
 		e.cAggregatedPkts.Add(uint64(len(plan.Packets)))
-		e.ctr.aggregates++
+		s.ctr.aggregates++
 	}
 	return true
 }
 
-// eligibleLocked builds the backlog view for one (rail, channel): packets
-// admitted by the rail and class policies, in submission order, up to the
-// lookahead window. The backlog index lets the uniform filters act on
-// whole queues — a class the channel refuses, a destination the rail lost
-// — while the per-packet rail policy runs only on merge survivors. The
-// merge is by SubmitSeq, so the view is exactly the submission-order scan
-// of the old flat backlog. The returned slice is engine-owned scratch,
-// valid until the next pump.
-func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet.Packet {
-	limit := e.cfg.Lookahead
-	view := e.viewScratch[:0]
-	cur := e.curScratch[:0]
-	for _, q := range e.backlog.list {
+// eligibleLocked builds the shard's backlog view for one (rail, channel):
+// packets admitted by the rail and class policies, in submission order, up
+// to the lookahead window. The backlog index lets the uniform filters act
+// on whole queues — a class the channel refuses, a destination the rail
+// lost — while the per-packet rail policy runs only on merge survivors.
+// The merge is by SubmitSeq, the engine-global submission order, so with
+// one shard the view is exactly the submission-order scan of the old flat
+// backlog, and with many shards each view is the submission-order scan of
+// that shard's destinations. The returned slice is shard-owned scratch,
+// valid until the shard's next pump. Caller holds s.mu.
+func (s *shard) eligibleLocked(b *strategy.Bundle, info strategy.RailInfo, ch, numCh, limit int) []*packet.Packet {
+	e := s.eng
+	view := s.viewScratch[:0]
+	cur := s.curScratch[:0]
+	for _, q := range s.backlog.list {
 		if q.size() == 0 {
 			continue
 		}
-		if !e.bundle.Classes.Allowed(q.key.class, ch, numCh) {
+		if !b.Classes.Allowed(q.key.class, ch, numCh) {
 			continue
 		}
 		if !e.railReaches(info.Index, q.key.dst) {
@@ -465,7 +492,7 @@ func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet
 		c := &cur[best]
 		p := c.q.pkts[c.pos]
 		c.pos++
-		if !e.bundle.Rail.Eligible(p, info) {
+		if !b.Rail.Eligible(p, info) {
 			continue
 		}
 		view = append(view, p)
@@ -473,12 +500,14 @@ func (e *Engine) eligibleLocked(info strategy.RailInfo, ch, numCh int) []*packet
 			break
 		}
 	}
-	e.viewScratch = view[:0]
-	e.curScratch = cur[:0]
+	s.viewScratch = view[:0]
+	s.curScratch = cur[:0]
 	return view
 }
 
-func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
+// popFrameLocked pops the oldest frame off q, keeping its work hint in
+// step. Caller holds s.mu.
+func (s *shard) popFrameLocked(q *[]*packet.Frame, hint *atomic.Int64) *packet.Frame {
 	if len(*q) == 0 {
 		return nil
 	}
@@ -486,21 +515,25 @@ func (e *Engine) popFrameLocked(q *[]*packet.Frame) *packet.Frame {
 	copy(*q, (*q)[1:])
 	(*q)[len(*q)-1] = nil
 	*q = (*q)[:len(*q)-1]
+	hint.Add(-1)
 	return f
 }
 
 // postLocked hands a frame to the driver and accounts for it. Posting to an
 // idle channel must succeed; a busy error here means the engine's view of
 // channel state diverged from the driver's, which is a bug worth crashing
-// on in the simulator. Under the loopback driver a race between FirstIdle
-// and a concurrent Post is impossible because all posts happen under e.mu.
+// on in the simulator. A race between the chanPump's idle check and a
+// concurrent post to the same channel is impossible because every post to
+// (ri, ch) happens under that channel's chanPump lock.
 //
 // ErrPeerDown is the exception: real transports lose peers at any moment,
 // and the contract is that a dead destination releases rather than wedges.
-// The frame joins the failover queue — to re-travel on a rail that still
-// reaches the peer, or to wait out a partition until a heal — instead of
-// being dropped: the engine owns the frame until some rail accepts it.
-func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
+// The frame joins the shard's failover queue — to re-travel on a rail that
+// still reaches the peer, or to wait out a partition until a heal — instead
+// of being dropped: the shard owns the frame until some rail accepts it.
+// Caller holds s.mu.
+func (s *shard) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, hostExtra simnet.Duration) {
+	e := s.eng
 	// Ownership of f transfers to the driver at a successful Post: a wire
 	// rail's owner goroutine may serialize and release it concurrently
 	// with the accounting below, so everything the trace needs is read
@@ -513,7 +546,8 @@ func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, 
 	f.Posted = e.rt.Now()
 	if err := e.rails[ri].Post(ch, f, hostExtra); err != nil {
 		if errors.Is(err, drivers.ErrPeerDown) {
-			e.failQ = append(e.failQ, f)
+			s.failQ = append(s.failQ, f)
+			s.nFail.Add(1)
 			e.set.Counter("core.peer_down_posts").Inc()
 			e.rec.Record(trace.Event{
 				At: e.rt.Now(), Kind: trace.KindFault, Node: e.node,
@@ -525,14 +559,14 @@ func (e *Engine) postLocked(ri, ch int, f *packet.Frame, pkts []*packet.Packet, 
 	}
 	e.cFramesPosted.Inc()
 	e.railCtr[ri].Inc()
-	e.ctr.framesPosted++
-	e.railFrames[ri]++
+	s.ctr.framesPosted++
+	s.railFrames[ri]++
 	e.rec.Record(trace.Event{
 		At: e.rt.Now(), Kind: trace.KindPost, Node: e.node,
 		A: ri, B: wire, Note: kind.String(),
 	})
 	if len(pkts) > 0 {
 		e.cPacketsSent.Add(uint64(len(pkts)))
-		e.ctr.packetsSent += uint64(len(pkts))
+		s.ctr.packetsSent += uint64(len(pkts))
 	}
 }

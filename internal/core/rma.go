@@ -9,18 +9,21 @@ import (
 // Remote-memory-access surface of the engine. Put/get transfers are the
 // third traffic class the paper names; middlewares (the DSM in particular)
 // use these instead of packet flows when they want one-sided semantics.
+// The RMA protocol engine is receive-side state, so it lives under pmu;
+// the frames it builds are send-side work and join the destination
+// shard's bulk queue.
 
 // RegisterWindow exposes buf to remote put/get under window id.
 func (e *Engine) RegisterWindow(id int32, buf []byte) {
-	e.mu.Lock()
+	e.pmu.Lock()
 	e.rma.RegisterWindow(id, buf)
-	e.mu.Unlock()
+	e.pmu.Unlock()
 }
 
 // Window returns a registered window's buffer.
 func (e *Engine) Window(id int32) ([]byte, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
 	return e.rma.Window(id)
 }
 
@@ -30,22 +33,26 @@ func (e *Engine) Put(dst packet.NodeID, window int32, off int64, data []byte, do
 	if dst == e.node {
 		return fmt.Errorf("core: RMA put to self")
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	e.pmu.Lock()
+	if e.closed.Load() {
+		e.pmu.Unlock()
 		return fmt.Errorf("core: engine closed")
 	}
 	// Completion callbacks fire inside the frame dispatcher, which runs
-	// under the engine lock; wrap them so the user code runs after unlock
-	// and may re-enter the engine.
+	// under pmu; wrap them so the user code runs after unlock and may
+	// re-enter the engine.
 	wrapped := done
 	if done != nil {
 		wrapped = func() { e.pendingFns = append(e.pendingFns, done) }
 	}
 	f := e.rma.Put(dst, window, off, data, wrapped)
-	e.bulkQ = append(e.bulkQ, f)
+	s := e.shardOf(dst)
+	s.mu.Lock()
+	s.bulkQ = append(s.bulkQ, f)
+	s.nBulk.Add(1)
+	s.mu.Unlock()
 	e.set.Counter("core.rma_puts").Inc()
-	e.mu.Unlock()
+	e.pmu.Unlock()
 	e.pumpAll()
 	return nil
 }
@@ -58,18 +65,22 @@ func (e *Engine) Get(dst packet.NodeID, window int32, off int64, n int, done fun
 	if done == nil {
 		return fmt.Errorf("core: RMA get requires a callback")
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	e.pmu.Lock()
+	if e.closed.Load() {
+		e.pmu.Unlock()
 		return fmt.Errorf("core: engine closed")
 	}
 	wrapped := func(data []byte) {
 		e.pendingFns = append(e.pendingFns, func() { done(data) })
 	}
 	f := e.rma.Get(dst, window, off, n, wrapped)
-	e.bulkQ = append(e.bulkQ, f)
+	s := e.shardOf(dst)
+	s.mu.Lock()
+	s.bulkQ = append(s.bulkQ, f)
+	s.nBulk.Add(1)
+	s.mu.Unlock()
 	e.set.Counter("core.rma_gets").Inc()
-	e.mu.Unlock()
+	e.pmu.Unlock()
 	e.pumpAll()
 	return nil
 }

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"newmad/internal/packet"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// The sharded engine core. The optimizer's unit of aggregation is the
+// destination — plans are single-destination by construction (see
+// pumpBacklogLocked's OrderedSubset check and backlogKey) — so the engine
+// partitions its send-side state by destination: each shard owns a slice
+// of the backlog index, the reactive control/bulk queues, the failover
+// queue and the Nagle delay for the destinations hashed onto it. Flows
+// sharing a destination still land in one shard, which is exactly the
+// cross-flow view the paper's aggregation needs; flows to different
+// destinations stop contending on anything but the NIC channels
+// themselves.
+//
+// Three lock tiers, in acquisition order:
+//
+//	Engine.pmu  > shard.mu  > stats/trace leaf locks
+//	chanPump.mu > shard.mu  > stats/trace leaf locks
+//
+// pmu serializes the receive/protocol side (reassembly, rendezvous state,
+// RMA windows, delivery batching, retry timers); it may take shard locks
+// to queue reactive frames, never the reverse. chanPump serializes one NIC
+// channel's pump, scanning shards for work; it may take shard locks, never
+// pmu. Submit reaches a shard through a lock-free MPSC inbox and never
+// touches pmu unless the packet goes rendezvous.
+
+// shardOf maps a destination to its owning shard. Plain modulo: node IDs
+// are dense small integers in every deployment this engine targets, so
+// consecutive destinations spread perfectly without a mixing step.
+func (e *Engine) shardOf(dst packet.NodeID) *shard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	return e.shards[uint64(dst)%uint64(len(e.shards))]
+}
+
+// shard owns the send-side state for one destination group.
+type shard struct {
+	idx int
+	eng *Engine
+
+	// inbox is the lock-free submit handoff; nInbox counts packets pushed
+	// but not yet drained (conservatively: incremented before the push
+	// completes). draining elects the single drainer; see submitKick.
+	inbox    submitInbox
+	nInbox   atomic.Int64
+	draining atomic.Bool
+
+	// Work hints, readable without mu: a channel pump skips shards whose
+	// hints are all zero instead of taking every shard lock per pump. They
+	// are updated under mu at the same point as the queues they mirror, so
+	// a hint can be momentarily stale only in the direction of a missed
+	// skip (the enqueuer's own pump follows and sees it).
+	nCtrl    atomic.Int64
+	nBulk    atomic.Int64
+	nFail    atomic.Int64
+	nBacklog atomic.Int64
+
+	// favorBulk round-robins fairness between backlog and bulkQ, per shard.
+	// It toggles on every planned-work visit — including visits the work
+	// hints short-circuit — because that is what the single-lock engine
+	// did: its alternation advanced on every pump that reached the
+	// backlog/bulk stage, work or no work. Keeping that cadence keeps the
+	// one-shard engine's schedule byte-identical to the legacy one.
+	// Atomic so the toggle happens before (outside) the shard lock the
+	// hint skip avoids.
+	favorBulk atomic.Bool
+
+	mu      sync.Mutex
+	backlog backlogIndex    // waiting packets, indexed by (dst, class)
+	ctrlQ   []*packet.Frame // reactive control frames (RTS/CTS/Ack)
+	bulkQ   []*packet.Frame // granted rendezvous data, RMA frames
+	failQ   []*packet.Frame // frames whose rail died under them
+
+	// Per-shard Nagle delay: a shard arms its own timer for its own
+	// backlog, keyed by a generation so wall-clock stale fires are inert.
+	nagleArmed  bool
+	nagleCancel simnet.CancelFunc
+	nagleGen    uint64
+
+	// ctr/railFrames are this shard's slice of the engine-private
+	// observation counters; MetricsInto sums them across shards.
+	ctr        counters
+	railFrames []uint64
+
+	// Pump scratch, reused across pumps so the steady-state eager path
+	// allocates nothing: the eligible view and its merge cursors, the
+	// per-queue removal subsequences, the strategy context handed to plan
+	// builders (builders must not retain it past Build), and the probe
+	// packets the class/rail policies are consulted with.
+	viewScratch  []*packet.Packet
+	curScratch   []backlogCursor
+	takenScratch []*packet.Packet
+	planCtx      strategy.Context
+	ctrlProbe    packet.Packet
+	bulkProbe    packet.Packet
+}
+
+// submitKick drains s.inbox into the shard's backlog and pumps. At most
+// one goroutine drains at a time: a producer that loses the election
+// returns immediately — the active drainer's post-release re-check picks
+// its packet up. The handoff is the standard flag-and-recheck: the
+// producer pushes, then tries to become drainer; if that fails, the
+// current drainer has not yet cleared `draining`, so its subsequent
+// nInbox load (sequenced after the clear) observes the push.
+func (s *shard) submitKick() {
+	for {
+		if !s.draining.CompareAndSwap(false, true) {
+			return
+		}
+		s.mu.Lock()
+		n, pump := s.drainInboxLocked()
+		s.mu.Unlock()
+		s.draining.Store(false)
+		if pump {
+			s.eng.pumpAll()
+		}
+		if s.nInbox.Load() == 0 {
+			return
+		}
+		if n == 0 {
+			// A producer is mid-push (swapped the inbox head, not yet
+			// linked). Yield rather than spin on its two instructions.
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainInboxLocked moves every poppable inbox packet into the backlog,
+// applying the per-packet submit accounting and the Nagle arm/flush
+// decision. Returns the number of packets drained and whether the caller
+// should pump (false when every drained packet was absorbed into an armed
+// artificial delay). Caller holds s.mu.
+func (s *shard) drainInboxLocked() (drained int, pump bool) {
+	e := s.eng
+	for {
+		p := s.inbox.pop()
+		if p == nil {
+			return drained, pump
+		}
+		s.nInbox.Add(-1)
+		drained++
+		if e.closed.Load() {
+			// A Submit that raced Close: the packet was accepted while the
+			// engine was still open and is discarded with the rest of the
+			// backlog, exactly as an already-queued packet would be.
+			continue
+		}
+		tun := e.tun.Load()
+		s.ctr.submitted++
+		s.ctr.submittedBytes += uint64(p.Size())
+		if p.Class == packet.ClassControl {
+			s.ctr.submittedCtrl++
+		}
+		s.ctr.eagerBytes += uint64(p.Size())
+		s.backlog.push(p)
+		s.nBacklog.Add(1)
+		gsz := e.backlogSz.Add(1)
+		e.notePeak(gsz)
+
+		// Nagle: submission-triggered sends may be delayed briefly; the
+		// idle upcall path always sends immediately. The flush decision
+		// reads the global backlog depth — pressure anywhere flushes, as
+		// it did when one lock owned the whole backlog.
+		if tun.nagleDelay > 0 && int(gsz) < tun.nagleFlush {
+			if !s.nagleArmed {
+				s.nagleArmed = true
+				s.nagleGen++
+				gen := s.nagleGen
+				s.nagleCancel = e.rt.Schedule(tun.nagleDelay, "core.nagle", func() { e.onNagle(s, gen) })
+				e.rec.Record(trace.Event{
+					At: e.rt.Now(), Kind: trace.KindNagleArm, Node: e.node,
+					A: int(tun.nagleDelay), B: int(gsz),
+				})
+			}
+			continue
+		}
+		if s.nagleArmed {
+			s.ctr.nagleEarly++
+			s.disarmNagleLocked()
+		}
+		pump = true
+	}
+}
+
+// disarmNagleLocked retires the shard's armed delay. The generation bump
+// makes a timer fire that lost the race against this disarm (possible on
+// the wall-clock runtime, where cancelling an already-running callback is
+// a no-op) recognize itself as stale. Caller holds s.mu.
+func (s *shard) disarmNagleLocked() {
+	s.nagleArmed = false
+	s.nagleGen++
+	if s.nagleCancel != nil {
+		s.nagleCancel()
+		s.nagleCancel = nil
+	}
+}
+
+// onNagle fires when a shard's artificial delay expires.
+func (e *Engine) onNagle(s *shard, gen uint64) {
+	s.mu.Lock()
+	if gen != s.nagleGen {
+		// Stale fire: this arming was disarmed (and possibly re-armed)
+		// while the callback was already in flight.
+		s.mu.Unlock()
+		return
+	}
+	s.nagleArmed = false
+	s.nagleCancel = nil
+	s.ctr.nagleFires++
+	s.mu.Unlock()
+	e.set.Counter("core.nagle_flushes").Inc()
+	e.rec.Record(trace.Event{At: e.rt.Now(), Kind: trace.KindNagleFire, Node: e.node, A: int(e.backlogSz.Load())})
+	e.pumpAll()
+}
+
+// notePeak maintains the backlog high-water mark and mirrors new maxima
+// into the core.backlog_peak gauge.
+func (e *Engine) notePeak(depth int64) {
+	for {
+		pk := e.backlogPeak.Load()
+		if depth <= pk {
+			return
+		}
+		if e.backlogPeak.CompareAndSwap(pk, depth) {
+			e.set.SetGauge("core.backlog_peak", float64(depth))
+			return
+		}
+	}
+}
+
+// chanPump serializes pumping of one (rail, channel): exactly one
+// goroutine runs the idle-check → shard-scan → Post sequence at a time, so
+// a post to an idle channel can never race another post to the same
+// channel. A contender that fails the TryLock leaves its request in
+// `pending` (and `pendingIdle` when it carries a genuine NIC-idle
+// activation); the holder re-pumps until no request remains, so no kick is
+// ever lost. rotor rotates the shard scan start so no shard is
+// systematically served first; it is guarded by mu.
+type chanPump struct {
+	mu          sync.Mutex
+	pending     atomic.Bool
+	pendingIdle atomic.Bool
+	rotor       int
+}
+
+// kickChannel requests a pump of (rail ri, channel ch). idleUpcall marks a
+// genuine NIC-idle activation (which an armed Nagle delay never holds
+// against, per the paper).
+func (e *Engine) kickChannel(ri, ch int, idleUpcall bool) {
+	cp := &e.pumps[ri][ch]
+	cp.pending.Store(true)
+	if idleUpcall {
+		cp.pendingIdle.Store(true)
+	}
+	for {
+		if !cp.mu.TryLock() {
+			// The holder clears pending before pumping and re-checks after
+			// releasing, so our request is either seen or re-run.
+			return
+		}
+		if !cp.pending.Load() {
+			cp.mu.Unlock()
+			return
+		}
+		cp.pending.Store(false)
+		idle := cp.pendingIdle.Swap(false) || idleUpcall
+		e.pumpChannel(ri, ch, idle, cp)
+		cp.mu.Unlock()
+		if !cp.pending.Load() {
+			return
+		}
+	}
+}
+
+// pumpChannel offers (rail ri, channel ch) the most valuable work across
+// all shards. Priority order matches the single-lock engine exactly:
+// reactive control frames and failover re-posts from any shard first, then
+// planned backlog/bulk work. The scan starts at the channel's rotor so
+// shard service order rotates deterministically. Caller holds cp.mu.
+func (e *Engine) pumpChannel(ri, ch int, idleUpcall bool, cp *chanPump) {
+	r := e.rails[ri]
+	if !r.ChannelIdle(ch) {
+		return
+	}
+	shards := e.shards
+	n := len(shards)
+	start := cp.rotor
+	cp.rotor++
+	if cp.rotor >= n {
+		cp.rotor = 0
+	}
+	b := e.bundle.Load()
+	// Pass 1: control/signalling and failover traffic — latency-critical,
+	// never queues behind data.
+	for i := 0; i < n; i++ {
+		s := shards[(start+i)%n]
+		if s.nCtrl.Load() == 0 && s.nFail.Load() == 0 {
+			continue
+		}
+		s.mu.Lock()
+		posted := s.pumpReactiveLocked(b, ri, ch)
+		s.mu.Unlock()
+		if posted {
+			return
+		}
+	}
+	// Pass 2: planned work — the eager backlog and granted bulk.
+	for i := 0; i < n; i++ {
+		s := shards[(start+i)%n]
+		fav := s.favorBulk.Load()
+		s.favorBulk.Store(!fav)
+		if s.nBacklog.Load() == 0 && s.nBulk.Load() == 0 {
+			continue
+		}
+		s.mu.Lock()
+		posted := s.pumpWorkLocked(b, ri, ch, idleUpcall, fav)
+		s.mu.Unlock()
+		if posted {
+			return
+		}
+	}
+}
+
+// submitInbox is an intrusive MPSC queue (Vyukov-style): producers push
+// with one atomic swap and one store, the single consumer (whoever holds
+// the drain election) pops without contention. Nodes are pooled so the
+// steady-state submit path allocates nothing.
+type submitInbox struct {
+	head atomic.Pointer[submitNode] // most recently pushed
+	tail *submitNode                // consumer cursor; consumer-owned
+	stub submitNode
+}
+
+type submitNode struct {
+	next atomic.Pointer[submitNode]
+	p    *packet.Packet
+}
+
+var submitNodePool = sync.Pool{New: func() any { return new(submitNode) }}
+
+func (q *submitInbox) init() {
+	q.head.Store(&q.stub)
+	q.tail = &q.stub
+}
+
+// push appends p. Safe for any number of concurrent producers.
+func (q *submitInbox) push(p *packet.Packet) {
+	n := submitNodePool.Get().(*submitNode)
+	n.p = p
+	n.next.Store(nil)
+	prev := q.head.Swap(n)
+	// Between the swap and this store the chain is momentarily
+	// disconnected; pop reports empty and the producer's kick re-drains.
+	prev.next.Store(n)
+}
+
+// pop removes the oldest packet, or returns nil when the inbox is empty or
+// a producer is mid-push. Single consumer only (callers hold shard.mu).
+func (q *submitInbox) pop() *packet.Packet {
+	t := q.tail
+	next := t.next.Load()
+	if t == &q.stub {
+		if next == nil {
+			return nil
+		}
+		q.tail = next
+		t = next
+		next = t.next.Load()
+	}
+	if next != nil {
+		q.tail = next
+		p := t.p
+		t.p = nil
+		submitNodePool.Put(t)
+		return p
+	}
+	if t != q.head.Load() {
+		// A producer swapped the head but has not linked yet.
+		return nil
+	}
+	// t is the last real node: thread the stub behind it so t becomes
+	// poppable. Only this consumer ever pushes the stub.
+	q.stub.next.Store(nil)
+	prev := q.head.Swap(&q.stub)
+	prev.next.Store(&q.stub)
+	if next = t.next.Load(); next != nil {
+		q.tail = next
+		p := t.p
+		t.p = nil
+		submitNodePool.Put(t)
+		return p
+	}
+	return nil
+}
+
+// drainDiscardLocked empties the inbox without processing (Close path).
+// Caller holds s.mu.
+func (s *shard) drainDiscardLocked() {
+	for s.inbox.pop() != nil {
+		s.nInbox.Add(-1)
+	}
+}
+
+// newShard builds one shard with its scratch sized for the engine's rails.
+func newShard(e *Engine, idx int) *shard {
+	s := &shard{
+		idx:        idx,
+		eng:        e,
+		railFrames: make([]uint64, len(e.rails)),
+	}
+	s.inbox.init()
+	s.ctrlProbe = packet.Packet{Class: packet.ClassControl}
+	return s
+}
+
+// mergeCounters folds this shard's private counters into out under the
+// shard lock (MetricsInto's snapshot path).
+func (s *shard) mergeInto(m *Metrics) {
+	s.mu.Lock()
+	m.Backlog += s.backlog.size
+	m.CtrlQueued += len(s.ctrlQ)
+	m.BulkQueued += len(s.bulkQ)
+	m.FailoverQueued += len(s.failQ)
+	m.Submitted += s.ctr.submitted
+	m.SubmittedBytes += s.ctr.submittedBytes
+	m.SubmittedCtrl += s.ctr.submittedCtrl
+	m.EagerBytes += s.ctr.eagerBytes
+	m.RdvBytes += s.ctr.rdvBytes
+	m.FramesPosted += s.ctr.framesPosted
+	m.PacketsSent += s.ctr.packetsSent
+	m.Aggregates += s.ctr.aggregates
+	m.NagleFires += s.ctr.nagleFires
+	m.NagleEarly += s.ctr.nagleEarly
+	m.FramesReclaimed += s.ctr.framesReclaimed
+	m.Failovers += s.ctr.failovers
+	for i, v := range s.railFrames {
+		m.RailFrames[i] += v
+	}
+	s.mu.Unlock()
+}
+
+// Shards returns the number of pump shards the engine runs (diagnostic;
+// 1 means the legacy single-shard layout).
+func (e *Engine) Shards() int { return len(e.shards) }

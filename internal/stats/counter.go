@@ -4,33 +4,26 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing tally. The zero value is zero.
-// Counters are written from the single simulation goroutine in virtual-time
-// runs but may be read concurrently by reporting code, so all access is
-// mutex-guarded; the cost is irrelevant at simulation event rates.
+// Counters are lock-free: the sharded engine core increments the hot-path
+// counters (frames posted, packets sent, per-rail tallies) from several
+// pump goroutines at once, so an increment must cost one atomic add — not
+// a mutex handoff ping-ponging a lock line between shards.
 type Counter struct {
-	mu sync.Mutex
-	v  uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current tally.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Set is a named registry of counters and histograms, one per engine or
 // experiment. The zero value is ready to use.

@@ -9,13 +9,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Histogram records a distribution of non-negative float64 samples in
 // logarithmic buckets (powers of 2 by default), keeping exact aggregates
 // (count/sum/min/max) alongside for precise means. The zero value is ready
 // to use.
+//
+// All methods are safe for concurrent use: the sharded engine core records
+// plan and delivery latencies from several pump goroutines at once while
+// reporting code reads quantiles, so every access is serialized on an
+// internal mutex. Merge snapshots its argument before locking the
+// receiver, so two histograms can be merged in either direction without a
+// lock-order constraint.
 type Histogram struct {
+	mu      sync.Mutex
 	buckets map[int]uint64 // bucket index -> count
 	count   uint64
 	sum     float64
@@ -37,6 +46,12 @@ func (h *Histogram) Add(v float64) {
 	if v < 0 {
 		v = 0
 	}
+	h.mu.Lock()
+	h.addLocked(v)
+	h.mu.Unlock()
+}
+
+func (h *Histogram) addLocked(v float64) {
 	if h.buckets == nil {
 		h.buckets = make(map[int]uint64)
 		h.min = math.Inf(1)
@@ -66,13 +81,27 @@ func bucketOf(v float64) int {
 }
 
 // Count returns the number of samples recorded.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -81,6 +110,12 @@ func (h *Histogram) Mean() float64 {
 
 // Min returns the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.minLocked()
+}
+
+func (h *Histogram) minLocked() float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -89,6 +124,12 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the largest sample, or 0 with no samples.
 func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxLocked()
+}
+
+func (h *Histogram) maxLocked() float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -99,14 +140,20 @@ func (h *Histogram) Max() float64 {
 // samples the answer is exact; beyond that it interpolates within log
 // buckets, which is adequate for the latency tails reported by madbench.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.Min()
+		return h.minLocked()
 	}
 	if q >= 1 {
-		return h.Max()
+		return h.maxLocked()
 	}
 	if h.count == 1 || h.min == h.max {
 		// One sample, or a degenerate distribution collapsed into a single
@@ -142,15 +189,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum+n >= target {
 			lo, hi := bucketBounds(b)
 			frac := (target - cum) / n
-			return h.clamp(lo + frac*(hi-lo))
+			return h.clampLocked(lo + frac*(hi-lo))
 		}
 		cum += n
 	}
-	return h.Max()
+	return h.maxLocked()
 }
 
-// clamp bounds an interpolated quantile to the exact sample envelope.
-func (h *Histogram) clamp(v float64) float64 {
+// clampLocked bounds an interpolated quantile to the exact sample envelope.
+func (h *Histogram) clampLocked(v float64) float64 {
 	if v < h.min {
 		return h.min
 	}
@@ -170,10 +217,12 @@ func bucketBounds(b int) (lo, hi float64) {
 // Stddev returns the sample standard deviation (exact while the reservoir
 // holds, else approximated from bucket midpoints).
 func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count < 2 {
 		return 0
 	}
-	mean := h.Mean()
+	mean := h.meanLocked()
 	var ss float64
 	if !h.overflow {
 		for _, v := range h.samples {
@@ -196,6 +245,12 @@ func (h *Histogram) Stddev() float64 {
 // absorbing samples (telemetry snapshots clone under the owner's lock and
 // do the expensive quantile math outside it).
 func (h *Histogram) Clone() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cloneLocked()
+}
+
+func (h *Histogram) cloneLocked() *Histogram {
 	out := &Histogram{
 		count:    h.count,
 		sum:      h.sum,
@@ -221,6 +276,8 @@ func (h *Histogram) Clone() *Histogram {
 // histogram — FromBuckets reconstructs a quantile-capable Histogram from
 // it on the other side of a JSON boundary.
 func (h *Histogram) Buckets() map[int]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.buckets) == 0 {
 		return nil
 	}
@@ -255,28 +312,36 @@ func FromBuckets(buckets map[int]uint64, count uint64, sum, min, max float64) *H
 	return h
 }
 
-// Merge folds other into h.
+// Merge folds other into h. The argument is snapshotted before the
+// receiver locks, so concurrent merges in opposite directions cannot
+// deadlock (each sees a consistent point-in-time view of the other).
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || other.count == 0 {
+	if other == nil {
 		return
 	}
+	snap := other.Clone()
+	if snap.count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.buckets == nil {
 		h.buckets = make(map[int]uint64)
 		h.min = math.Inf(1)
 		h.max = math.Inf(-1)
 	}
-	for b, n := range other.buckets {
+	for b, n := range snap.buckets {
 		h.buckets[b] += n
 	}
-	h.count += other.count
-	h.sum += other.sum
-	if other.min < h.min {
-		h.min = other.min
+	h.count += snap.count
+	h.sum += snap.sum
+	if snap.min < h.min {
+		h.min = snap.min
 	}
-	if other.max > h.max {
-		h.max = other.max
+	if snap.max > h.max {
+		h.max = snap.max
 	}
-	for _, v := range other.samples {
+	for _, v := range snap.samples {
 		if len(h.samples) < reservoirCap {
 			h.samples = append(h.samples, v)
 		} else {
@@ -284,13 +349,14 @@ func (h *Histogram) Merge(other *Histogram) {
 			break
 		}
 	}
-	if other.overflow {
+	if snap.overflow {
 		h.overflow = true
 	}
 }
 
 // String summarizes the distribution for debug output.
 func (h *Histogram) String() string {
+	s := h.Clone()
 	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
-		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		s.count, s.meanLocked(), s.quantileLocked(0.5), s.quantileLocked(0.99), s.maxLocked())
 }

@@ -34,7 +34,11 @@ type Context struct {
 	Caps caps.Caps
 	Mem  memsim.Model
 	// Backlog is the view of waiting packets eligible for this NIC, in
-	// submission order. Builders must not mutate it.
+	// submission order. Builders must not mutate it. On a sharded engine
+	// this is one shard's eligible view, not the whole node's: the engine
+	// shards by destination, so everything aggregatable into one frame
+	// (one destination's flows) is always visible together, and a builder
+	// never needs to look past the slice it was given.
 	Backlog []*packet.Packet
 	// Budget bounds how many candidate arrangements the builder may
 	// evaluate (the paper's future-work question, reproduced by E6).

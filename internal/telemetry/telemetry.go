@@ -290,6 +290,10 @@ type FleetTotals struct {
 	Failovers       uint64 `json:"failovers"`
 	RdvRetries      uint64 `json:"rdv_retries"`
 	RailDowns       uint64 `json:"rail_downs"`
+	// PumpShards sums the engines' pump-shard counts, so a fleet mixing
+	// sharded wall-clock nodes with serialized sim nodes is legible from
+	// the roll-up alone (per-node counts are in each NodeSnapshot).
+	PumpShards uint64 `json:"pump_shards"`
 }
 
 func (t *FleetTotals) add(m *core.Metrics) {
@@ -308,6 +312,7 @@ func (t *FleetTotals) add(m *core.Metrics) {
 	for _, d := range m.RailDowns {
 		t.RailDowns += d
 	}
+	t.PumpShards += uint64(m.Shards)
 }
 
 // RoleRollup is one role's merged view: summed totals plus per-span
