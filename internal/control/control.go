@@ -95,9 +95,12 @@ type Options struct {
 	// weight driven to zero through the engine's rail-weight knob, draining
 	// new traffic off the flapping connection — and restored after
 	// RailHealSamples consecutive clean samples. Regime retunes and rail
-	// demotion compose: a retune re-applies its tuning's RailWeights, then
-	// the controller re-zeroes whatever is still demoted. No-op on engines
-	// whose rail policy is not weight-tunable. Off by default.
+	// demotion compose in a single write: a retune folds the demotion mask
+	// into its tuning's RailWeights before touching the engine, so a
+	// demoted rail can never resurface between health samples and a
+	// chaos-driven flap storm costs one cheap weight update per event.
+	// No-op on engines whose rail policy is not weight-tunable. Off by
+	// default.
 	DemoteLossyRails bool
 	// RailHealSamples is how many consecutive loss-free samples restore a
 	// demoted rail (default 8).
@@ -397,9 +400,10 @@ func (c *Controller) tick() {
 	}
 
 	if c.o.DemoteLossyRails {
-		// After a regime retune re-applied its tuning's weights, re-zero
-		// whatever is still demoted (compose, don't fight).
-		c.railHealth(m, applied != nil)
+		// A regime retune already carried the demotion mask in its own
+		// composed weight write (c.apply); this pass only reacts to new
+		// demote/restore evidence in the sample.
+		c.railHealth(m)
 	}
 
 	c.mu.Lock()
@@ -411,10 +415,11 @@ func (c *Controller) tick() {
 
 // railHealth is the lossy-rail demotion loop: one pass per sample. A rail
 // with new peer-down events since the last sample loses its scheduling
-// weight; RailHealSamples clean samples earn it back. reassert forces the
-// demotion zeroes back onto the engine after a regime retune replaced the
-// weights.
-func (c *Controller) railHealth(m core.Metrics, reassert bool) {
+// weight; RailHealSamples clean samples earn it back. It writes weights
+// only on an actual demote/restore event — regime retunes carry the
+// demotion mask themselves (composeRailWeights), so there is no window in
+// which a retune's weights resurrect a demoted rail.
+func (c *Controller) railHealth(m core.Metrics) {
 	c.mu.Lock()
 	if c.lastDowns == nil {
 		// Baseline at zero, where the engine's counters start: a rail that
@@ -424,7 +429,7 @@ func (c *Controller) railHealth(m core.Metrics, reassert bool) {
 		c.demoted = make([]bool, len(m.RailDowns))
 		c.cleanStreak = make([]int, len(m.RailDowns))
 	}
-	changed := reassert
+	changed := false
 	var events []string
 	var restored []int
 	for i := range m.RailDowns {
@@ -527,6 +532,14 @@ func (c *Controller) classify(sig Signals) Mode {
 // the controller uses — any knob added to strategy.Tuning is wired here
 // once.
 func Apply(eng *core.Engine, t strategy.Tuning) error {
+	return applyTuning(eng, t, nil)
+}
+
+// applyTuning is Apply with a rail-demotion mask: when the controller's
+// rail-health loop has rails demoted, their zeroes are folded into the
+// tuning's weight vector before it reaches the engine — one composed write,
+// no window in which the raw tuning weights resurrect a lossy rail.
+func applyTuning(eng *core.Engine, t strategy.Tuning, demoted []bool) error {
 	b, err := strategy.New(t.Bundle)
 	if err != nil {
 		return fmt.Errorf("control: tuning %q: %w", t.Name, err)
@@ -550,17 +563,53 @@ func Apply(eng *core.Engine, t strategy.Tuning) error {
 	eng.SetNagle(t.NagleDelay, t.NagleFlushCount)
 	eng.SetSearchBudget(t.SearchBudget)
 	eng.SetRdvThreshold(t.RdvThreshold)
-	if len(t.RailWeights) > 0 {
-		eng.SetRailWeights(t.RailWeights)
+	if w := composeRailWeights(t.RailWeights, demoted); w != nil {
+		eng.SetRailWeights(w)
 	}
 	return nil
 }
 
-// apply is Apply against the controller's own engine; tunings were
+// composeRailWeights merges a tuning's rail-weight operating point with the
+// rail-health demotion mask into the single vector actually written to the
+// engine. nil means "write nothing": a tuning without RailWeights has no
+// opinion, and the weights already in effect — demotion zeroes included,
+// since the tunable rail policy survives the bundle swap — stay as they
+// are. When the mask is longer than the tuning vector, missing entries are
+// -1 ("capability default") so a demotion beyond the tuning's horizon still
+// lands as an explicit zero.
+func composeRailWeights(tw []float64, demoted []bool) []float64 {
+	if len(tw) == 0 {
+		return nil
+	}
+	n := len(tw)
+	if len(demoted) > n {
+		n = len(demoted)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		if i < len(tw) {
+			w[i] = tw[i]
+		} else {
+			w[i] = -1
+		}
+	}
+	for i, d := range demoted {
+		if d {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// apply is Apply against the controller's own engine, with the current
+// rail-demotion mask composed into the tuning's weight write; tunings were
 // validated against the bundle registry at New, so a failure means the
 // bundle was unregistered mid-run — a programming error worth crashing on.
 func (c *Controller) apply(t strategy.Tuning) {
-	if err := Apply(c.eng, t); err != nil {
+	c.mu.Lock()
+	demoted := append([]bool(nil), c.demoted...)
+	c.mu.Unlock()
+	if err := applyTuning(c.eng, t, demoted); err != nil {
 		panic(err)
 	}
 }

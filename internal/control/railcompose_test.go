@@ -1,0 +1,84 @@
+package control
+
+import (
+	"testing"
+
+	"newmad/internal/caps"
+	"newmad/internal/core"
+	"newmad/internal/strategy"
+)
+
+// TestRetuneComposesDemotionMask pins the fix for the retune/demotion
+// composition window: a regime retune that re-applies its tuning's
+// RailWeights used to write them raw, resurrecting a demoted lossy rail
+// until the next health sample re-zeroed it. Every weight write now carries
+// the demotion mask, so the window cannot exist — verified here by flipping
+// tunings mid-demotion and reading the engine's weights immediately after
+// each flip, exactly where the old two-step exposed the raw weights.
+func TestRetuneComposesDemotionMask(t *testing.T) {
+	cl, eng := simPair(t)
+	_ = cl
+	rails := []caps.Caps{caps.TCP, caps.TCP}
+	rails[0].Name = "r0"
+	rails[1].Name = "r1"
+	sched := strategy.NewScheduledRail(rails)
+	b := eng.Bundle()
+	b.Rail = sched
+	if err := eng.SetBundle(b); err != nil {
+		t.Fatal(err)
+	}
+	def := sched.Weights()
+
+	c, err := New(Options{
+		Engine: eng, Runtime: cl.Eng,
+		DemoteLossyRails: true, RailHealSamples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sample with fresh peer-down evidence on rail 0 demotes it.
+	c.railHealth(core.Metrics{RailDowns: []uint64{1, 0}})
+	if w, _ := eng.RailWeights(); w[0] != 0 {
+		t.Fatalf("rail 0 not demoted: weights %v", w)
+	}
+
+	// Flip to a tuning that re-asserts positive weight on the demoted rail:
+	// the composed write must keep the zero, with no window.
+	tune, err := strategy.TuningByName("throughput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune.RailWeights = []float64{5, 7}
+	c.apply(tune)
+	if w, _ := eng.RailWeights(); w[0] != 0 || w[1] != 7 {
+		t.Fatalf("retune mid-demotion: weights %v, want [0 7]", w)
+	}
+
+	// Flip again (a flap storm is many of these): still masked.
+	tune2, err := strategy.TuningByName("latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune2.RailWeights = []float64{3, 4}
+	c.apply(tune2)
+	if w, _ := eng.RailWeights(); w[0] != 0 || w[1] != 4 {
+		t.Fatalf("second retune mid-demotion: weights %v, want [0 4]", w)
+	}
+
+	// Two clean samples heal the rail back to its capability default.
+	c.railHealth(core.Metrics{RailDowns: []uint64{1, 0}})
+	c.railHealth(core.Metrics{RailDowns: []uint64{1, 0}})
+	if w, _ := eng.RailWeights(); w[0] != def[0] {
+		t.Fatalf("rail 0 not restored to default %v: weights %v", def[0], w)
+	}
+	if d, r := c.RailDemotions(); d != 1 || r != 1 {
+		t.Fatalf("demotions/restores = %d/%d, want 1/1", d, r)
+	}
+
+	// With nothing demoted the tuning's weights pass through untouched.
+	c.apply(tune)
+	if w, _ := eng.RailWeights(); w[0] != 5 || w[1] != 7 {
+		t.Fatalf("retune after heal: weights %v, want [5 7]", w)
+	}
+}

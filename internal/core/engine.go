@@ -155,6 +155,12 @@ type Engine struct {
 	backlogPeak atomic.Int64
 	idleUps     atomic.Uint64
 
+	// repumpEpoch numbers SetRailWeights' targeted re-pump sweeps: each
+	// sweep stamps the shards it claims (shard.repumpEpoch) and the epoch
+	// rides the refused-kick protocol (chanPump.refusedEpoch/doneEpoch) so
+	// every channel knows which flagged shards it still owes a visit.
+	repumpEpoch atomic.Uint64
+
 	// shards own the send side; pumps[rail][channel] serialize each NIC
 	// channel's scan over them.
 	shards []*shard
@@ -565,9 +571,10 @@ func (e *Engine) SetRailWeights(w []float64) bool {
 	rs.SetWeights(w)
 	e.set.Counter("core.rail_retunes").Inc()
 	e.notifyRetune(RetuneEvent{At: e.rt.Now(), Knob: "rail-weights", Note: fmt.Sprintf("rail-weights=%v", w)})
-	// Re-pump: packets held ineligible under the old weights may have a
-	// rail now.
-	e.pumpAll()
+	// Incremental re-pump: only the shards whose scans recorded weight-bound
+	// refusals are revisited — a weight delta costs O(affected queues), not
+	// a pumpAll sweep of every queue (DESIGN.md §3.2).
+	e.pumpRefused()
 	return true
 }
 

@@ -2,7 +2,7 @@ package strategy
 
 import (
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"newmad/internal/caps"
 	"newmad/internal/packet"
@@ -29,20 +29,45 @@ import (
 // Weights are runtime-tunable (SetWeights) — the adaptive controller's rail
 // knob: a weight of 0 removes a rail from the stripe set and from small
 // overflow, draining traffic off it without reconfiguring the topology.
+//
+// The weights in effect live in one immutable snapshot behind an atomic
+// pointer: SetWeights sanitizes and precomputes (hetero mask, prefix sums)
+// once per update, and the Eligible/stripe hot path is a single atomic load
+// with zero allocations and zero locks. Readers mid-decision keep the
+// snapshot they loaded; a concurrent retune affects the next decision.
 type ScheduledRail struct {
 	rails  []caps.Caps
 	lowLat int  // index of the lowest-latency rail
 	hetero bool // lowLat rail is strictly slower than the fastest rail
 
-	mu      sync.Mutex
-	weights []float64
+	genBase uint64 // per-instance generation prefix (see WeightGen)
+	genSeq  atomic.Uint64
+	snap    atomic.Pointer[railSnap]
 }
+
+// railSnap is one immutable weight configuration. Everything stripe and
+// Eligible need per decision is precomputed here so the datapath never
+// copies or walks more than it must.
+type railSnap struct {
+	gen     uint64
+	weights []float64 // sanitized effective weights (what Weights reports)
+	prefix  []float64 // running sums of the hetero-masked stripe weights
+	total   float64   // prefix[len-1]; <= 0 means "nothing to stripe onto"
+}
+
+// railSchedInstances seeds genBase so two ScheduledRail instances (e.g.
+// across a bundle swap) can never hand out the same weight generation:
+// cached placements keyed by gen would otherwise survive the swap.
+var railSchedInstances atomic.Uint64
 
 // NewScheduledRail builds the scheduler for a node's rails (indexed like
 // RailInfo.Index; must match the engine's rail order). Initial weights are
 // bandwidth-proportional.
 func NewScheduledRail(rails []caps.Caps) *ScheduledRail {
-	s := &ScheduledRail{rails: append([]caps.Caps(nil), rails...)}
+	s := &ScheduledRail{
+		rails:   append([]caps.Caps(nil), rails...),
+		genBase: railSchedInstances.Add(1) << 32,
+	}
 	maxBW := 0.0
 	for i, c := range s.rails {
 		lat := c.PostOverhead + c.WireLatency
@@ -56,31 +81,48 @@ func NewScheduledRail(rails []caps.Caps) *ScheduledRail {
 	if len(s.rails) > 0 {
 		s.hetero = s.rails[s.lowLat].Bandwidth < maxBW
 	}
-	s.weights = s.defaultWeights()
+	s.publish(s.defaultWeights())
 	return s
 }
 
 func (s *ScheduledRail) defaultWeights() []float64 {
 	w := make([]float64, len(s.rails))
 	for i, c := range s.rails {
-		w[i] = c.Bandwidth
+		w[i] = sanitizeWeight(c.Bandwidth)
 	}
 	return w
+}
+
+// sanitizeWeight maps anything that would poison stripe arithmetic — NaN,
+// ±Inf, negatives — to 0 (rail carries nothing). A single +Inf weight would
+// make total non-finite and silently collapse every bulk transfer onto the
+// last rail.
+func sanitizeWeight(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Name returns "rail-sched".
 func (s *ScheduledRail) Name() string { return "rail-sched" }
 
 // SetWeights replaces the scheduling weights. Missing entries keep their
-// bandwidth default, negative entries are ignored; if every weight would be
-// zero the defaults are restored (a scheduler with nowhere to place bulk is
-// a configuration error, not a useful state).
+// bandwidth default; negative entries are ignored (keep the default);
+// non-finite entries (NaN, ±Inf) are sanitized to the bandwidth default;
+// entries beyond the rail count are dropped. If every weight would be zero
+// the defaults are restored (a scheduler with nowhere to place bulk is a
+// configuration error, not a useful state).
 func (s *ScheduledRail) SetWeights(w []float64) {
 	ws := s.defaultWeights()
 	anyPositive := false
 	for i := range ws {
-		if i < len(w) && w[i] >= 0 {
-			ws[i] = w[i]
+		if i < len(w) {
+			if v := w[i]; v >= 0 && !math.IsInf(v, 1) {
+				ws[i] = v
+			}
+			// NaN fails v >= 0 and +Inf is excluded above: both keep the
+			// (already sanitized) bandwidth default, as do negatives.
 		}
 		if ws[i] > 0 {
 			anyPositive = true
@@ -89,38 +131,94 @@ func (s *ScheduledRail) SetWeights(w []float64) {
 	if !anyPositive {
 		ws = s.defaultWeights()
 	}
-	s.mu.Lock()
-	s.weights = ws
-	s.mu.Unlock()
+	s.publish(ws)
 }
 
-// Weights returns the weights currently in effect.
+// publish builds and atomically installs the snapshot for ws: hetero mask
+// applied once, prefix sums precomputed, a fresh generation stamped. This is
+// the only writer path; readers never see a partially built snapshot.
+func (s *ScheduledRail) publish(ws []float64) {
+	sn := &railSnap{
+		gen:     s.genBase + s.genSeq.Add(1),
+		weights: ws,
+		prefix:  make([]float64, len(ws)),
+	}
+	masked := ws
+	if s.hetero {
+		// Keep bulk off the latency rail when another weighted rail exists.
+		rest := 0.0
+		for i, v := range ws {
+			if i != s.lowLat {
+				rest += v
+			}
+		}
+		if rest > 0 {
+			masked = append([]float64(nil), ws...)
+			masked[s.lowLat] = 0
+		}
+	}
+	acc := 0.0
+	for i, v := range masked {
+		acc += v
+		sn.prefix[i] = acc
+	}
+	sn.total = acc
+	s.snap.Store(sn)
+}
+
+// Weights returns the (sanitized) weights currently in effect.
 func (s *ScheduledRail) Weights() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]float64(nil), s.weights...)
+	return append([]float64(nil), s.snap.Load().weights...)
+}
+
+// WeightGen implements BulkPlacer: it identifies the snapshot in effect and
+// moves on every SetWeights. Generations are unique across instances and
+// never zero, so callers may use 0 as a "not yet computed" sentinel.
+func (s *ScheduledRail) WeightGen() uint64 {
+	return s.snap.Load().gen
+}
+
+// BulkRail implements BulkPlacer: the rail one bulk transfer stripes onto,
+// or -1 when this policy does not stripe for a table of railCount rails
+// (single rail, or a mismatched topology — the per-rail Eligible fallback
+// admits everything in that case).
+func (s *ScheduledRail) BulkRail(p *packet.Packet, railCount int) int {
+	if railCount <= 1 || len(s.rails) != railCount {
+		return -1
+	}
+	return s.stripe(s.snap.Load(), p)
 }
 
 // Eligible implements RailPolicy.
 func (s *ScheduledRail) Eligible(p *packet.Packet, rail RailInfo) bool {
+	ok, _ := s.EligibleWeighted(p, rail)
+	return ok
+}
+
+// EligibleWeighted implements WeightAware: alongside the Eligible verdict it
+// reports whether a refusal is weight-bound — i.e. could be lifted by a
+// SetWeights call alone. Structural refusals (control pinned to the latency
+// rail, aggregates over a rail's eager limit) are not: no weight update can
+// admit them, so a retune need not revisit that work.
+func (s *ScheduledRail) EligibleWeighted(p *packet.Packet, rail RailInfo) (ok, weightBound bool) {
 	if rail.Count <= 1 || len(s.rails) != rail.Count {
 		// Single rail, or a rail table that does not describe this node:
 		// admit everything rather than strand traffic.
-		return true
+		return true, false
 	}
 	switch p.Class {
 	case packet.ClassControl:
-		return rail.Index == s.lowLat
+		return rail.Index == s.lowLat, false
 	case packet.ClassBulk, packet.ClassRMA:
-		return rail.Index == s.stripe(p)
+		return rail.Index == s.stripe(s.snap.Load(), p), true
 	default:
 		if rail.Index == s.lowLat {
-			return true
+			return true, false
 		}
-		s.mu.Lock()
-		w := s.weights[rail.Index]
-		s.mu.Unlock()
-		return w > 0 && p.Size() <= s.rails[rail.Index].MaxAggregate
+		if p.Size() > s.rails[rail.Index].MaxAggregate {
+			return false, false // capability refusal dominates: never weight-curable
+		}
+		return s.snap.Load().weights[rail.Index] > 0, true
 	}
 }
 
@@ -131,27 +229,8 @@ func (s *ScheduledRail) Eligible(p *packet.Packet, rail RailInfo) bool {
 // increments per seq/msg, an R2-sequence offset per flow) rather than a
 // plain hash: a burst of only a handful of transfers still splits
 // near-proportionally, which a hash cannot guarantee.
-func (s *ScheduledRail) stripe(p *packet.Packet) int {
-	s.mu.Lock()
-	w := append([]float64(nil), s.weights...)
-	s.mu.Unlock()
-	if s.hetero {
-		// Keep bulk off the latency rail when another weighted rail exists.
-		rest := 0.0
-		for i, v := range w {
-			if i != s.lowLat {
-				rest += v
-			}
-		}
-		if rest > 0 {
-			w[s.lowLat] = 0
-		}
-	}
-	total := 0.0
-	for _, v := range w {
-		total += v
-	}
-	if total <= 0 {
+func (s *ScheduledRail) stripe(sn *railSnap, p *packet.Packet) int {
+	if sn.total <= 0 {
 		return s.lowLat
 	}
 	const (
@@ -160,14 +239,13 @@ func (s *ScheduledRail) stripe(p *packet.Packet) int {
 		r22 = 0.5698402909980532 // R2 sequence, second coordinate
 	)
 	x := float64(uint32(p.Flow))*r21 + float64(uint64(p.Msg)%(1<<20))*r22 + float64(uint32(p.Seq))*phi
-	x = (x - math.Floor(x)) * total
-	for i, v := range w {
-		x -= v
-		if x < 0 {
+	x = (x - math.Floor(x)) * sn.total
+	for i, ps := range sn.prefix {
+		if x < ps {
 			return i
 		}
 	}
-	return len(w) - 1
+	return len(sn.prefix) - 1
 }
 
 // RailWeightSetter is implemented by rail policies whose per-rail
@@ -178,5 +256,27 @@ type RailWeightSetter interface {
 	Weights() []float64
 }
 
+// BulkPlacer is implemented by rail policies that place each bulk transfer
+// on exactly one rail as a pure function of (transfer identity, weights).
+// The engine uses it to compute a placement once per packet per weight
+// generation instead of probing Eligible once per rail: WeightGen must be
+// nonzero and change on every weight update, so a placement cached under
+// one generation can be reused until the weights move.
+type BulkPlacer interface {
+	WeightGen() uint64
+	BulkRail(p *packet.Packet, railCount int) int
+}
+
+// WeightAware is implemented by rail policies that can classify a refusal:
+// weightBound reports whether an ineligibility verdict could be lifted by a
+// weight update alone (meaningful only when ok is false). The engine uses
+// it to decide which queues a weight delta must revisit; policies without
+// it are treated conservatively (every refusal is assumed weight-bound).
+type WeightAware interface {
+	EligibleWeighted(p *packet.Packet, rail RailInfo) (ok, weightBound bool)
+}
+
 var _ RailPolicy = (*ScheduledRail)(nil)
 var _ RailWeightSetter = (*ScheduledRail)(nil)
+var _ BulkPlacer = (*ScheduledRail)(nil)
+var _ WeightAware = (*ScheduledRail)(nil)
