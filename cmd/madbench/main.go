@@ -59,9 +59,12 @@ func fmtBytes(n uint64) string {
 // the same trajectory the wall-clock numbers live in, and madbench/v5
 // adds per-experiment latency quantiles from the telemetry subsystem's
 // span histograms (end-to-end and queue-wait, merged across every engine
-// in the run) plus the report-level sample totals.
+// in the run) plus the report-level sample totals, and madbench/v6 adds
+// per-tenant admission outcomes (offered/admitted/refused splits and
+// per-tenant e2e p99) for the multi-tenant experiments (X6) plus the
+// report-level refusal total — every v5 field is carried unchanged.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "madbench/v5"
+	Schema      string           `json:"schema"` // "madbench/v6"
 	GeneratedAt time.Time        `json:"generated_at"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
@@ -81,6 +84,20 @@ type jsonReport struct {
 	// LatencySamples totals the span observations behind every reported
 	// quantile across all selected experiments (v5).
 	LatencySamples uint64 `json:"latency_samples"`
+	// TenantRefusals totals the admission-control refusals across all
+	// selected experiments (v6).
+	TenantRefusals uint64 `json:"tenant_refusals"`
+}
+
+// jsonTenant is one tenant's admission outcome in an experiment's final
+// run (v6). Refusals are typed Submit errors — shed at the admission
+// edge, never queued and never silently dropped.
+type jsonTenant struct {
+	Tenant   uint8   `json:"tenant"`
+	Offered  uint64  `json:"offered"`
+	Admitted uint64  `json:"admitted"`
+	Refused  uint64  `json:"refused"`
+	P99E2EUs float64 `json:"p99_e2e_us"`
 }
 
 // jsonQuantiles is one span kind's digest: sample count plus the µs
@@ -124,6 +141,9 @@ type jsonExperiment struct {
 	// Latency is the experiment's final-run latency digest; omitted when
 	// the experiment reported none (v5).
 	Latency *jsonLatency `json:"latency,omitempty"`
+	// Tenants is the experiment's per-tenant admission digest; omitted for
+	// tenant-free experiments (v6).
+	Tenants []jsonTenant `json:"tenants,omitempty"`
 }
 
 func main() {
@@ -188,7 +208,7 @@ func main() {
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	report := jsonReport{
-		Schema:      "madbench/v5",
+		Schema:      "madbench/v6",
 		GeneratedAt: time.Now().UTC(),
 		Quick:       *quick,
 		Seed:        *seed,
@@ -224,6 +244,14 @@ func main() {
 			}
 			report.LatencySamples += lat.E2ECount + lat.QwaitCount
 		}
+		var tenants []jsonTenant
+		for _, ts := range exp.Tenants(e.ID) {
+			tenants = append(tenants, jsonTenant{
+				Tenant: ts.Tenant, Offered: ts.Offered, Admitted: ts.Admitted,
+				Refused: ts.Refused, P99E2EUs: ts.P99E2EUs,
+			})
+			report.TenantRefusals += ts.Refused
+		}
 		report.ControllerDecisions += decisions
 		report.FaultsInjected += injected
 		report.Recoveries += recovered
@@ -241,6 +269,7 @@ func main() {
 			BytesPerOp:          bytes,
 			GCPauseNs:           gcPause,
 			Latency:             latency,
+			Tenants:             tenants,
 		})
 	}
 

@@ -81,6 +81,13 @@ type Options struct {
 	// (0 defers to the bundle policy).
 	RdvThreshold int
 
+	// Quotas seeds every engine's per-tenant admission table
+	// (core.Options.Quotas): token-bucket rates and backlog quotas checked
+	// at Submit. The table is homogeneous across the cluster — a tenant's
+	// quota is per sending engine, not fleet-global. Empty disables
+	// admission control (the historical behavior).
+	Quotas map[packet.TenantID]core.TenantQuota
+
 	// Chaos, when non-nil, wraps every rail of every node in a chaos
 	// frame-fault injector (internal/chaos): per-rail RNGs forked
 	// deterministically from Seed apply Rules on the receive path. The
@@ -276,6 +283,7 @@ func New(o Options) (*Cluster, error) {
 				RdvRetry:        o.RdvRetry,
 				RdvRetryMax:     o.RdvRetryMax,
 				RdvThreshold:    o.RdvThreshold,
+				Quotas:          o.Quotas,
 				OnPeerDown:      onPeerDown,
 				Stats:           n.Stats,
 				Trace:           n.Trace,

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"newmad/internal/core"
+	"newmad/internal/packet"
 	"newmad/internal/simnet"
 	"newmad/internal/stats"
 	"newmad/internal/strategy"
@@ -106,6 +107,22 @@ type Options struct {
 	// demoted rail (default 8).
 	RailHealSamples int
 
+	// NominalQuotas enables the per-tenant quota loop (quota.go): each
+	// tenant's unconstrained operating point, seeded into the engine's
+	// admission table at Start and then retuned every tick by the
+	// Lagrangian multiplier update as backlog/refusal pressure shifts.
+	// Tenants need a positive Rate to be controlled; empty disables the
+	// loop entirely.
+	NominalQuotas map[packet.TenantID]core.TenantQuota
+	// QuotaTargetUtil is the pressure setpoint the dual ascent holds each
+	// tenant to (default 0.5).
+	QuotaTargetUtil float64
+	// QuotaEta is the dual-ascent step size (default 2).
+	QuotaEta float64
+	// QuotaMinRateFrac floors a demoted tenant's rate at this fraction of
+	// its nominal rate (default 0.1), so no tenant is ever starved to zero.
+	QuotaMinRateFrac float64
+
 	// Trace, when non-nil, records every decision as a policy event.
 	Trace *trace.Recorder
 	// Stats receives controller counters; nil allocates a private set.
@@ -170,6 +187,10 @@ type Controller struct {
 	cleanStreak []int
 	demotions   uint64
 	restores    uint64
+
+	// Quota-loop state (quota.go), guarded by mu.
+	qctl         map[packet.TenantID]*tenantCtl
+	quotaRetunes uint64
 }
 
 // New validates the options and builds a controller. The engine is not
@@ -214,6 +235,7 @@ func New(o Options) (*Controller, error) {
 	if o.RailHealSamples <= 0 {
 		o.RailHealSamples = 8
 	}
+	quotaDefaults(&o)
 	names := map[Mode]string{
 		ModeLatency:    "latency",
 		ModeBalanced:   "balanced",
@@ -265,8 +287,12 @@ func (c *Controller) Start() error {
 	c.mu.Unlock()
 
 	// The initial application establishes a known operating point; it is
-	// configuration, not a decision, so it does not enter the log.
+	// configuration, not a decision, so it does not enter the log. The
+	// nominal tenant quotas are configuration the same way.
 	c.apply(tune)
+	if len(c.o.NominalQuotas) > 0 {
+		c.quotaStart()
+	}
 	c.mu.Lock()
 	if !c.closed {
 		c.cancel = c.rt.Schedule(c.o.Interval, "control.tick", c.tick)
@@ -404,6 +430,15 @@ func (c *Controller) tick() {
 		// composed weight write (c.apply); this pass only reacts to new
 		// demote/restore evidence in the sample.
 		c.railHealth(m)
+	}
+
+	if len(c.o.NominalQuotas) > 0 {
+		// Per-tenant constrained optimization: one multiplier-update step
+		// against this sample's tenant pressure (quota.go). Runs every
+		// tick with no Confirm/Cooldown gate — demoting a flooder within
+		// one control interval is the loop's contract; the write-on-change
+		// threshold inside quotaTick is what keeps the steady state quiet.
+		c.quotaTick(m)
 	}
 
 	c.mu.Lock()

@@ -1,0 +1,195 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"newmad/internal/core"
+	"newmad/internal/packet"
+	"newmad/internal/trace"
+)
+
+// The per-tenant quota loop: constrained optimization by multiplier
+// update, after the zero-shot Lagrangian recipe (PAPERS.md). Each tenant
+// has a nominal quota (its unconstrained operating point) and a dual
+// multiplier μ ≥ 0 that prices the tenant's pressure on the shared
+// engine. Every control tick reads the tenant's slice of MetricsInto —
+// backlog utilization against its nominal backlog quota, plus the
+// fraction of its offered load the admission bucket refused — and runs
+// one dual-ascent step:
+//
+//	μ ← max(0, μ + η·(backlogUtil + overDemand − target))
+//	rate ← clamp(nominalRate / (1 + μ), minFrac·nominalRate, nominalRate)
+//
+// A flooding tenant spikes both pressure terms in the sample after its
+// onset, so μ jumps and the retuned (demoted) rate lands on the engine
+// within ONE control interval — no re-convergence from scratch, which is
+// the whole point of the multiplier formulation: the dual state carries
+// the constraint prices across tenant-mix shifts. When the flood stops,
+// both terms read zero and μ decays by η·target per tick, healing the
+// tenant back to nominal gradually (the asymmetry — demote in one tick,
+// heal over several — is deliberate flood hysteresis).
+//
+// The loop only ever *lowers* rates below nominal; backlog quotas and
+// burst stay at nominal, since the backlog cap is the constraint being
+// priced, not the lever. Engines retune through the same SetTenantQuota
+// knob operators use, so every demotion/heal emits a "tenant-quota"
+// RetuneEvent that experiments (X6) timestamp against the flood onset.
+
+// tenantCtl is the per-tenant dual state.
+type tenantCtl struct {
+	nominal core.TenantQuota
+	mu      float64 // the Lagrangian multiplier
+	rate    float64 // rate currently written to the engine
+
+	// Previous-tick tallies for the over-demand delta.
+	lastSubmitted uint64
+	lastThrottled uint64
+	lastOverQuota uint64
+}
+
+// quotaStart seeds the engine's admission table with the nominal quotas
+// (configuration, like the initial tuning — not a decision) and builds the
+// dual state. Called from Start; sorted so the engine sees a
+// deterministic retune order.
+func (c *Controller) quotaStart() {
+	ids := make([]int, 0, len(c.o.NominalQuotas))
+	for t := range c.o.NominalQuotas {
+		ids = append(ids, int(t))
+	}
+	sort.Ints(ids)
+	c.mu.Lock()
+	c.qctl = make(map[packet.TenantID]*tenantCtl, len(ids))
+	for _, id := range ids {
+		t := packet.TenantID(id)
+		q := c.o.NominalQuotas[t]
+		c.qctl[t] = &tenantCtl{nominal: q, rate: q.Rate}
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		t := packet.TenantID(id)
+		if err := c.eng.SetTenantQuota(t, c.o.NominalQuotas[t]); err != nil {
+			panic(fmt.Sprintf("control: nominal quota for tenant %d: %v", t, err))
+		}
+	}
+}
+
+// quotaTick runs one dual-ascent step per tenant against the sample m.
+// Called from tick under tickMu; engine writes happen outside c.mu.
+func (c *Controller) quotaTick(m core.Metrics) {
+	type retune struct {
+		tenant packet.TenantID
+		quota  core.TenantQuota
+		mu     float64
+	}
+	var writes []retune
+
+	c.mu.Lock()
+	for i := range m.Tenants {
+		tm := &m.Tenants[i]
+		ctl := c.qctl[tm.Tenant]
+		if ctl == nil || ctl.nominal.Rate <= 0 {
+			continue // not under this loop's control
+		}
+
+		// Pressure terms. Backlog utilization is against the NOMINAL
+		// backlog quota — the constraint being priced — not the retuned
+		// one. Over-demand is the refused fraction of this tick's offered
+		// load: a flooder at 10× quota reads ≈0.9 the moment it ramps.
+		var backlogUtil float64
+		if ctl.nominal.Backlog > 0 {
+			backlogUtil = float64(tm.Backlog) / float64(ctl.nominal.Backlog)
+		} else if c.o.DeepBacklog > 0 {
+			backlogUtil = float64(tm.Backlog) / float64(c.o.DeepBacklog)
+		}
+		dSub := tm.Submitted - ctl.lastSubmitted
+		dRef := (tm.Throttled - ctl.lastThrottled) + (tm.OverQuota - ctl.lastOverQuota)
+		ctl.lastSubmitted, ctl.lastThrottled, ctl.lastOverQuota = tm.Submitted, tm.Throttled, tm.OverQuota
+		var overDemand float64
+		if dRef > 0 {
+			overDemand = float64(dRef) / float64(dSub+dRef)
+		}
+
+		ctl.mu += c.o.QuotaEta * (backlogUtil + overDemand - c.o.QuotaTargetUtil)
+		if ctl.mu < 0 {
+			ctl.mu = 0
+		}
+		rate := ctl.nominal.Rate / (1 + ctl.mu)
+		if min := c.o.QuotaMinRateFrac * ctl.nominal.Rate; rate < min {
+			rate = min
+		}
+		// Write only a meaningful move (>1% of nominal): the steady state
+		// must not emit a retune event per tick.
+		if diff := rate - ctl.rate; diff > ctl.nominal.Rate/100 || diff < -ctl.nominal.Rate/100 {
+			ctl.rate = rate
+			q := ctl.nominal
+			q.Rate = rate
+			writes = append(writes, retune{tenant: tm.Tenant, quota: q, mu: ctl.mu})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, w := range writes {
+		if err := c.eng.SetTenantQuota(w.tenant, w.quota); err != nil {
+			panic(fmt.Sprintf("control: quota retune for tenant %d: %v", w.tenant, err))
+		}
+		c.set.Counter("control.quota_retunes").Inc()
+		c.o.Trace.Record(trace.Event{
+			At: m.Now, Kind: trace.KindPolicy, Node: c.eng.Node(),
+			Note: fmt.Sprintf("ctl tenant %d rate=%.0f μ=%.2f", w.tenant, w.quota.Rate, w.mu),
+		})
+	}
+	if len(writes) > 0 {
+		c.mu.Lock()
+		c.quotaRetunes += uint64(len(writes))
+		c.mu.Unlock()
+	}
+}
+
+// QuotaRetunes returns the number of quota retunes the multiplier loop has
+// written to the engine.
+func (c *Controller) QuotaRetunes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quotaRetunes
+}
+
+// TenantRate returns the admission rate the loop currently has in effect
+// for tenant, and whether the tenant is under quota control.
+func (c *Controller) TenantRate(tenant packet.TenantID) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctl, ok := c.qctl[tenant]
+	if !ok {
+		return 0, false
+	}
+	return ctl.rate, true
+}
+
+// TenantMultiplier returns tenant's dual multiplier μ (0 when the tenant
+// is unpressured or not under quota control).
+func (c *Controller) TenantMultiplier(tenant packet.TenantID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctl, ok := c.qctl[tenant]; ok {
+		return ctl.mu
+	}
+	return 0
+}
+
+// quotaDefaults fills the loop's option defaults; kept next to the loop
+// rather than in New so the tuning constants read in context. η = 2 with
+// target 0.5: a saturated flooder (backlogUtil ≈ 1, overDemand ≈ 0.9)
+// gains μ ≈ 2.8 in one tick — rate cut to ≲ 30% of nominal immediately —
+// while an idle tenant decays μ by 1.0 per tick, healing in a few ticks.
+func quotaDefaults(o *Options) {
+	if o.QuotaTargetUtil <= 0 {
+		o.QuotaTargetUtil = 0.5
+	}
+	if o.QuotaEta <= 0 {
+		o.QuotaEta = 2
+	}
+	if o.QuotaMinRateFrac <= 0 {
+		o.QuotaMinRateFrac = 0.1
+	}
+}

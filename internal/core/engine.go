@@ -106,6 +106,19 @@ type Options struct {
 	// engine locks; installed only on rails that can report failures
 	// (drivers.PeerDownNotifier).
 	OnPeerDown func(rail int, peer packet.NodeID)
+	// Quotas seeds the per-tenant admission table (admission.go): token-
+	// bucket rates and backlog quotas checked at Submit before any shard
+	// state is touched. Empty/nil disables admission entirely — the
+	// historical admit-everything behavior, bit-for-bit. Tenants may also
+	// be added or retuned at runtime via SetTenantQuota.
+	Quotas map[packet.TenantID]TenantQuota
+	// RefuseUnreachable makes Submit refuse (ErrPeerUnreachable) packets
+	// toward destinations no rail currently reaches, instead of queueing
+	// them for a heal. Off by default: the failover contract — queue
+	// through a partition, deliver after the heal — is what the chaos
+	// suites pin down, and refusing is only right for callers that would
+	// rather re-route at the application layer.
+	RefuseUnreachable bool
 	// Stats receives counters and histograms; nil allocates a private set.
 	Stats *stats.Set
 	// Trace, when non-nil, records the engine's decision timeline.
@@ -146,6 +159,11 @@ type Engine struct {
 	tun    atomic.Pointer[tuning]
 	closed atomic.Bool
 
+	// adm is the tenant admission table (admission.go); nil until a quota
+	// is configured, and a nil table admits everything with zero overhead
+	// beyond one atomic load per Submit.
+	adm atomic.Pointer[admission]
+
 	// submitSeq totally orders submissions across shards (the eligible
 	// view's merge key). backlogSz/backlogPeak track the global waiting-
 	// packet count — the Nagle flush decision and BacklogLen read it
@@ -179,10 +197,12 @@ type Engine struct {
 	cAggregates     *stats.Counter
 	cAggregatedPkts *stats.Counter
 	cReactive       *stats.Counter
+	cThrottled      *stats.Counter
+	cOverQuota      *stats.Counter
 	railCtr         []*stats.Counter
 	hPlanPackets    *stats.Histogram
 	hPlanEvaluated  *stats.Histogram
-	hPlanScore     *stats.Histogram
+	hPlanScore      *stats.Histogram
 	hDeliveryLat    *stats.Histogram
 	hControlLat     *stats.Histogram
 
@@ -304,11 +324,31 @@ func New(node packet.NodeID, opt Options) (*Engine, error) {
 		cAggregates:     set.Counter("core.aggregates"),
 		cAggregatedPkts: set.Counter("core.aggregated_packets"),
 		cReactive:       set.Counter("core.reactive_frames"),
+		cThrottled:      set.Counter("core.tenant_throttled"),
+		cOverQuota:      set.Counter("core.tenant_over_quota"),
 		hPlanPackets:    set.Histogram("core.plan_packets"),
 		hPlanEvaluated:  set.Histogram("core.plan_evaluated"),
 		hPlanScore:      set.Histogram("core.plan_score_ns"),
 		hDeliveryLat:    set.Histogram("core.delivery_latency_ns"),
 		hControlLat:     set.Histogram("core.control_latency_ns"),
+	}
+	if len(opt.Quotas) > 0 {
+		max := packet.TenantID(0)
+		for t, q := range opt.Quotas {
+			if q.Rate < 0 || q.Burst < 0 || q.Backlog < 0 {
+				return nil, fmt.Errorf("core: negative quota for tenant %d: %+v", t, q)
+			}
+			if t > max {
+				max = t
+			}
+		}
+		a := &admission{states: make([]*tenantState, int(max)+1)}
+		for t, q := range opt.Quotas {
+			ts := &tenantState{id: t}
+			ts.quota.Store(compileQuota(q))
+			a.states[t] = ts
+		}
+		e.adm.Store(a)
 	}
 	e.bundle.Store(&b)
 	e.tun.Store(&tuning{
@@ -596,6 +636,14 @@ func (e *Engine) RailWeights() (w []float64, ok bool) {
 // travel through the destination shard's lock-free inbox: Submit never
 // contends with a pump in progress, and concurrent submitters to different
 // destinations never touch a shared lock.
+//
+// Refusals are typed: ErrClosed after Close, ErrPeerUnreachable when
+// Options.RefuseUnreachable is set and no rail reaches the destination,
+// and the admission-control refusals ErrThrottled/ErrQuotaExceeded (with
+// retry-after, see ThrottleError) when the packet's tenant is over quota.
+// Admission runs before the packet touches any shard state — a shed
+// packet never pushes onto an MPSC inbox or charges a backlog counter
+// (the shed-before-queue rule, DESIGN.md §10).
 func (e *Engine) Submit(p *packet.Packet) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -604,16 +652,34 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		return fmt.Errorf("core: packet src %d submitted on node %d", p.Src, e.node)
 	}
 	if e.closed.Load() {
-		return fmt.Errorf("core: engine closed")
+		return ErrClosed
+	}
+	now := e.rt.Now()
+	b := e.bundle.Load()
+	// Protocol decision: large cheap packets travel by rendezvous. The
+	// capability record consulted is the first rail this packet may use
+	// (deterministic; multi-rail nodes with diverging thresholds can pin
+	// protocols per class through the rail policy instead). A runtime
+	// threshold override (SetRdvThreshold) takes precedence over the bundle
+	// policy so the controller can move the switchover without swapping
+	// bundles.
+	rdv := e.useRendezvous(b, p)
+	if e.cfg.RefuseUnreachable && !e.anyRailReaches(p.Dst) {
+		return fmt.Errorf("%w: node %d", ErrPeerUnreachable, p.Dst)
+	}
+	// Admission last among the refusal checks: an admitted eager packet
+	// carries a backlog charge that is only released when a plan takes it,
+	// so nothing may refuse after admit has charged.
+	if err := e.admit(p, now, !rdv); err != nil {
+		return err
 	}
 	p.SubmitSeq = e.submitSeq.Add(1)
-	p.Enqueued = e.rt.Now()
+	p.Enqueued = now
 	if p.Enqueued == 0 {
 		// Zero marks "never submitted" in latency accounting; clamp the
 		// simulation epoch to 1 ns so t=0 submissions still count.
 		p.Enqueued = 1
 	}
-	b := e.bundle.Load()
 	b.Classes.Observe(p)
 	e.cSubmitted.Inc()
 	e.cSubmittedBytes.Add(uint64(p.Size()))
@@ -622,18 +688,11 @@ func (e *Engine) Submit(p *packet.Packet) error {
 		Flow: p.Flow, Seq: p.Seq, A: p.Size(), B: int(p.Class),
 	})
 
-	// Protocol decision: large cheap packets travel by rendezvous. The
-	// capability record consulted is the first rail this packet may use
-	// (deterministic; multi-rail nodes with diverging thresholds can pin
-	// protocols per class through the rail policy instead). A runtime
-	// threshold override (SetRdvThreshold) takes precedence over the bundle
-	// policy so the controller can move the switchover without swapping
-	// bundles.
-	if e.useRendezvous(b, p) {
+	if rdv {
 		e.pmu.Lock()
 		if e.closed.Load() {
 			e.pmu.Unlock()
-			return fmt.Errorf("core: engine closed")
+			return ErrClosed
 		}
 		rts := e.rdvS.Start(p)
 		e.rdvStart[rts.Ctrl.Token] = p.Enqueued
@@ -683,8 +742,14 @@ func (e *Engine) protoCaps(b *strategy.Bundle, p *packet.Packet) caps.Caps {
 	return e.rails[0].Caps()
 }
 
-// Flush forces any Nagle-delayed packets out now.
+// Flush forces any Nagle-delayed packets out now. On a closed engine it
+// returns immediately: Close owns the shard teardown, and a Flush racing
+// it must neither re-pump rails whose handlers are being detached nor
+// wait on anything (pinned by TestFlushCloseRace).
 func (e *Engine) Flush() {
+	if e.closed.Load() {
+		return
+	}
 	for _, s := range e.shards {
 		s.mu.Lock()
 		if s.nagleArmed {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"newmad/internal/packet"
 	"newmad/internal/simnet"
 	"newmad/internal/trace"
 )
@@ -71,6 +72,13 @@ type Metrics struct {
 	RdvRetries      uint64   // rendezvous RTS retries fired
 	RailDowns       []uint64 // per-rail peer-down events, indexed like Rails()
 
+	// Tenants is the per-tenant admission surface, one entry per tenant
+	// with admission state, ordered by tenant id. Empty when the engine
+	// has no quota table. The controller's quota multiplier loop reads
+	// backlog pressure from here; telemetry exports it per node and rolls
+	// it up per fleet.
+	Tenants []TenantMetrics
+
 	// The tuning in effect.
 	Lookahead       int
 	NagleDelay      simnet.Duration
@@ -82,6 +90,22 @@ type Metrics struct {
 	// layout). Constant for the engine's lifetime; snapshotted so fleet
 	// telemetry can tell sharded and serialized nodes apart.
 	Shards int
+}
+
+// TenantMetrics is one tenant's slice of the admission surface: the quota
+// in effect, the live backlog charge, and the admit/refuse tallies since
+// the tenant was configured.
+type TenantMetrics struct {
+	Tenant    packet.TenantID
+	Submitted uint64 // packets admitted
+	Throttled uint64 // rate refusals (ErrThrottled)
+	OverQuota uint64 // backlog-quota refusals (ErrQuotaExceeded)
+	Backlog   int64  // eager packets admitted and not yet planned
+
+	// Quota echo, so observers see rate limit and pressure in one row.
+	RatePPS      float64
+	Burst        int
+	BacklogQuota int
 }
 
 // Metrics returns a consistent snapshot of the engine's observation surface.
@@ -113,6 +137,7 @@ func (e *Engine) MetricsInto(m *Metrics) {
 		IdleUpcalls:     e.idleUps.Load(),
 		RailFrames:      m.RailFrames[:0],
 		RailDowns:       m.RailDowns[:0],
+		Tenants:         m.Tenants[:0],
 		Lookahead:       tun.lookahead,
 		NagleDelay:      tun.nagleDelay,
 		NagleFlushCount: tun.nagleFlush,
@@ -127,6 +152,24 @@ func (e *Engine) MetricsInto(m *Metrics) {
 	for _, s := range e.shards {
 		s.mergeInto(m)
 	}
+	if a := e.adm.Load(); a != nil {
+		for _, ts := range a.states {
+			if ts == nil {
+				continue
+			}
+			q := ts.quota.Load()
+			m.Tenants = append(m.Tenants, TenantMetrics{
+				Tenant:       ts.id,
+				Submitted:    ts.submitted.Load(),
+				Throttled:    ts.throttled.Load(),
+				OverQuota:    ts.overQuota.Load(),
+				Backlog:      ts.backlog.Load(),
+				RatePPS:      q.Rate,
+				Burst:        q.Burst,
+				BacklogQuota: q.Backlog,
+			})
+		}
+	}
 	e.pmu.Lock()
 	m.Delivered = e.ctrDelivered
 	m.RdvRetries = e.ctrRdvRetries
@@ -138,7 +181,7 @@ func (e *Engine) MetricsInto(m *Metrics) {
 // engine's retune observer: which knob moved and how.
 type RetuneEvent struct {
 	At   simnet.Time
-	Knob string // "bundle", "lookahead", "nagle", "budget", "rdv-threshold", "rail-weights"
+	Knob string // "bundle", "lookahead", "nagle", "budget", "rdv-threshold", "rail-weights", "tenant-quota"
 	Note string // human-readable "knob=value" rendering
 }
 

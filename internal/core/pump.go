@@ -351,6 +351,17 @@ func (e *Engine) railReaches(ri int, peer packet.NodeID) bool {
 	return true
 }
 
+// anyRailReaches reports whether at least one rail currently reaches peer
+// (the Options.RefuseUnreachable submit check).
+func (e *Engine) anyRailReaches(peer packet.NodeID) bool {
+	for ri := range e.rails {
+		if e.railReaches(ri, peer) {
+			return true
+		}
+	}
+	return false
+}
+
 // pumpFailoverLocked re-posts the first failover frame this (rail, channel)
 // can carry: the class policy still applies (control lanes stay protected),
 // but the rail policy is bypassed — its preferred rail for the frame is
@@ -478,6 +489,21 @@ func (s *shard) pumpBacklogLocked(b *strategy.Bundle, ri, ch int) bool {
 	taken := int64(len(plan.Packets))
 	s.nBacklog.Add(-taken)
 	e.backlogSz.Add(-taken)
+	// Return the plan's packets to their tenants: the shard's service
+	// shares and the engine-level backlog quotas both release here, the
+	// single point where packets leave the backlog index.
+	adm := e.adm.Load()
+	for _, p := range plan.Packets {
+		if s.tenantCount[p.Tenant] > 0 {
+			s.tenantCount[p.Tenant]--
+			if s.tenantCount[p.Tenant] == 0 {
+				s.tenantActive--
+			}
+		}
+		if adm != nil {
+			adm.releaseBacklog(p.Tenant)
+		}
+	}
 	if s.backlog.size == 0 && s.nagleArmed {
 		// The idle path drained everything the delay was holding; retire
 		// the timer silently (neither a fire nor an early flush — the
@@ -540,6 +566,23 @@ func (s *shard) eligibleLocked(b *strategy.Bundle, info strategy.RailInfo, ch, n
 	view := s.viewScratch[:0]
 	cur := s.curScratch[:0]
 	refused := false
+	// Weighted per-tenant service: with admission enabled and more than
+	// one tenant waiting, no tenant may fill more than its fair share of
+	// a bounded lookahead window. The merge stays in SubmitSeq order and a
+	// capped tenant's flows are cut at a prefix (tenant is constant per
+	// flow), so intra-flow FIFO is preserved exactly as with rail-policy
+	// skips. With one tenant — or no quota table — the cap is off and the
+	// view is byte-identical to the unweighted scan.
+	perTenant := 0
+	if limit > 0 && s.tenantActive > 1 && e.adm.Load() != nil {
+		perTenant = limit / s.tenantActive
+		if perTenant < 1 {
+			perTenant = 1
+		}
+		for i := range s.tenantTaken {
+			s.tenantTaken[i] = 0
+		}
+	}
 	for _, q := range s.backlog.list {
 		if q.size() == 0 {
 			continue
@@ -575,6 +618,12 @@ func (s *shard) eligibleLocked(b *strategy.Bundle, info strategy.RailInfo, ch, n
 		if ok, wb := railEligibleWeighted(b.Rail, p, info); !ok {
 			refused = refused || wb
 			continue
+		}
+		if perTenant > 0 {
+			if int(s.tenantTaken[p.Tenant]) >= perTenant {
+				continue
+			}
+			s.tenantTaken[p.Tenant]++
 		}
 		view = append(view, p)
 		if limit > 0 && len(view) >= limit {

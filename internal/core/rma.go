@@ -36,7 +36,7 @@ func (e *Engine) Put(dst packet.NodeID, window int32, off int64, data []byte, do
 	e.pmu.Lock()
 	if e.closed.Load() {
 		e.pmu.Unlock()
-		return fmt.Errorf("core: engine closed")
+		return ErrClosed
 	}
 	// Completion callbacks fire inside the frame dispatcher, which runs
 	// under pmu; wrap them so the user code runs after unlock and may
@@ -68,7 +68,7 @@ func (e *Engine) Get(dst packet.NodeID, window int32, off int64, n int, done fun
 	e.pmu.Lock()
 	if e.closed.Load() {
 		e.pmu.Unlock()
-		return fmt.Errorf("core: engine closed")
+		return ErrClosed
 	}
 	wrapped := func(data []byte) {
 		e.pendingFns = append(e.pendingFns, func() { done(data) })

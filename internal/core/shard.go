@@ -106,6 +106,18 @@ type shard struct {
 	ctr        counters
 	railFrames []uint64
 
+	// Per-tenant service accounting (admission.go): how many of this
+	// shard's waiting packets belong to each tenant, maintained under mu
+	// at the same points as the backlog index (drain in, plan out).
+	// tenantActive counts tenants holding a nonzero share; the eligible
+	// view divides the lookahead window by it so an admitted-but-heavy
+	// tenant cannot monopolize a plan's slots (weighted service — the
+	// tenant-fairness half of admission control). Fixed arrays: TenantID
+	// is a byte, so the full table is 1 KiB and never allocates.
+	tenantCount  [256]int32
+	tenantActive int
+	tenantTaken  [256]int32 // eligible-view merge scratch
+
 	// Pump scratch, reused across pumps so the steady-state eager path
 	// allocates nothing: the eligible view and its merge cursors, the
 	// per-queue removal subsequences, the strategy context handed to plan
@@ -177,6 +189,10 @@ func (s *shard) drainInboxLocked() (drained int, pump bool) {
 		}
 		s.ctr.eagerBytes += uint64(p.Size())
 		s.backlog.push(p)
+		s.tenantCount[p.Tenant]++
+		if s.tenantCount[p.Tenant] == 1 {
+			s.tenantActive++
+		}
 		s.nBacklog.Add(1)
 		gsz := e.backlogSz.Add(1)
 		e.notePeak(gsz)
@@ -355,6 +371,11 @@ func (e *Engine) runChannel(ri, ch int, idleUpcall bool, cp *chanPump) {
 // (the caller re-runs); a busy channel counts as swept because its eventual
 // idle upcall runs an unconditional full scan.
 func (e *Engine) pumpChannel(ri, ch int, idleUpcall bool, cp *chanPump, minEpoch uint64) bool {
+	if e.closed.Load() {
+		// A pump that raced Close stops scanning: Close is discarding the
+		// queues this scan would read, and the rails are being detached.
+		return true
+	}
 	r := e.rails[ri]
 	if !r.ChannelIdle(ch) {
 		return true

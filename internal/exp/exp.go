@@ -154,6 +154,41 @@ func Latency(id string) (s LatencySummary, ok bool) {
 	return s, ok
 }
 
+// Multi-tenant experiments (X6) report per-tenant admission outcomes;
+// madbench folds them into its machine-readable output (madbench/v6).
+var (
+	tenMu       sync.Mutex
+	tenantStats = map[string][]TenantSummary{}
+)
+
+// TenantSummary is one tenant's admission outcome in an experiment's final
+// run: submissions offered, the split into admitted and refused (refusals
+// are explicit typed errors, never silent drops), and the tenant's
+// end-to-end p99 over its delivered packets (0 when nothing delivered).
+type TenantSummary struct {
+	Tenant   uint8
+	Offered  uint64
+	Admitted uint64
+	Refused  uint64
+	P99E2EUs float64
+}
+
+// reportTenants records one experiment run's per-tenant outcomes,
+// replacing any previous record for that ID.
+func reportTenants(id string, ts []TenantSummary) {
+	tenMu.Lock()
+	tenantStats[id] = ts
+	tenMu.Unlock()
+}
+
+// Tenants returns the per-tenant outcomes recorded by the last run of the
+// experiment (nil for tenant-free experiments).
+func Tenants(id string) []TenantSummary {
+	tenMu.Lock()
+	defer tenMu.Unlock()
+	return tenantStats[id]
+}
+
 // Get returns the experiment with the given ID.
 func Get(id string) (Experiment, bool) {
 	e, ok := registry[id]

@@ -7,6 +7,7 @@ import (
 
 	"newmad/internal/caps"
 	"newmad/internal/control"
+	"newmad/internal/packet"
 	"newmad/internal/simnet"
 	"newmad/internal/strategy"
 )
@@ -15,8 +16,8 @@ var quick = Config{Quick: true, Seed: 1}
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registered %d experiments, want 16 (E1..E11 + X1..X5)", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registered %d experiments, want 17 (E1..E11 + X1..X6)", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
@@ -24,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Natural ordering: E1..E11, then the X-series addenda.
-	if all[0].ID != "E1" || all[10].ID != "E11" || all[11].ID != "X1" || all[15].ID != "X5" {
-		t.Fatalf("ordering: first=%s eleventh=%s then=%s last=%s", all[0].ID, all[10].ID, all[11].ID, all[15].ID)
+	if all[0].ID != "E1" || all[10].ID != "E11" || all[11].ID != "X1" || all[16].ID != "X6" {
+		t.Fatalf("ordering: first=%s eleventh=%s then=%s last=%s", all[0].ID, all[10].ID, all[11].ID, all[16].ID)
 	}
 	if _, ok := Get("E1"); !ok {
 		t.Fatal("Get(E1) failed")
@@ -173,6 +174,53 @@ func TestX5ShapeChaosExactlyOnceAndReplayable(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestX6ShapeFloodIsolation is the admission-control subsystem's
+// acceptance criterion: with a flooding tenant ramped to 10× its quota on
+// a shared engine, (a) the protected tenants' p99 end-to-end latency stays
+// within 25% of the no-flood baseline of the identical schedule, (b) the
+// flooder's excess is refused with typed errors — explicitly, never
+// silently dropped (x6Run errors out if any admitted packet fails to
+// arrive), (c) the control loop's multiplier update demotes the flooder's
+// quota within one control interval of the onset, and (d) the delivery
+// ledger is exactly-once.
+func TestX6ShapeFloodIsolation(t *testing.T) {
+	res, err := X6Flood(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range []packet.TenantID{1, 2} {
+		base, flood := res.Base.P99Us[tn], res.Flood.P99Us[tn]
+		if base <= 0 || flood <= 0 {
+			t.Fatalf("tenant %d: p99 not populated (base %v, flood %v)", tn, base, flood)
+		}
+		if flood > base*1.25 {
+			t.Errorf("tenant %d not isolated: flood p99 %.2fµs vs baseline %.2fµs (>25%%)", tn, flood, base)
+		}
+		if res.Flood.Refused[tn] != 0 {
+			t.Errorf("protected tenant %d saw %d refusals", tn, res.Flood.Refused[tn])
+		}
+	}
+	fl := packet.TenantID(3)
+	if res.Flood.Refused[fl] == 0 {
+		t.Error("flooder at 10× quota was never refused")
+	}
+	if got, want := res.Flood.Offered[fl], res.Flood.Admitted[fl]+res.Flood.Refused[fl]; got != want {
+		t.Errorf("flooder ledger leaks: %d offered != %d admitted + refused", got, want)
+	}
+	if res.Flood.Duplicates != 0 {
+		t.Errorf("%d duplicate deliveries", res.Flood.Duplicates)
+	}
+	if !res.Flood.RetuneSeen {
+		t.Fatal("control loop never demoted the flooder's quota")
+	}
+	if res.Flood.RetuneAfter > res.Interval {
+		t.Errorf("flooder demoted %v after onset; want within one control interval (%v)", res.Flood.RetuneAfter, res.Interval)
+	}
+	if res.Flood.FlooderRateEnd >= 50e3 {
+		t.Errorf("flooder rate never demoted below nominal: %.0f pps", res.Flood.FlooderRateEnd)
 	}
 }
 

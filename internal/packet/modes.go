@@ -17,6 +17,13 @@ type FlowID int32
 // MsgID numbers the structured messages within a flow.
 type MsgID int64
 
+// TenantID names the admission-control principal a packet is charged to.
+// Tenancy is a submit-side concept: the engine's token buckets and backlog
+// quotas are keyed by it, but it is not encoded on the wire — receivers
+// attribute traffic by flow. Tenant 0 is the default tenant; engines with
+// no quota table admit everything and the field is inert.
+type TenantID uint8
+
 // ClassID is a traffic class. The paper's scheduler "may assign some of
 // these resources to different classes of traffic (assigning different
 // channels to large synchronous sends, put/get transfers and

@@ -15,18 +15,21 @@ import (
 // (internal/drivers). Payload bytes are owned by the packet once submitted
 // (see SendMode for when the capture happens).
 // Field order is packed for size: the receive path allocates packets in
-// per-frame batches (proto.Dispatcher), so Packet laying out at 72 bytes
-// instead of a padded 80 is measurable on the wire-to-deliver hot path.
+// per-frame batches (proto.Dispatcher), so keeping the header fields packed
+// into whole words (80 bytes with the tenant tag; the Dst..Tenant group
+// shares one word with three bytes of padding left) is measurable on the
+// wire-to-deliver hot path.
 type Packet struct {
-	Flow  FlowID
-	Src   NodeID
-	Msg   MsgID
-	Seq   int // fragment index within the message, starting at 0
-	Dst   NodeID
-	Class ClassID
-	Send  SendMode
-	Recv  RecvMode
-	Last  bool // set on the final fragment of the message
+	Flow   FlowID
+	Src    NodeID
+	Msg    MsgID
+	Seq    int // fragment index within the message, starting at 0
+	Dst    NodeID
+	Class  ClassID
+	Send   SendMode
+	Recv   RecvMode
+	Last   bool     // set on the final fragment of the message
+	Tenant TenantID // admission-control principal; submit-side only, not on the wire
 
 	// Payload is the fragment data. For rendezvous-converted fragments the
 	// eager packet carries only the RTS and Payload stays with the source

@@ -125,6 +125,49 @@ func TestAllocsEagerSend(t *testing.T) {
 	}
 }
 
+// TestAllocsEagerSendWithQuotas pins the same ≤2 budget with admission
+// control enabled: the admit path (GCRA rate CAS plus backlog-quota
+// charge) is atomics only, so quotas must not cost the steady-state
+// Submit an allocation. Only a refusal allocates (its error).
+func TestAllocsEagerSendWithQuotas(t *testing.T) {
+	bundle, err := strategy.New("aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newSink(0)
+	e, err := core.New(0, core.Options{
+		Bundle:  bundle,
+		Runtime: simnet.NewRealRuntime(),
+		Rails:   []drivers.Driver{sink},
+		Deliver: func(d proto.Deliverable) {},
+		// Quota generous enough that nothing in the loop is refused: the
+		// gate pins the admitted path, not the refusal path.
+		Quotas: map[packet.TenantID]core.TenantQuota{
+			7: {Rate: 1e9, Burst: 1 << 20, Backlog: 1 << 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	payload := make([]byte, 64)
+	p := &packet.Packet{
+		Flow: 1, Msg: 1, Src: 0, Dst: 1,
+		Class: packet.ClassSmall, Tenant: 7, Payload: payload,
+	}
+	submit := func() {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		submit() // warm the pools and scratch buffers
+	}
+	if allocs := testing.AllocsPerRun(500, submit); allocs > 2 {
+		t.Fatalf("eager send pump with quotas costs %.2f allocs/op, budget is 2", allocs)
+	}
+}
+
 // BenchmarkEagerPumpBacklog measures the pump over a deep multi-flow
 // backlog: 64 packets across 8 flows and 4 destinations — the aggregation
 // planner's real operating point.

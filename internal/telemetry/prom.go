@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"newmad/internal/core"
 )
 
 // Prometheus text exposition, hand-written against the v0.0.4 format so
@@ -112,6 +114,7 @@ func WriteProm(w io.Writer, ns NodeSnapshot) {
 			promHist(w, "newmad_span_ns", labels, sp.HistStat)
 		}
 	}
+	writeTenantProm(w, m.Tenants)
 
 	writeSetProm(w, ns.Counters, ns.Gauges, ns.Hists)
 }
@@ -132,7 +135,39 @@ func WriteFleetProm(w io.Writer, fs FleetSnapshot) {
 			promHist(w, "newmad_span_ns", labels, sp.HistStat)
 		}
 	}
+	writeTenantProm(w, fs.Tenants)
 	writeSetProm(w, fs.Counters, fs.Gauges, fs.Hists)
+}
+
+// writeTenantProm renders the per-tenant admission families — one sample
+// per tenant, labeled tenant="N". Absent entirely when admission control
+// is disabled, so quota-free deployments see no dead series.
+func writeTenantProm(w io.Writer, tenants []core.TenantMetrics) {
+	if len(tenants) == 0 {
+		return
+	}
+	type tenantRow struct {
+		name, typ, help string
+		v               func(*core.TenantMetrics) string
+	}
+	rows := []tenantRow{
+		{"newmad_tenant_submitted_total", "counter", "Packets admitted per tenant.",
+			func(t *core.TenantMetrics) string { return fmt.Sprintf("%d", t.Submitted) }},
+		{"newmad_tenant_throttled_total", "counter", "Packets refused by the tenant's rate limit.",
+			func(t *core.TenantMetrics) string { return fmt.Sprintf("%d", t.Throttled) }},
+		{"newmad_tenant_quota_refused_total", "counter", "Packets refused by the tenant's backlog quota.",
+			func(t *core.TenantMetrics) string { return fmt.Sprintf("%d", t.OverQuota) }},
+		{"newmad_tenant_backlog", "gauge", "Packets the tenant has queued but unplanned.",
+			func(t *core.TenantMetrics) string { return fmt.Sprintf("%d", t.Backlog) }},
+		{"newmad_tenant_rate_pps", "gauge", "The tenant's admission rate currently in effect (0 = unlimited).",
+			func(t *core.TenantMetrics) string { return fmt.Sprintf("%g", t.RatePPS) }},
+	}
+	for _, r := range rows {
+		promHead(w, r.name, r.typ, r.help)
+		for i := range tenants {
+			fmt.Fprintf(w, "%s{tenant=\"%d\"} %s\n", r.name, tenants[i].Tenant, r.v(&tenants[i]))
+		}
+	}
 }
 
 // writeSetProm renders a snapshot's stats.Set maps, one Prometheus

@@ -329,15 +329,21 @@ type RoleRollup struct {
 // totals, fleet-wide span cells (merged across nodes, keyed by
 // span/class/rail), per-role roll-ups, and the shared counter set.
 type FleetSnapshot struct {
-	Schema   string              `json:"schema"`
-	NowNs    int64               `json:"now_ns"`
-	Nodes    int                 `json:"nodes"`
-	Totals   FleetTotals         `json:"totals"`
-	Spans    []SpanStat          `json:"spans,omitempty"`
-	Roles    []RoleRollup        `json:"roles,omitempty"`
-	Counters map[string]uint64   `json:"counters,omitempty"`
-	Gauges   map[string]float64  `json:"gauges,omitempty"`
-	Hists    map[string]HistStat `json:"hists,omitempty"`
+	Schema string       `json:"schema"`
+	NowNs  int64        `json:"now_ns"`
+	Nodes  int          `json:"nodes"`
+	Totals FleetTotals  `json:"totals"`
+	Spans  []SpanStat   `json:"spans,omitempty"`
+	Roles  []RoleRollup `json:"roles,omitempty"`
+	// Tenants is the per-tenant admission roll-up, summed across engines
+	// (counters and backlog add; the quota echo fields carry one engine's
+	// sample — quota tables are nominally homogeneous, and a control loop
+	// retuning one engine makes the echo a representative, not a total).
+	// Ordered by tenant ID. Empty when no engine has admission enabled.
+	Tenants  []core.TenantMetrics `json:"tenants,omitempty"`
+	Counters map[string]uint64    `json:"counters,omitempty"`
+	Gauges   map[string]float64   `json:"gauges,omitempty"`
+	Hists    map[string]HistStat  `json:"hists,omitempty"`
 }
 
 // spanCellKey keys the fleet-wide merge.
@@ -365,6 +371,7 @@ func (r *Registry) Fleet() FleetSnapshot {
 		spans  []*stats.Histogram // per span kind
 	}
 	roles := make(map[string]*roleAcc)
+	tenants := make(map[packet.TenantID]*core.TenantMetrics)
 
 	var m core.Metrics
 	for _, s := range srcs {
@@ -373,6 +380,18 @@ func (r *Registry) Fleet() FleetSnapshot {
 			fs.NowNs = int64(m.Now)
 		}
 		fs.Totals.add(&m)
+		for _, tm := range m.Tenants {
+			acc := tenants[tm.Tenant]
+			if acc == nil {
+				cp := tm
+				tenants[tm.Tenant] = &cp
+				continue
+			}
+			acc.Submitted += tm.Submitted
+			acc.Throttled += tm.Throttled
+			acc.OverQuota += tm.OverQuota
+			acc.Backlog += tm.Backlog
+		}
 		ra := roles[s.Role]
 		if ra == nil {
 			ra = &roleAcc{spans: make([]*stats.Histogram, int(core.NumSpanKinds))}
@@ -438,6 +457,15 @@ func (r *Registry) Fleet() FleetSnapshot {
 			})
 		}
 		fs.Roles = append(fs.Roles, rr)
+	}
+
+	tenantIDs := make([]int, 0, len(tenants))
+	for t := range tenants {
+		tenantIDs = append(tenantIDs, int(t))
+	}
+	sort.Ints(tenantIDs)
+	for _, t := range tenantIDs {
+		fs.Tenants = append(fs.Tenants, *tenants[packet.TenantID(t)])
 	}
 
 	if fleetStats != nil {

@@ -22,6 +22,7 @@ import (
 
 	"newmad/internal/caps"
 	"newmad/internal/chaos"
+	"newmad/internal/core"
 	"newmad/internal/packet"
 	"newmad/internal/simnet"
 	"newmad/internal/strategy"
@@ -116,6 +117,28 @@ type Role struct {
 	Profile string `json:"profile"`
 	// Channels overrides the profile's NIC channel count (0 keeps it).
 	Channels int `json:"channels"`
+	// Tenant is the admission-control principal (0..255) this role's
+	// submissions are charged to; traffic clauses inherit the *sender*
+	// role's tenant. Default 0. Tenancy is inert unless some role also
+	// declares a Quota.
+	Tenant int `json:"tenant"`
+	// Quota, when set, bounds the role's tenant at every engine in the
+	// topology (quota tables are homogeneous — a tenant's quota is per
+	// sending engine, not fleet-global). Submissions refused by the quota
+	// are counted as throttled, not lost. Two roles sharing a tenant must
+	// declare identical quotas (or only one of them).
+	Quota *QuotaClause `json:"quota"`
+}
+
+// QuotaClause is a role's per-tenant admission quota. Zero fields are
+// unlimited on that axis, matching core.TenantQuota.
+type QuotaClause struct {
+	// RatePPS is the sustained admission rate (packets/second).
+	RatePPS float64 `json:"rate_pps"`
+	// Burst is the bucket depth above the sustained rate.
+	Burst int `json:"burst"`
+	// Backlog caps the tenant's queued-but-unplanned packets per engine.
+	Backlog int `json:"backlog"`
 }
 
 // TrafficClause is one workload entry: members of From talking to members
@@ -274,7 +297,28 @@ func (m *Manifest) Validate() error {
 		if r.Channels < 0 {
 			return fmt.Errorf("testnet: role %q has %d channels", r.Name, r.Channels)
 		}
+		if r.Tenant < 0 || r.Tenant > 255 {
+			return fmt.Errorf("testnet: role %q has tenant %d outside 0..255", r.Name, r.Tenant)
+		}
+		if q := r.Quota; q != nil {
+			if q.RatePPS < 0 || q.Burst < 0 || q.Backlog < 0 {
+				return fmt.Errorf("testnet: role %q has negative quota %+v", r.Name, *q)
+			}
+		}
 		total += r.Count
+	}
+	// A tenant's quota must be declared once (or identically): two roles
+	// silently overwriting each other's table entry would make the
+	// effective quota depend on role iteration order.
+	quotas := map[int]QuotaClause{}
+	for _, r := range m.Roles {
+		if r.Quota == nil {
+			continue
+		}
+		if prev, ok := quotas[r.Tenant]; ok && prev != *r.Quota {
+			return fmt.Errorf("testnet: tenant %d has conflicting quotas %+v and %+v", r.Tenant, prev, *r.Quota)
+		}
+		quotas[r.Tenant] = *r.Quota
 	}
 	if total < 2 {
 		return fmt.Errorf("testnet: %d nodes total; need at least 2", total)
@@ -356,6 +400,26 @@ func (m *Manifest) Groups() map[string][]int {
 		groups[r.Name] = members
 	}
 	return groups
+}
+
+// Quotas compiles the roles' quota clauses into the per-engine admission
+// table (nil when no role declares one, which keeps admission disabled).
+func (m *Manifest) Quotas() map[packet.TenantID]core.TenantQuota {
+	var out map[packet.TenantID]core.TenantQuota
+	for _, r := range m.Roles {
+		if r.Quota == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[packet.TenantID]core.TenantQuota)
+		}
+		out[packet.TenantID(r.Tenant)] = core.TenantQuota{
+			Rate:    r.Quota.RatePPS,
+			Burst:   r.Quota.Burst,
+			Backlog: r.Quota.Backlog,
+		}
+	}
+	return out
 }
 
 // GroupChaos converts the chaos clauses to the group-script DSL. Resolving

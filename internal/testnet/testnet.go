@@ -1,6 +1,7 @@
 package testnet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -42,7 +43,11 @@ type Net struct {
 
 	flows     []workload.FlowSpec
 	submitted int
-	refused   map[flowKey]bool
+	throttled int
+	// refused counts a flow's refused submission attempts. A refusal
+	// never consumes a seq (the workload driver assigns them lazily), so
+	// a flow with R refusals delivers the contiguous seqs [0, Count-R).
+	refused   map[packet.FlowID]int
 	delivered map[flowKey]int
 	misrouted int
 	// misroutedAt remembers which nodes saw misrouted deliveries, for the
@@ -83,7 +88,7 @@ func Build(m *Manifest) (*Net, error) {
 		Groups:      m.Groups(),
 		Trace:       &chaos.Trace{},
 		Registry:    telemetry.NewRegistry(),
-		refused:     make(map[flowKey]bool),
+		refused:     make(map[packet.FlowID]int),
 		delivered:   make(map[flowKey]int),
 		misroutedAt: make(map[int]bool),
 		recorders:   make(map[int]*trace.Recorder),
@@ -99,6 +104,7 @@ func Build(m *Manifest) (*Net, error) {
 	}
 
 	mem := memsim.DefaultModel()
+	quotas := m.Quotas()
 	total := m.TotalNodes()
 	n.Nodes = make([]*Node, total)
 	for _, role := range m.rolesByName() {
@@ -161,6 +167,7 @@ func Build(m *Manifest) (*Net, error) {
 				RdvThreshold: m.Engine.RdvThreshold,
 				RdvRetry:     simnet.Duration(m.Engine.RdvRetryUS) * simnet.Microsecond,
 				RdvRetryMax:  m.Engine.RdvRetryMax,
+				Quotas:       quotas,
 				Stats:        n.Stats,
 				Trace:        rec,
 			})
@@ -203,11 +210,20 @@ func (n *Net) scheduleWorkload(base *simnet.RNG) error {
 	}
 	drv := workload.NewDriver(n.Eng, engines, base.ForkString("workload.driver").Uint64())
 	drv.OnError = func(spec workload.FlowSpec, seq int, err error) {
-		// Submissions to a crashed node's engine are scripted outcomes,
-		// not bugs; they are excluded from loss accounting.
-		n.refused[flowKey{spec.Flow, seq}] = true
+		// Submissions refused by admission control or a crashed node's
+		// engine are scripted outcomes, not bugs; both land in the refused
+		// tally and are excluded from loss accounting. Throttles are
+		// counted separately — a flood soak asserts they happened.
+		if errors.Is(err, core.ErrThrottled) || errors.Is(err, core.ErrQuotaExceeded) {
+			n.throttled++
+		}
+		n.refused[spec.Flow]++
 	}
 
+	tenants := make(map[string]packet.TenantID, len(n.M.Roles))
+	for _, r := range n.M.Roles {
+		tenants[r.Name] = packet.TenantID(r.Tenant)
+	}
 	nextFlow := packet.FlowID(1)
 	for i, w := range n.M.Workload {
 		pattern, _ := workload.ParsePattern(w.Pattern)
@@ -220,6 +236,7 @@ func (n *Net) scheduleWorkload(base *simnet.RNG) error {
 			To:       nodeIDs(n.Groups[w.To]),
 			BaseFlow: nextFlow,
 			Class:    class,
+			Tenant:   tenants[w.From],
 			Size:     size,
 			Arrival:  arrival,
 			Msgs:     w.Msgs,
@@ -338,9 +355,12 @@ type Result struct {
 	Nodes int
 	Rails int
 	// Submitted counts scheduled submissions; Refused the subset rejected
-	// by crashed engines.
+	// by crashed engines or admission control. Throttled is the
+	// admission-control slice of Refused (quota/rate refusals) — never
+	// silent, never counted as Lost.
 	Submitted int
 	Refused   int
+	Throttled int
 	// Delivered counts deliveries including duplicates; Duplicates the
 	// excess over exactly-once.
 	Delivered  int
@@ -368,8 +388,8 @@ type Result struct {
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s: %d nodes x %d rails, %d submitted, %d refused, %d delivered, %d dup, %d lost, %d crash-lost, %d ctrl-dropped, %d events, end %v, drained %v",
-		r.Name, r.Nodes, r.Rails, r.Submitted, r.Refused, r.Delivered,
+	return fmt.Sprintf("%s: %d nodes x %d rails, %d submitted, %d refused (%d throttled), %d delivered, %d dup, %d lost, %d crash-lost, %d ctrl-dropped, %d events, end %v, drained %v",
+		r.Name, r.Nodes, r.Rails, r.Submitted, r.Refused, r.Throttled, r.Delivered,
 		r.Duplicates, r.Lost, r.CrashLost, r.CtrlDropped, r.Events, r.End, r.Drained)
 }
 
@@ -382,6 +402,7 @@ func (n *Net) Run() *Result {
 		Nodes:       len(n.Nodes),
 		Rails:       n.M.Rails,
 		Submitted:   n.submitted,
+		Throttled:   n.throttled,
 		Misrouted:   n.misrouted,
 		CtrlDropped: n.ctrlDrops,
 		Events:      executed,
@@ -393,13 +414,14 @@ func (n *Net) Run() *Result {
 	for _, f := range n.flows {
 		srcCrashed := n.Nodes[f.Src].crashed
 		dstCrashed := n.Nodes[f.Dst].crashed
-		for seq := 0; seq < f.Count; seq++ {
-			k := flowKey{f.Flow, seq}
-			cnt := n.delivered[k]
+		// Refused attempts consumed no seq, so the flow's accepted
+		// packets are exactly the contiguous seqs below Count−refused;
+		// each must have been delivered exactly once.
+		res.Refused += n.refused[f.Flow]
+		for seq := 0; seq < f.Count-n.refused[f.Flow]; seq++ {
+			cnt := n.delivered[flowKey{f.Flow, seq}]
 			res.Delivered += cnt
 			switch {
-			case n.refused[k]:
-				res.Refused++
 			case cnt == 0 && (srcCrashed || dstCrashed):
 				res.CrashLost++
 			case cnt == 0:

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"newmad/internal/packet"
 )
 
 // The battery is flag-tunable so one binary covers every tier: plain
@@ -267,5 +269,52 @@ func TestTestnet_CrashAccounting(t *testing.T) {
 	}
 	if crashed != 2 {
 		t.Fatalf("%d nodes crashed, want 2", crashed)
+	}
+}
+
+// TestTestnet_FlooderSoak is the misbehaving-tenant soak (the nightly
+// -race lane runs it repeatedly): a manifest with a quota'd flooder role
+// offering ~10× its admitted rate next to protected app traffic. The
+// flood must be absorbed at the admission edge — throttle refusals, all
+// of them explicit and none counted as lost — while every admitted
+// packet still arrives exactly once, protected flows see no refusals at
+// all, and the fleet telemetry roll-up carries the flooder's refusal
+// counters.
+func TestTestnet_FlooderSoak(t *testing.T) {
+	m, err := Load("testdata/flooder.json")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	replayHint(t, m.TotalNodes(), m.DropPct, m.Seed)
+	n, res := mustRun(t, m)
+	t.Logf("%v", res)
+	assertExactlyOnce(t, res)
+	if res.Throttled == 0 {
+		t.Fatalf("flooder at 10x quota produced no throttle refusals: %v", res)
+	}
+	if res.Refused != res.Throttled {
+		t.Errorf("non-admission refusals without a crash clause: %v", res)
+	}
+	if res.Delivered != res.Submitted-res.Refused {
+		t.Errorf("ledger: %d delivered != %d submitted - %d refused", res.Delivered, res.Submitted, res.Refused)
+	}
+	const flooder = packet.TenantID(3)
+	for _, f := range n.flows {
+		if f.Tenant != flooder && n.refused[f.Flow] != 0 {
+			t.Errorf("protected tenant %d flow %d saw %d refusals", f.Tenant, f.Flow, n.refused[f.Flow])
+		}
+	}
+	fleet := n.Registry.Fleet()
+	var seen bool
+	for _, tm := range fleet.Tenants {
+		if tm.Tenant == flooder {
+			seen = true
+			if tm.Throttled == 0 {
+				t.Errorf("fleet roll-up shows no throttles for the flooder: %+v", tm)
+			}
+		}
+	}
+	if !seen {
+		t.Error("fleet roll-up has no row for the flooder tenant")
 	}
 }

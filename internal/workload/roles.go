@@ -61,10 +61,13 @@ type RoleTraffic struct {
 	From, To []packet.NodeID
 	// BaseFlow is the first flow ID; each expanded flow takes the next.
 	BaseFlow packet.FlowID
-	// Class, Recv, Size, Arrival, Msgs and Start carry through to every
-	// expanded FlowSpec. Stateful arrivals (Bursts) are cloned per flow.
+	// Class, Recv, Tenant, Size, Arrival, Msgs and Start carry through to
+	// every expanded FlowSpec. Stateful arrivals (Bursts) are cloned per
+	// flow. Tenant is normally the *sender role's* tenant, resolved by the
+	// manifest layer.
 	Class   packet.ClassID
 	Recv    packet.RecvMode
+	Tenant  packet.TenantID
 	Size    SizeDist
 	Arrival Arrival
 	Msgs    int
@@ -138,6 +141,7 @@ func (rt RoleTraffic) Expand(rng *simnet.RNG) ([]FlowSpec, error) {
 			Dst:     p[1],
 			Class:   rt.Class,
 			Recv:    rt.Recv,
+			Tenant:  rt.Tenant,
 			Size:    rt.Size,
 			Arrival: arrival,
 			Count:   rt.Msgs,

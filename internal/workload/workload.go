@@ -98,11 +98,14 @@ func (b *Bursts) Clone() *Bursts { return &Bursts{Size: b.Size, Gap: b.Gap} }
 
 // FlowSpec describes one synthetic communication flow.
 type FlowSpec struct {
-	Flow    packet.FlowID
-	Src     packet.NodeID
-	Dst     packet.NodeID
-	Class   packet.ClassID
-	Recv    packet.RecvMode
+	Flow  packet.FlowID
+	Src   packet.NodeID
+	Dst   packet.NodeID
+	Class packet.ClassID
+	Recv  packet.RecvMode
+	// Tenant tags every packet of the flow with its admission-control
+	// principal (inert on engines without quotas).
+	Tenant  packet.TenantID
 	Size    SizeDist
 	Arrival Arrival
 	Count   int
@@ -130,7 +133,14 @@ func NewDriver(eng *simnet.Engine, engines map[packet.NodeID]*core.Engine, seed 
 	return &Driver{eng: eng, engines: engines, rng: simnet.NewRNG(seed)}
 }
 
-// Add schedules one flow's submissions. Sequences start at 0.
+// Add schedules one flow's submission attempts. Sequence numbers are
+// assigned lazily at submission time and advance only on success: a
+// refused attempt (admission control, crashed engine) never consumes a
+// seq, so the flow's accepted packets always carry consecutive seqs
+// starting at 0 — the Submit contract — and a mid-flow refusal cannot
+// stall the receiver's in-order reconstruction on a seq that never
+// existed (DESIGN.md §10). OnError receives the seq the attempt would
+// have taken.
 func (d *Driver) Add(spec FlowSpec) {
 	if spec.Count <= 0 {
 		panic("workload: flow with non-positive count")
@@ -141,17 +151,18 @@ func (d *Driver) Add(spec FlowSpec) {
 	}
 	rng := d.rng.Fork()
 	at := simnet.Time(0).Add(spec.Start)
-	for seq := 0; seq < spec.Count; seq++ {
-		seq := seq
+	next := new(int)
+	for i := 0; i < spec.Count; i++ {
 		size := spec.Size.Draw(rng)
-		p := &packet.Packet{
-			Flow: spec.Flow, Msg: packet.MsgID(seq), Seq: seq,
-			Last: true, // each packet is a complete one-fragment message
-			Src:  spec.Src, Dst: spec.Dst,
-			Class: spec.Class, Recv: spec.Recv,
-			Payload: make([]byte, size),
-		}
 		d.eng.At(at, "workload.submit", func() {
+			seq := *next
+			p := &packet.Packet{
+				Flow: spec.Flow, Msg: packet.MsgID(seq), Seq: seq,
+				Last: true, // each packet is a complete one-fragment message
+				Src:  spec.Src, Dst: spec.Dst,
+				Class: spec.Class, Recv: spec.Recv, Tenant: spec.Tenant,
+				Payload: make([]byte, size),
+			}
 			if err := src.Submit(p); err != nil {
 				if d.OnError != nil {
 					d.OnError(spec, seq, err)
@@ -159,6 +170,7 @@ func (d *Driver) Add(spec FlowSpec) {
 				}
 				panic(fmt.Sprintf("workload: submit: %v", err))
 			}
+			*next = seq + 1
 		})
 		d.Submitted++
 		at = at.Add(spec.Arrival.Next(rng))
